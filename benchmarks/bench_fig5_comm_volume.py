@@ -1,0 +1,26 @@
+"""Fig. 5: total communication volume (GB), FedKNOW vs FedWEIT, 5 datasets.
+
+Shape assertion (paper: 34.28 % average reduction): FedKNOW transfers
+strictly less than FedWEIT on every dataset, because FedWEIT additionally
+ships sparse adaptives every round plus the all-clients adaptive broadcast
+at every task start.
+"""
+
+from __future__ import annotations
+
+from conftest import record_report
+from repro.experiments import BENCH, FIG4_DATASETS, run_fig5
+
+
+def test_fig5_comm_volume(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_fig5(datasets=FIG4_DATASETS, preset=BENCH),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report)
+    record_report("fig5", str(report))
+    for dataset, entry in report.volumes.items():
+        assert entry["fedknow"] < entry["fedweit"], (dataset, entry)
+    assert report.mean_saving_percent() > 5.0

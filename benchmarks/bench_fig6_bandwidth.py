@@ -1,0 +1,30 @@
+"""Fig. 6: communication time under 8 bandwidths (50 KB/s - 10 MB/s).
+
+Shape assertions: FedKNOW's communication time is below FedWEIT's at every
+bandwidth for both DNNs, times decrease monotonically with bandwidth, and
+the absolute saving is largest on the slowest link (the paper reports up to
+10 hours saved at 50 KB/s).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import record_report
+from repro.experiments import BENCH, run_fig6
+
+
+def test_fig6_bandwidth(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_fig6(preset=BENCH), rounds=1, iterations=1
+    )
+    print()
+    print(report)
+    record_report("fig6", str(report))
+    for model_label, methods in report.times.items():
+        fedknow = np.array(methods["fedknow"])
+        fedweit = np.array(methods["fedweit"])
+        assert (fedknow <= fedweit + 1e-9).all(), (model_label, methods)
+        assert (np.diff(fedknow) < 0).all(), "time must fall as bandwidth rises"
+        savings = fedweit - fedknow
+        assert savings[0] >= savings[-1], "biggest saving on the slowest link"

@@ -1,0 +1,82 @@
+"""Micro-benchmarks of FedKNOW's hot components.
+
+These are true pytest-benchmark measurements (multiple rounds): the per-
+iteration costs that determine on-device training time — one training step,
+a knowledge extraction, a gradient restoration, and the integrator QP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GradientIntegrator, GradientRestorer, KnowledgeExtractor
+from repro.core.qp import solve_nnqp_active_set, solve_nnqp_projected_gradient
+from repro.data import build_benchmark, cifar100_like
+from repro.models import build_model
+from repro.nn import SGD, Tensor
+from repro.nn import functional as F
+
+
+@pytest.fixture(scope="module")
+def setting():
+    spec = cifar100_like(train_per_class=16, test_per_class=4).with_tasks(2)
+    bench = build_benchmark(spec, num_clients=1, rng=np.random.default_rng(0))
+    task = bench.clients[0].tasks[0]
+    model = build_model(spec.model_name, spec.num_classes,
+                        rng=np.random.default_rng(0))
+    scratch = build_model(spec.model_name, spec.num_classes,
+                          rng=np.random.default_rng(0))
+    return spec, task, model, scratch
+
+
+def test_training_step(benchmark, setting):
+    _, task, model, _ = setting
+    optimizer = SGD(model.parameters(), lr=0.01)
+    mask = task.class_mask()
+    xb, yb = task.train_x[:16], task.train_y[:16]
+
+    def step():
+        optimizer.zero_grad()
+        F.cross_entropy(model(Tensor(xb)), yb, class_mask=mask).backward()
+        optimizer.step()
+
+    benchmark(step)
+
+
+def test_knowledge_extraction(benchmark, setting):
+    _, task, model, _ = setting
+    extractor = KnowledgeExtractor(ratio=0.10)
+    knowledge = benchmark(lambda: extractor.extract(model, task))
+    assert knowledge.num_retained() > 0
+
+
+def test_gradient_restoration(benchmark, setting):
+    _, task, model, scratch = setting
+    knowledge = KnowledgeExtractor(ratio=0.10).extract(model, task)
+    restorer = GradientRestorer(scratch)
+    xb = task.train_x[:16]
+    grad = benchmark(lambda: restorer.restore_gradient(model, knowledge, xb))
+    assert np.isfinite(grad).all()
+
+
+def test_integrator_with_ten_constraints(benchmark, setting):
+    _, _, model, _ = setting
+    rng = np.random.default_rng(1)
+    dim = model.num_parameters()
+    gradient = rng.normal(size=dim)
+    constraints = rng.normal(size=(10, dim))
+    integrator = GradientIntegrator()
+    result = benchmark(lambda: integrator.integrate(gradient, constraints))
+    assert result.gradient.shape == (dim,)
+
+
+@pytest.mark.parametrize("solver", [solve_nnqp_active_set,
+                                    solve_nnqp_projected_gradient])
+def test_nnqp_solver(benchmark, solver):
+    rng = np.random.default_rng(2)
+    g = rng.normal(size=(10, 64))
+    p = g @ g.T
+    q = rng.normal(size=10)
+    v = benchmark(lambda: solver(p, q))
+    assert (v >= -1e-9).all()

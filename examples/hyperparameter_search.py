@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's hyperparameter-search protocol (Section V-B).
+
+To avoid test-set leakage the paper tunes every method on a held-out SVHN
+benchmark (2 tasks of 5 classes) and transfers the winner to the real
+workloads.  This example runs FedKNOW's rho x k grid on the SVHN-like
+dataset, prints the ranking, and verifies the convergence-constrained
+learning-rate schedules of Theorem 1 alongside.
+
+Usage::
+
+    python examples/hyperparameter_search.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.theory import gap_curve
+from repro.experiments import UNIT, format_series
+from repro.experiments.search import search_fedknow
+
+
+def main() -> None:
+    preset = UNIT.updated(
+        num_clients=3, rounds_per_task=2, iterations_per_round=6,
+        train_per_class=16, test_per_class=6,
+    )
+    result = search_fedknow(ratios=(0.05, 0.10, 0.20), ks=(2, 5),
+                            preset=preset)
+    print(result)
+    best_params, _ = result.best
+    print(
+        f"\npaper protocol: carry rho={best_params['rho']}, "
+        f"k={best_params['k']} to the real workloads"
+    )
+
+    print("\nTheorem 1 optimality-gap bound under the admissible schedules:")
+    iterations = np.array([10, 100, 1000, 10_000, 100_000])
+    print(format_series("combined gap bound", iterations,
+                        np.round(gap_curve(iterations), 5),
+                        x_name="iteration", y_name="gap"))
+    print("the bound vanishes, matching the convergence proof of Sec. IV")
+
+
+if __name__ == "__main__":
+    main()

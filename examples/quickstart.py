@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: FedKNOW vs plain FedAvg on a small federated continual workload.
+
+Builds a CIFAR-100-like benchmark (3 tasks, 3 clients), trains both methods
+from identical initial weights, and prints the paper's two headline metrics —
+average accuracy over learned tasks and average forgetting rate — after every
+task stage.  Runs in under a minute on a laptop CPU.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import build_benchmark, cifar100_like
+from repro.edge import jetson_cluster
+from repro.experiments import format_table
+from repro.federated import TrainConfig, create_trainer
+
+
+def main() -> None:
+    spec = cifar100_like(train_per_class=20, test_per_class=8).with_tasks(3)
+    config = TrainConfig(
+        batch_size=16, lr=0.01, rounds_per_task=3, iterations_per_round=8
+    )
+
+    rows = []
+    for method in ("fedavg", "fedknow"):
+        # fresh benchmark per method with the same seed => identical data
+        benchmark = build_benchmark(
+            spec, num_clients=3, rng=np.random.default_rng(7)
+        )
+        trainer = create_trainer(
+            method, benchmark, config, cluster=jetson_cluster()
+        )
+        result = trainer.run()
+        for stage, (accuracy, forgetting) in enumerate(
+            zip(result.accuracy_curve, result.forgetting_curve)
+        ):
+            rows.append(
+                [method, stage + 1, round(float(accuracy), 3),
+                 round(float(forgetting), 3)]
+            )
+        print(
+            f"{method}: final accuracy {result.final_accuracy:.3f}, "
+            f"simulated training {result.sim_total_seconds / 3600:.3f} h, "
+            f"communication {result.total_comm_bytes / 1e9:.2f} GB"
+        )
+
+    print()
+    print(format_table(
+        ["method", "tasks_learned", "avg_accuracy", "forgetting"], rows,
+        title="FedKNOW vs FedAvg, task by task",
+    ))
+    print(
+        "\nFedKNOW retains earlier tasks (lower forgetting) by integrating\n"
+        "each update with restored signature-task gradients (paper Sec. III)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Anatomy of FedKNOW's three components on a single client.
+
+Walks the running example of the paper's Fig. 3 step by step, printing what
+each component actually produces:
+
+* **knowledge extractor** — how much of the model a 10 % knowledge entry
+  keeps, and how well the pruned network still predicts its task;
+* **gradient restorer** — the restored past-task gradient and its angle to
+  the new task's gradient;
+* **gradient integrator** — the QP rotation that removes the conflict.
+
+Usage::
+
+    python examples/signature_knowledge_anatomy.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import GradientIntegrator, GradientRestorer, KnowledgeExtractor
+from repro.data import build_benchmark, cifar100_like, iterate_batches
+from repro.models import build_model
+from repro.nn import SGD, Tensor
+from repro.nn import functional as F
+from repro.nn.vector import gradients_to_vector
+
+
+def train_on(model, task, epochs=8, lr=0.02):
+    optimizer = SGD(model.parameters(), lr=lr)
+    mask = task.class_mask()
+    for epoch in range(epochs):
+        for xb, yb in iterate_batches(task.train_x, task.train_y, 16,
+                                      np.random.default_rng(epoch)):
+            optimizer.zero_grad()
+            F.cross_entropy(model(Tensor(xb)), yb, class_mask=mask).backward()
+            optimizer.step()
+
+
+def angle_degrees(a, b) -> float:
+    cosine = a @ b / (np.linalg.norm(a) * np.linalg.norm(b))
+    return float(np.degrees(np.arccos(np.clip(cosine, -1, 1))))
+
+
+def main() -> None:
+    spec = cifar100_like(train_per_class=24, test_per_class=8).with_tasks(2)
+    benchmark = build_benchmark(spec, num_clients=1,
+                                rng=np.random.default_rng(3))
+    task_a, task_b = benchmark.clients[0].tasks[:2]
+
+    model = build_model(spec.model_name, spec.num_classes,
+                        rng=np.random.default_rng(0))
+    scratch = build_model(spec.model_name, spec.num_classes,
+                          rng=np.random.default_rng(0))
+
+    # --- learn task A, then extract its signature knowledge -------------
+    train_on(model, task_a)
+    acc_full = F.accuracy(model.logits(task_a.test_x), task_a.test_y,
+                          task_a.class_mask())
+    extractor = KnowledgeExtractor(ratio=0.10, finetune_iterations=10)
+    knowledge = extractor.extract(model, task_a, scratch=scratch,
+                                  rng=np.random.default_rng(1))
+    scratch.load_state_dict(knowledge.restore_state())
+    scratch.eval()
+    acc_pruned = F.accuracy(scratch.logits(task_a.test_x), task_a.test_y,
+                            task_a.class_mask())
+    print("1. knowledge extractor")
+    print(f"   retained weights : {knowledge.num_retained():,} of "
+          f"{model.num_parameters():,} ({100 * knowledge.ratio:.0f}%)")
+    print(f"   knowledge size   : {knowledge.nbytes / 1024:.1f} KB")
+    print(f"   task-A accuracy  : full model {acc_full:.3f}, "
+          f"pruned knowledge {acc_pruned:.3f}\n")
+
+    # --- start task B: restore task A's gradient ------------------------
+    xb, yb = task_b.train_x[:16], task_b.train_y[:16]
+    model.zero_grad()
+    F.cross_entropy(model(Tensor(xb)), yb,
+                    class_mask=task_b.class_mask()).backward()
+    grad_new = gradients_to_vector(model.parameters())
+    model.zero_grad()
+
+    restorer = GradientRestorer(scratch)
+    grad_old = restorer.restore_gradient(model, knowledge, xb)
+    theta = angle_degrees(grad_new, grad_old)
+    print("2. gradient restorer")
+    print(f"   restored ||g_A|| = {np.linalg.norm(grad_old):.4f} without any "
+          "stored task-A samples")
+    print(f"   angle(g_B, g_A)  = {theta:.1f} degrees "
+          f"({'conflict!' if theta > 90 else 'compatible'})\n")
+
+    # --- integrate ------------------------------------------------------
+    integrator = GradientIntegrator()
+    result = integrator.integrate(grad_new, grad_old[None, :])
+    print("3. gradient integrator")
+    if result.rotated:
+        print(f"   QP rotated g_B by {result.rotation_degrees:.2f} degrees; "
+              f"dual v = {result.dual_solution}")
+    else:
+        print("   no rotation needed (all angles already acute)")
+    print(f"   <g', g_A> = {float(grad_old @ result.gradient):+.5f} "
+          "(>= 0: task A's loss cannot increase to first order)")
+    print(f"   <g', g_B> = {float(grad_new @ result.gradient):+.5f} "
+          "(> 0: still descends on task B)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+This environment is offline and has no ``wheel`` package, so PEP 517 editable
+installs cannot build; keeping a ``setup.py`` lets ``pip install -e .`` use the
+legacy ``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

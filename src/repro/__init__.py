@@ -1,0 +1,26 @@
+"""FedKNOW reproduction (ICDE 2023).
+
+A from-scratch reproduction of *FedKNOW: Federated Continual Learning with
+Signature Task Knowledge Integration at Edge*, including its numpy deep-
+learning substrate (:mod:`repro.nn`), model zoo (:mod:`repro.models`),
+synthetic dataset benchmarks (:mod:`repro.data`), the FedKNOW algorithm
+(:mod:`repro.core`), all eleven baselines (:mod:`repro.continual`,
+:mod:`repro.federated`), the edge-device simulation (:mod:`repro.edge`) and
+the per-figure experiment harness (:mod:`repro.experiments`).
+"""
+
+__version__ = "1.0.0"
+
+from . import core, data, edge, federated, metrics, models, nn, utils
+
+__all__ = [
+    "core",
+    "data",
+    "edge",
+    "federated",
+    "metrics",
+    "models",
+    "nn",
+    "utils",
+    "__version__",
+]

@@ -1,0 +1,166 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``     train one method on one dataset and print its metrics;
+``figure``  regenerate a paper table/figure (fig4 ... fig10, table1, ablations);
+``search``  the SVHN hyperparameter search for FedKNOW (Section V-B);
+``list``    enumerate available methods / datasets / models / figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .data import ALL_SPECS, get_spec
+from .edge import jetson_cluster, jetson_raspberry_cluster
+from .experiments import (
+    format_series,
+    format_table,
+    get_preset,
+    run_aggregation_ablation,
+    run_distance_ablation,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_k_ablation,
+    run_qp_ablation,
+    run_single,
+    run_table1,
+)
+from .experiments.search import search_fedknow
+from .federated import ALL_METHODS
+from .models import available_models
+
+FIGURES = {
+    "fig4": lambda preset: "\n\n".join(str(r) for r in run_fig4(preset=preset)),
+    "fig4-hetero": lambda preset: "\n\n".join(
+        str(r) for r in run_fig4(
+            datasets=("cifar100", "fc100", "core50"),
+            methods=("gem", "fedweit", "fedknow"),
+            preset=preset,
+            heterogeneous=True,
+        )
+    ),
+    "table1": lambda preset: str(run_table1(preset=preset)),
+    "fig5": lambda preset: str(run_fig5(preset=preset)),
+    "fig6": lambda preset: str(run_fig6(preset=preset)),
+    "fig7": lambda preset: str(run_fig7(preset=preset, num_tasks=6)),
+    "fig8": lambda preset: str(run_fig8(preset=preset)),
+    "fig9": lambda preset: str(run_fig9(preset=preset)),
+    "fig10": lambda preset: str(run_fig10(preset=preset)),
+    "ablations": lambda preset: "\n\n".join(
+        str(fn(preset=preset))
+        for fn in (
+            run_distance_ablation,
+            run_k_ablation,
+            run_qp_ablation,
+            run_aggregation_ablation,
+        )
+    ),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FedKNOW (ICDE 2023) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="train one method on one dataset")
+    run_p.add_argument("--method", required=True, choices=sorted(ALL_METHODS))
+    run_p.add_argument("--dataset", required=True, choices=sorted(ALL_SPECS))
+    run_p.add_argument("--preset", default="bench",
+                       choices=("unit", "bench", "paper"))
+    run_p.add_argument("--clients", type=int, default=None)
+    run_p.add_argument("--tasks", type=int, default=None)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--with-raspberry-pi", action="store_true",
+                       help="use the 30-device heterogeneous cluster")
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper table/figure")
+    fig_p.add_argument("name", choices=sorted(FIGURES))
+    fig_p.add_argument("--preset", default="bench",
+                       choices=("unit", "bench", "paper"))
+
+    search_p = sub.add_parser("search", help="FedKNOW rho x k search on SVHN")
+    search_p.add_argument("--preset", default="bench",
+                          choices=("unit", "bench", "paper"))
+
+    sub.add_parser("list", help="list methods, datasets, models and figures")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    preset = get_preset(args.preset)
+    if args.clients is not None:
+        preset = preset.updated(num_clients=args.clients)
+    if args.tasks is not None:
+        preset = preset.updated(num_tasks=args.tasks)
+    cluster = (
+        jetson_raspberry_cluster() if args.with_raspberry_pi else jetson_cluster()
+    )
+    result = run_single(
+        args.method, get_spec(args.dataset), preset,
+        cluster=cluster, seed=args.seed, use_cache=False,
+    )
+    stages = np.arange(1, len(result.accuracy_curve) + 1)
+    print(format_series(
+        f"{args.method} on {args.dataset} ({args.preset})",
+        stages, np.round(result.accuracy_curve, 3),
+        x_name="tasks", y_name="accuracy",
+    ))
+    print(format_series(
+        "forgetting rate", stages, np.round(result.forgetting_curve, 3),
+        x_name="tasks", y_name="rate",
+    ))
+    summary = result.summary()
+    print(format_table(list(summary), [list(summary.values())]))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    print(FIGURES[args.name](get_preset(args.preset)))
+    return 0
+
+
+def _cmd_search(args) -> int:
+    print(search_fedknow(preset=get_preset(args.preset)))
+    return 0
+
+
+def _cmd_list() -> int:
+    print(format_table(
+        ["kind", "names"],
+        [
+            ["methods", ", ".join(sorted(ALL_METHODS))],
+            ["datasets", ", ".join(sorted(ALL_SPECS))],
+            ["models", ", ".join(available_models())],
+            ["figures", ", ".join(sorted(FIGURES))],
+            ["presets", "unit, bench, paper"],
+        ],
+    ))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "search":
+        return _cmd_search(args)
+    return _cmd_list()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Continual-learning baselines (the six CL methods compared in Fig. 4)."""
+
+from .agscl import AGSCLStrategy
+from .base import ContinualStrategy, FinetuneStrategy
+from .bcn import BCNStrategy
+from .buffer import EpisodicMemory, TaskMemory
+from .co2l import Co2LStrategy
+from .ewc import EWCStrategy
+from .gem import GEMStrategy
+from .mas import MASStrategy
+
+__all__ = [
+    "AGSCLStrategy",
+    "BCNStrategy",
+    "Co2LStrategy",
+    "ContinualStrategy",
+    "EWCStrategy",
+    "EpisodicMemory",
+    "FinetuneStrategy",
+    "GEMStrategy",
+    "MASStrategy",
+    "TaskMemory",
+]

@@ -1,0 +1,74 @@
+"""Continual-learning strategy protocol.
+
+A strategy customises the local training loop of
+:class:`~repro.federated.base.SGDClient` at four points: task start, loss
+computation (regularisation-based methods), post-backward gradient surgery
+(projection-based methods), and task end (consolidation / memory update).
+Strategies also report their retained-state footprint so the edge memory
+simulation can account for them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.federated import ClientTask
+from ..models.base import ImageClassifier
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+
+
+class ContinualStrategy:
+    """Base strategy: plain fine-tuning (no forgetting prevention)."""
+
+    name = "finetune"
+
+    def __init__(self):
+        self.client = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, client) -> None:
+        """Attach to the owning client (gives access to model, rng, config)."""
+        self.client = client
+
+    def begin_task(self, task: ClientTask) -> None:
+        """Called when the client switches to a new task."""
+
+    def loss(
+        self,
+        model: ImageClassifier,
+        xb: np.ndarray,
+        yb: np.ndarray,
+        class_mask: np.ndarray,
+    ) -> Tensor:
+        """Training loss for one batch; default is masked cross-entropy."""
+        return F.cross_entropy(model(Tensor(xb)), yb, class_mask=class_mask)
+
+    def post_backward(
+        self,
+        model: ImageClassifier,
+        xb: np.ndarray,
+        yb: np.ndarray,
+        class_mask: np.ndarray,
+    ) -> None:
+        """Hook after ``loss.backward()``; may rewrite parameter gradients."""
+
+    def end_task(self, task: ClientTask, model: ImageClassifier) -> None:
+        """Called after the task's final aggregation round."""
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def state_bytes(self) -> dict[str, int]:
+        """Retained state split into model-shaped and sample-shaped bytes."""
+        return {"model": 0, "samples": 0}
+
+    def extra_compute_units(self) -> float:
+        """Extra fwd+bwd-equivalents this strategy adds per iteration."""
+        return 0.0
+
+
+class FinetuneStrategy(ContinualStrategy):
+    """Explicit alias of the do-nothing baseline (pure FedAvg client)."""

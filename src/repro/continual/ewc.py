@@ -1,0 +1,110 @@
+"""EWC — Elastic Weight Consolidation (Kirkpatrick et al., 2017).
+
+After each task, estimates the diagonal Fisher information of the trained
+weights and penalises subsequent drift on parameters important to past tasks:
+
+    L = L_task + (lambda / 2) * sum_i F_i (theta_i - theta*_i)^2.
+
+One (Fisher, anchor) pair is retained per learned task, as in the original
+formulation — this is the state whose size grows with the task count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..models.base import ImageClassifier
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+from ..nn.vector import gradients_to_vector, parameters_to_vector
+from ..utils.rng import get_rng
+from .base import ContinualStrategy
+
+
+class EWCStrategy(ContinualStrategy):
+    """Quadratic weight-consolidation penalty with per-task Fisher estimates."""
+
+    name = "ewc"
+
+    def __init__(
+        self,
+        penalty: float = 100.0,
+        fisher_batches: int = 4,
+        fisher_batch_size: int = 16,
+    ):
+        super().__init__()
+        if penalty < 0:
+            raise ValueError(f"penalty must be non-negative, got {penalty}")
+        self.penalty = penalty
+        self.fisher_batches = fisher_batches
+        self.fisher_batch_size = fisher_batch_size
+        self.fishers: list[np.ndarray] = []
+        self.anchors: list[np.ndarray] = []
+
+    def loss(
+        self,
+        model: ImageClassifier,
+        xb: np.ndarray,
+        yb: np.ndarray,
+        class_mask: np.ndarray,
+    ) -> Tensor:
+        task_loss = F.cross_entropy(model(Tensor(xb)), yb, class_mask=class_mask)
+        if not self.fishers:
+            return task_loss
+        # add the quadratic penalty directly to parameter gradients after
+        # backward would be equivalent; expressing it through the graph keeps
+        # the reported loss faithful.
+        penalty_value = 0.0
+        flat = parameters_to_vector(model.parameters())
+        grad_extra = np.zeros_like(flat)
+        for fisher, anchor in zip(self.fishers, self.anchors):
+            diff = flat - anchor
+            penalty_value += 0.5 * self.penalty * float(fisher @ (diff * diff))
+            grad_extra += self.penalty * fisher * diff
+        self._pending_grad = grad_extra
+        self._pending_value = penalty_value
+        return task_loss
+
+    def post_backward(self, model, xb, yb, class_mask) -> None:
+        if not self.fishers:
+            return
+        grad_extra = getattr(self, "_pending_grad", None)
+        if grad_extra is None:
+            return
+        offset = 0
+        for param in model.parameters():
+            chunk = grad_extra[offset : offset + param.size]
+            add = chunk.reshape(param.shape).astype(np.float32)
+            if param.grad is None:
+                param.grad = add
+            else:
+                param.grad += add
+            offset += param.size
+        self._pending_grad = None
+
+    def end_task(self, task, model: ImageClassifier) -> None:
+        """Estimate the diagonal Fisher on the just-finished task."""
+        rng = get_rng(self.client.rng if self.client else None)
+        mask = task.class_mask()
+        fisher = np.zeros(sum(p.size for p in model.parameters()), dtype=np.float64)
+        batches = 0
+        for _ in range(self.fisher_batches):
+            n = task.num_train
+            idx = rng.choice(n, size=min(self.fisher_batch_size, n), replace=False)
+            model.zero_grad()
+            loss = F.cross_entropy(
+                model(Tensor(task.train_x[idx])), task.train_y[idx], class_mask=mask
+            )
+            loss.backward()
+            grad = gradients_to_vector(model.parameters())
+            fisher += grad * grad
+            batches += 1
+        model.zero_grad()
+        self.fishers.append(fisher / max(batches, 1))
+        self.anchors.append(parameters_to_vector(model.parameters()))
+
+    def state_bytes(self) -> dict[str, int]:
+        per_entry = sum(f.size for f in self.fishers) + sum(
+            a.size for a in self.anchors
+        )
+        return {"model": int(per_entry * 4), "samples": 0}

@@ -1,0 +1,81 @@
+"""GEM — Gradient Episodic Memory (Lopez-Paz & Ranzato, 2017).
+
+Stores a fraction of each past task's samples; before every update, computes
+the loss gradient on each stored task and projects the current gradient so it
+keeps an acute angle with all of them.  The projection QP is exactly the one
+FedKNOW's gradient integrator solves (the paper builds on it, Section III-D),
+so this implementation shares :class:`~repro.core.integrator.GradientIntegrator`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.integrator import GradientIntegrator
+from ..models.base import ImageClassifier
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+from ..nn.vector import gradients_to_vector, vector_to_gradients
+from .base import ContinualStrategy
+from .buffer import EpisodicMemory
+
+
+class GEMStrategy(ContinualStrategy):
+    """Gradient projection against per-task episodic memories."""
+
+    name = "gem"
+
+    def __init__(
+        self,
+        memory_fraction: float = 0.10,
+        margin: float = 0.0,
+        max_reference_tasks: int | None = None,
+        memory_batch: int = 32,
+    ):
+        super().__init__()
+        self.memory = EpisodicMemory(fraction=memory_fraction)
+        self.integrator = GradientIntegrator(margin=margin)
+        self.max_reference_tasks = max_reference_tasks
+        self.memory_batch = memory_batch
+        self._last_rotated = False
+
+    def _reference_memories(self):
+        if self.max_reference_tasks is None:
+            return list(self.memory)
+        return list(self.memory)[-self.max_reference_tasks :]
+
+    def post_backward(
+        self,
+        model: ImageClassifier,
+        xb: np.ndarray,
+        yb: np.ndarray,
+        class_mask: np.ndarray,
+    ) -> None:
+        references = self._reference_memories()
+        if not references:
+            return
+        current = gradients_to_vector(model.parameters())
+        memory_grads = []
+        for memory in references:
+            take = min(self.memory_batch, len(memory.y))
+            model.zero_grad()
+            loss = F.cross_entropy(
+                model(Tensor(memory.x[:take])),
+                memory.y[:take],
+                class_mask=memory.class_mask,
+            )
+            loss.backward()
+            memory_grads.append(gradients_to_vector(model.parameters()))
+        result = self.integrator.integrate(current, np.stack(memory_grads))
+        self._last_rotated = result.rotated
+        vector_to_gradients(result.gradient, model.parameters())
+
+    def end_task(self, task, model: ImageClassifier) -> None:
+        self.memory.store(task, self.client.rng if self.client else None)
+
+    def state_bytes(self) -> dict[str, int]:
+        return {"model": 0, "samples": self.memory.nbytes}
+
+    def extra_compute_units(self) -> float:
+        # one fwd+bwd per reference task, per iteration
+        return float(len(self._reference_memories()))

@@ -1,0 +1,99 @@
+"""MAS — Memory Aware Synapses (Aljundi et al., 2018).
+
+Parameter importance is the sensitivity of the squared output norm to each
+weight, Omega_i = E |d ||f(x)||^2 / d theta_i|, accumulated after each task;
+subsequent tasks pay a quadratic penalty for moving important weights.
+Unlike EWC, importance is label-free and accumulated into a single running
+estimate, so retained state does not grow with the task count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..models.base import ImageClassifier
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+from ..nn.vector import gradients_to_vector, parameters_to_vector
+from ..utils.rng import get_rng
+from .base import ContinualStrategy
+
+
+class MASStrategy(ContinualStrategy):
+    """Sensitivity-based importance with a running consolidation penalty."""
+
+    name = "mas"
+
+    def __init__(
+        self,
+        penalty: float = 100.0,
+        importance_batches: int = 4,
+        importance_batch_size: int = 16,
+    ):
+        super().__init__()
+        if penalty < 0:
+            raise ValueError(f"penalty must be non-negative, got {penalty}")
+        self.penalty = penalty
+        self.importance_batches = importance_batches
+        self.importance_batch_size = importance_batch_size
+        self.omega: np.ndarray | None = None
+        self.anchor: np.ndarray | None = None
+
+    def loss(
+        self,
+        model: ImageClassifier,
+        xb: np.ndarray,
+        yb: np.ndarray,
+        class_mask: np.ndarray,
+    ) -> Tensor:
+        task_loss = F.cross_entropy(model(Tensor(xb)), yb, class_mask=class_mask)
+        if self.omega is None:
+            return task_loss
+        flat = parameters_to_vector(model.parameters())
+        diff = flat - self.anchor
+        self._pending_grad = self.penalty * self.omega * diff
+        return task_loss
+
+    def post_backward(self, model, xb, yb, class_mask) -> None:
+        if self.omega is None:
+            return
+        grad_extra = getattr(self, "_pending_grad", None)
+        if grad_extra is None:
+            return
+        offset = 0
+        for param in model.parameters():
+            chunk = grad_extra[offset : offset + param.size]
+            add = chunk.reshape(param.shape).astype(np.float32)
+            if param.grad is None:
+                param.grad = add
+            else:
+                param.grad += add
+            offset += param.size
+        self._pending_grad = None
+
+    def end_task(self, task, model: ImageClassifier) -> None:
+        """Accumulate output-sensitivity importance on the finished task."""
+        rng = get_rng(self.client.rng if self.client else None)
+        total = np.zeros(sum(p.size for p in model.parameters()), dtype=np.float64)
+        batches = 0
+        for _ in range(self.importance_batches):
+            n = task.num_train
+            idx = rng.choice(
+                n, size=min(self.importance_batch_size, n), replace=False
+            )
+            model.zero_grad()
+            outputs = model(Tensor(task.train_x[idx]))
+            norm = (outputs * outputs).mean()
+            norm.backward()
+            total += np.abs(gradients_to_vector(model.parameters()))
+            batches += 1
+        model.zero_grad()
+        new_omega = total / max(batches, 1)
+        self.omega = new_omega if self.omega is None else self.omega + new_omega
+        self.anchor = parameters_to_vector(model.parameters())
+
+    def state_bytes(self) -> dict[str, int]:
+        size = 0
+        if self.omega is not None:
+            size += self.omega.size + self.anchor.size
+        return {"model": int(size * 4), "samples": 0}

@@ -1,0 +1,54 @@
+"""FedKNOW core: signature task knowledge extraction, restoration, integration."""
+
+from .client import FedKnowClient
+from .config import FedKnowConfig
+from .distance import (
+    DISTANCES,
+    cosine_distance,
+    l2_distance,
+    select_signature_tasks,
+    wasserstein_distance,
+)
+from .integrator import GradientIntegrator, IntegrationResult
+from .knowledge import KnowledgeExtractor, KnowledgeStore, TaskKnowledge
+from .qp import (
+    SOLVERS,
+    nnqp_objective,
+    solve_nnqp,
+    solve_nnqp_active_set,
+    solve_nnqp_projected_gradient,
+)
+from .restorer import GradientRestorer
+from .theory import (
+    ConvergenceConstants,
+    gap_curve,
+    global_weight_bound,
+    local_weight_bound,
+    theorem1_gap,
+)
+
+__all__ = [
+    "ConvergenceConstants",
+    "gap_curve",
+    "global_weight_bound",
+    "local_weight_bound",
+    "theorem1_gap",
+    "DISTANCES",
+    "FedKnowClient",
+    "FedKnowConfig",
+    "GradientIntegrator",
+    "GradientRestorer",
+    "IntegrationResult",
+    "KnowledgeExtractor",
+    "KnowledgeStore",
+    "SOLVERS",
+    "TaskKnowledge",
+    "cosine_distance",
+    "l2_distance",
+    "nnqp_objective",
+    "select_signature_tasks",
+    "solve_nnqp",
+    "solve_nnqp_active_set",
+    "solve_nnqp_projected_gradient",
+    "wasserstein_distance",
+]

@@ -1,0 +1,49 @@
+"""FedKNOW hyperparameters (Section V-B's search spaces and defaults)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class FedKnowConfig:
+    """Configuration of a FedKNOW client.
+
+    ``knowledge_ratio`` is the paper's rho (search space {5 %, 10 %, 20 %},
+    default 10 %); ``num_signature_gradients`` is k (search space {5, 10, 20},
+    default 10).  ``signature_refresh`` controls how often the full
+    dissimilarity ranking over all retained tasks is recomputed (the paper
+    computes distances when selecting which k gradients to restore; restoring
+    all m every iteration would defeat the compute savings, so the ranking is
+    refreshed once per ``signature_refresh`` iterations and only the selected
+    k gradients are restored in between).
+    """
+
+    knowledge_ratio: float = 0.10
+    num_signature_gradients: int = 10
+    distance_metric: str = "wasserstein"
+    qp_solver: str = "active_set"
+    qp_margin: float = 0.0
+    signature_refresh: int = 10
+    aggregation_finetune_batches: int | None = None  # None = one local epoch
+    aggregation_integration: bool = True
+    extraction_finetune_iterations: int = 5
+    extraction_finetune_lr: float = 0.005
+
+    def __post_init__(self):
+        if not 0.0 < self.knowledge_ratio <= 1.0:
+            raise ValueError(
+                f"knowledge_ratio must be in (0, 1], got {self.knowledge_ratio}"
+            )
+        if self.num_signature_gradients < 1:
+            raise ValueError(
+                "num_signature_gradients must be >= 1, "
+                f"got {self.num_signature_gradients}"
+            )
+        if self.signature_refresh < 1:
+            raise ValueError(
+                f"signature_refresh must be >= 1, got {self.signature_refresh}"
+            )
+
+    def updated(self, **overrides) -> "FedKnowConfig":
+        return replace(self, **overrides)

@@ -1,0 +1,108 @@
+"""The gradient integrator — FedKNOW's central mechanism (Section III-D).
+
+Given the current task's gradient ``g`` and a set ``G`` of constraint
+gradients (signature-task gradients for forgetting prevention; the
+before/after-aggregation pair for negative-transfer prevention), find the
+rotated gradient ``g'`` closest to ``g`` such that ``<g', g_i> >= 0`` for all
+``g_i`` in ``G`` (Eq. 3).  The dual (Eq. 4) is a k-dimensional non-negative
+QP solved in polynomial time; the primal solution is recovered as
+``g' = G^T v + g`` (Eq. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .qp import solve_nnqp
+
+
+@dataclass(frozen=True)
+class IntegrationResult:
+    """Outcome of one gradient integration."""
+
+    gradient: np.ndarray
+    rotated: bool
+    num_violations: int
+    rotation_angle: float  # radians between g and g'
+    dual_solution: np.ndarray | None
+
+    @property
+    def rotation_degrees(self) -> float:
+        return float(np.degrees(self.rotation_angle))
+
+
+def _angle_between(a: np.ndarray, b: np.ndarray) -> float:
+    denominator = np.linalg.norm(a) * np.linalg.norm(b)
+    if denominator == 0.0:
+        return 0.0
+    cosine = np.clip((a @ b) / denominator, -1.0, 1.0)
+    return float(np.arccos(cosine))
+
+
+class GradientIntegrator:
+    """Rotates gradients to keep acute angles with all constraint gradients.
+
+    Parameters
+    ----------
+    solver:
+        NNQP method (``"active_set"`` or ``"projected_gradient"``).
+    margin:
+        Optional slack added to the dual linear term (GEM's memory-strength
+        trick): positive values bias the solution towards the constraint
+        gradients, trading current-task progress for retention.
+    """
+
+    def __init__(self, solver: str = "active_set", margin: float = 0.0):
+        if margin < 0:
+            raise ValueError(f"margin must be non-negative, got {margin}")
+        self.solver = solver
+        self.margin = margin
+
+    def integrate(
+        self, gradient: np.ndarray, constraints: np.ndarray | None
+    ) -> IntegrationResult:
+        """Compute the integrated gradient ``g'``.
+
+        ``gradient`` is the current task's flat gradient (shape ``(d,)``);
+        ``constraints`` stacks the signature gradients (shape ``(k, d)``).
+        If every constraint already forms an acute angle with ``gradient``,
+        it is returned unchanged (no QP solve).
+        """
+        gradient = np.asarray(gradient, dtype=np.float64)
+        if constraints is None or len(constraints) == 0:
+            return IntegrationResult(gradient, False, 0, 0.0, None)
+        constraints = np.asarray(constraints, dtype=np.float64)
+        if constraints.ndim != 2 or constraints.shape[1] != gradient.shape[0]:
+            raise ValueError(
+                f"constraints shape {constraints.shape} incompatible with "
+                f"gradient of dimension {gradient.shape[0]}"
+            )
+        dots = constraints @ gradient
+        num_violations = int((dots < 0.0).sum())
+        if num_violations == 0:
+            return IntegrationResult(gradient, False, 0, 0.0, None)
+
+        gram = constraints @ constraints.T
+        linear = constraints @ gradient - self.margin
+        v = solve_nnqp(gram, linear, method=self.solver)
+        integrated = constraints.T @ v + gradient
+        angle = _angle_between(gradient, integrated)
+        return IntegrationResult(
+            gradient=integrated,
+            rotated=True,
+            num_violations=num_violations,
+            rotation_angle=angle,
+            dual_solution=v,
+        )
+
+    def satisfies_constraints(
+        self, gradient: np.ndarray, constraints: np.ndarray, tol: float = 1e-6
+    ) -> bool:
+        """Check the acute-angle condition ``G g >= -tol`` (scaled)."""
+        constraints = np.asarray(constraints, dtype=np.float64)
+        if len(constraints) == 0:
+            return True
+        scale = max(float(np.abs(constraints @ gradient).max()), 1.0)
+        return bool((constraints @ np.asarray(gradient) >= -tol * scale).all())

@@ -1,0 +1,206 @@
+"""Signature task knowledge: extraction, storage and restoration (Section III-B).
+
+After a task is learned, the knowledge extractor retains the fraction ``rho``
+of model weights with the largest magnitudes (weight-based pruning, Eq. 1) —
+typically 10 % — as that task's *knowledge*.  The retained weights, their
+positions, the task's class set and the (tiny) BN statistics are enough to
+re-materialise a pruned network that still predicts the task well, which is
+what the gradient restorer consumes.
+
+Extraction follows the paper's three steps: (1) the model is trained to
+convergence by the normal task loop, (2) the top-``rho`` weights are selected,
+(3) the retained weights are optionally fine-tuned with the others frozen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.federated import ClientTask
+from ..models.base import ImageClassifier
+from ..nn import functional as F
+from ..nn.optim import SGD
+from ..nn.tensor import Tensor
+
+
+@dataclass
+class TaskKnowledge:
+    """The retained knowledge ``W_i`` of one learned task."""
+
+    task_id: int
+    position: int
+    classes: np.ndarray
+    num_total_classes: int
+    indices: dict[str, np.ndarray]  # flat positions of retained weights, per param
+    values: dict[str, np.ndarray]  # retained weight values, per param
+    shapes: dict[str, tuple[int, ...]]
+    buffers: dict[str, np.ndarray]  # BN running statistics
+    ratio: float
+
+    def class_mask(self) -> np.ndarray:
+        mask = np.zeros(self.num_total_classes, dtype=bool)
+        mask[self.classes] = True
+        return mask
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of this knowledge entry.
+
+        Values are stored in float32; positions are counted at 4 bytes
+        (int32 indices suffice for the model sizes involved).
+        """
+        total = 0
+        for name in self.values:
+            total += self.values[name].size * 4  # float32 values
+            total += self.indices[name].size * 4  # int32 positions
+        total += sum(b.size * 4 for b in self.buffers.values())
+        return int(total)
+
+    def num_retained(self) -> int:
+        return int(sum(v.size for v in self.values.values()))
+
+    def restore_state(self) -> dict[str, np.ndarray]:
+        """Materialise the pruned network's state dict (zeros off-support)."""
+        state: dict[str, np.ndarray] = {}
+        for name, shape in self.shapes.items():
+            flat = np.zeros(int(np.prod(shape)), dtype=np.float32)
+            flat[self.indices[name]] = self.values[name]
+            state[name] = flat.reshape(shape)
+        for name, buffer in self.buffers.items():
+            state[name] = buffer.copy()
+        return state
+
+
+class KnowledgeExtractor:
+    """Extracts top-``rho`` magnitude weights as a task's signature knowledge."""
+
+    def __init__(
+        self,
+        ratio: float = 0.10,
+        finetune_iterations: int = 0,
+        finetune_lr: float = 0.005,
+        finetune_batch: int = 16,
+    ):
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"retention ratio must be in (0, 1], got {ratio}")
+        self.ratio = ratio
+        self.finetune_iterations = finetune_iterations
+        self.finetune_lr = finetune_lr
+        self.finetune_batch = finetune_batch
+
+    def extract(
+        self,
+        model: ImageClassifier,
+        task: ClientTask,
+        scratch: ImageClassifier | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> TaskKnowledge:
+        """Extract ``TaskKnowledge`` from a trained model for ``task``.
+
+        When ``finetune_iterations > 0`` and a ``scratch`` model is supplied,
+        the retained weights are fine-tuned on the task data with all other
+        weights frozen at zero (extraction step 3), improving the pruned
+        network's label fidelity without touching the live model.
+        """
+        params = {name: p.data for name, p in model.named_parameters()}
+        # global magnitude threshold across all parameters (Eq. 1)
+        all_magnitudes = np.concatenate(
+            [np.abs(v).ravel() for v in params.values()]
+        )
+        threshold = float(
+            np.quantile(all_magnitudes, 1.0 - self.ratio)
+        ) if self.ratio < 1.0 else -np.inf
+
+        indices: dict[str, np.ndarray] = {}
+        values: dict[str, np.ndarray] = {}
+        shapes: dict[str, tuple[int, ...]] = {}
+        for name, value in params.items():
+            flat = value.ravel()
+            # a parameter may retain nothing — its restored values are zeros
+            keep = np.flatnonzero(np.abs(flat) >= threshold).astype(np.int64)
+            indices[name] = keep
+            values[name] = flat[keep].astype(np.float32).copy()
+            shapes[name] = value.shape
+        buffers = {
+            name: np.array(buffer, copy=True)
+            for name, buffer in model.named_buffers()
+        }
+        knowledge = TaskKnowledge(
+            task_id=task.task_id,
+            position=task.position,
+            classes=task.classes.copy(),
+            num_total_classes=task.num_total_classes,
+            indices=indices,
+            values=values,
+            shapes=shapes,
+            buffers=buffers,
+            ratio=self.ratio,
+        )
+        if self.finetune_iterations > 0 and scratch is not None:
+            self._finetune(knowledge, task, scratch, rng)
+        return knowledge
+
+    def _finetune(
+        self,
+        knowledge: TaskKnowledge,
+        task: ClientTask,
+        scratch: ImageClassifier,
+        rng: np.random.Generator | None,
+    ) -> None:
+        """Fine-tune retained weights on the task with the rest frozen at zero."""
+        from ..data.loader import sample_batch
+        from ..utils.rng import get_rng
+
+        rng = get_rng(rng)
+        scratch.load_state_dict(knowledge.restore_state())
+        scratch.train()
+        optimizer = SGD(scratch.parameters(), lr=self.finetune_lr)
+        masks = {
+            name: knowledge.indices[name]
+            for name, _ in scratch.named_parameters()
+        }
+        mask = task.class_mask()
+        for _ in range(self.finetune_iterations):
+            xb, yb = sample_batch(task.train_x, task.train_y, self.finetune_batch, rng)
+            optimizer.zero_grad()
+            loss = F.cross_entropy(scratch(Tensor(xb)), yb, class_mask=mask)
+            loss.backward()
+            # freeze non-retained weights: zero their gradients
+            for name, param in scratch.named_parameters():
+                if param.grad is None:
+                    continue
+                flat = param.grad.ravel()
+                kept = np.zeros_like(flat)
+                kept[masks[name]] = flat[masks[name]]
+                param.grad = kept.reshape(param.grad.shape)
+            optimizer.step()
+        # write the fine-tuned values back into the knowledge entry
+        for name, param in scratch.named_parameters():
+            knowledge.values[name] = (
+                param.data.ravel()[knowledge.indices[name]].astype(np.float32).copy()
+            )
+
+
+@dataclass
+class KnowledgeStore:
+    """A client's collection of per-task knowledge entries."""
+
+    entries: list[TaskKnowledge] = field(default_factory=list)
+
+    def add(self, knowledge: TaskKnowledge) -> None:
+        self.entries.append(knowledge)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __getitem__(self, index: int) -> TaskKnowledge:
+        return self.entries[index]
+
+    @property
+    def nbytes(self) -> int:
+        return int(sum(entry.nbytes for entry in self.entries))

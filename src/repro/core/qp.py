@@ -1,0 +1,124 @@
+"""Non-negative quadratic programming solvers for the gradient integrator.
+
+The integrator's dual problem (Eq. 4 of the paper) is
+
+    min_v  1/2 v^T P v + q^T v   subject to  v >= 0,
+
+with ``P = G G^T`` (Gram matrix of the k signature gradients, so symmetric
+PSD and tiny — k <= 20) and ``q = G g``.  Two solvers are provided:
+
+* :func:`solve_nnqp_active_set` — a Lawson–Hanson style active-set method,
+  exact up to numerical precision; the default.
+* :func:`solve_nnqp_projected_gradient` — accelerated projected gradient,
+  used as an ablation / fallback for ill-conditioned Gram matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_inputs(p_matrix: np.ndarray, q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    p_matrix = np.asarray(p_matrix, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p_matrix.ndim != 2 or p_matrix.shape[0] != p_matrix.shape[1]:
+        raise ValueError(f"P must be square, got shape {p_matrix.shape}")
+    if q.shape != (p_matrix.shape[0],):
+        raise ValueError(f"q shape {q.shape} does not match P {p_matrix.shape}")
+    if not np.allclose(p_matrix, p_matrix.T, atol=1e-8):
+        raise ValueError("P must be symmetric")
+    return p_matrix, q
+
+
+def nnqp_objective(p_matrix: np.ndarray, q: np.ndarray, v: np.ndarray) -> float:
+    """Evaluate ``1/2 v^T P v + q^T v``."""
+    v = np.asarray(v, dtype=np.float64)
+    return float(0.5 * v @ p_matrix @ v + q @ v)
+
+
+def solve_nnqp_active_set(
+    p_matrix: np.ndarray,
+    q: np.ndarray,
+    ridge: float = 1e-10,
+    max_iter: int | None = None,
+) -> np.ndarray:
+    """Exact active-set solver for ``min 1/2 v'Pv + q'v, v >= 0``.
+
+    Maintains a free set F; solves the unconstrained problem restricted to F
+    (``P_FF v_F = -q_F``); clips negative entries out of F; admits the most
+    violated KKT multiplier back in.  Terminates at a KKT point: ``v >= 0``,
+    ``Pv + q >= 0``, ``v^T (Pv + q) = 0``.
+    """
+    p_matrix, q = _check_inputs(p_matrix, q)
+    k = len(q)
+    if max_iter is None:
+        max_iter = 3 * k + 10
+    free = np.zeros(k, dtype=bool)
+    v = np.zeros(k, dtype=np.float64)
+    identity = np.eye(k)
+    for _ in range(max_iter):
+        gradient = p_matrix @ v + q
+        # KKT check: at bound, gradient must be >= 0 (within tolerance)
+        violated = (~free) & (gradient < -1e-12)
+        if not violated.any():
+            break
+        free[np.argmin(np.where(violated, gradient, np.inf))] = True
+        # inner loop: solve on free set, clip until feasible
+        while True:
+            idx = np.flatnonzero(free)
+            sub = p_matrix[np.ix_(idx, idx)] + ridge * identity[: len(idx), : len(idx)]
+            try:
+                v_free = np.linalg.solve(sub, -q[idx])
+            except np.linalg.LinAlgError:
+                v_free, *_ = np.linalg.lstsq(sub, -q[idx], rcond=None)
+            if (v_free >= -1e-12).all():
+                v[:] = 0.0
+                v[idx] = np.maximum(v_free, 0.0)
+                break
+            # remove the most negative coordinate from the free set
+            worst = idx[np.argmin(v_free)]
+            free[worst] = False
+            if not free.any():
+                v[:] = 0.0
+                break
+    return v
+
+
+def solve_nnqp_projected_gradient(
+    p_matrix: np.ndarray,
+    q: np.ndarray,
+    max_iter: int = 2000,
+    tol: float = 1e-10,
+) -> np.ndarray:
+    """FISTA-accelerated projected gradient for the same NNQP."""
+    p_matrix, q = _check_inputs(p_matrix, q)
+    k = len(q)
+    eigenvalues = np.linalg.eigvalsh(p_matrix)
+    lipschitz = max(float(eigenvalues[-1]), 1e-12)
+    step = 1.0 / lipschitz
+    v = np.zeros(k)
+    y = v.copy()
+    t = 1.0
+    for _ in range(max_iter):
+        gradient = p_matrix @ y + q
+        v_next = np.maximum(y - step * gradient, 0.0)
+        t_next = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * t * t))
+        y = v_next + ((t - 1.0) / t_next) * (v_next - v)
+        if np.abs(v_next - v).max() < tol:
+            v = v_next
+            break
+        v, t = v_next, t_next
+    return v
+
+
+SOLVERS = {
+    "active_set": solve_nnqp_active_set,
+    "projected_gradient": solve_nnqp_projected_gradient,
+}
+
+
+def solve_nnqp(p_matrix: np.ndarray, q: np.ndarray, method: str = "active_set") -> np.ndarray:
+    """Dispatch to a registered NNQP solver."""
+    if method not in SOLVERS:
+        raise KeyError(f"unknown NNQP solver {method!r}; known: {sorted(SOLVERS)}")
+    return SOLVERS[method](p_matrix, q)

@@ -1,0 +1,48 @@
+"""Datasets: synthetic stand-ins for the paper's five benchmarks + federated splits."""
+
+from .federated import (
+    ClientData,
+    ClientTask,
+    FederatedContinualBenchmark,
+    build_benchmark,
+    single_client_benchmark,
+    task_classes,
+)
+from .loader import endless_batches, iterate_batches, sample_batch
+from .specs import (
+    ALL_SPECS,
+    DatasetSpec,
+    cifar100_like,
+    combined_spec,
+    core50_like,
+    fc100_like,
+    get_spec,
+    miniimagenet_like,
+    svhn_like,
+    tinyimagenet_like,
+)
+from .synthetic import ClientTransform, SyntheticImageSource
+
+__all__ = [
+    "ALL_SPECS",
+    "ClientData",
+    "ClientTask",
+    "ClientTransform",
+    "DatasetSpec",
+    "FederatedContinualBenchmark",
+    "SyntheticImageSource",
+    "build_benchmark",
+    "cifar100_like",
+    "combined_spec",
+    "core50_like",
+    "endless_batches",
+    "fc100_like",
+    "get_spec",
+    "iterate_batches",
+    "miniimagenet_like",
+    "sample_batch",
+    "single_client_benchmark",
+    "svhn_like",
+    "task_classes",
+    "tinyimagenet_like",
+]

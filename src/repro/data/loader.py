@@ -1,0 +1,58 @@
+"""Mini-batch iteration helpers."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..utils.rng import get_rng
+
+
+def iterate_batches(
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+    shuffle: bool = True,
+    drop_last: bool = False,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(x_batch, y_batch)`` mini-batches over one pass of the data."""
+    if len(x) != len(y):
+        raise ValueError(f"x and y lengths differ: {len(x)} vs {len(y)}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    n = len(x)
+    indices = get_rng(rng).permutation(n) if shuffle else np.arange(n)
+    for start in range(0, n, batch_size):
+        batch = indices[start : start + batch_size]
+        if drop_last and len(batch) < batch_size:
+            break
+        yield x[batch], y[batch]
+
+
+def sample_batch(
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw one random batch (with replacement only if data is smaller)."""
+    rng = get_rng(rng)
+    n = len(x)
+    replace = n < batch_size
+    indices = rng.choice(n, size=min(batch_size, n) if not replace else batch_size,
+                         replace=replace)
+    return x[indices], y[indices]
+
+
+def endless_batches(
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield shuffled mini-batches forever (reshuffling every epoch)."""
+    rng = get_rng(rng)
+    while True:
+        yield from iterate_batches(x, y, batch_size, rng, shuffle=True)

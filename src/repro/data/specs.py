@@ -1,0 +1,165 @@
+"""Dataset specifications mirroring the paper's five benchmarks plus SVHN.
+
+Class counts and task structure follow Section V-A exactly; sample counts and
+image resolution are scaled for CPU execution (the ``scale_samples`` knob).
+
+=================  =======  =====  ===============  ==============
+dataset            classes  tasks  classes / task   paper model
+=================  =======  =====  ===============  ==============
+cifar100           100      10     10               6-layer CNN
+fc100              100      10     10               6-layer CNN
+core50             550      11     50               6-layer CNN
+miniimagenet       100      10     10               ResNet-18
+tinyimagenet       200      20     10               ResNet-18
+svhn (HP search)   10       2      5                6-layer CNN
+=================  =======  =====  ===============  ==============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of a federated continual benchmark dataset."""
+
+    name: str
+    num_classes: int
+    num_tasks: int
+    classes_per_task: int
+    input_shape: tuple[int, int, int] = (3, 16, 16)
+    model_name: str = "six_cnn"
+    noise: float = 0.45
+    train_per_class: int = 24
+    test_per_class: int = 8
+    dataset_seed: int = 7
+
+    def __post_init__(self):
+        if self.num_tasks * self.classes_per_task != self.num_classes:
+            raise ValueError(
+                f"{self.name}: tasks x classes/task "
+                f"({self.num_tasks} x {self.classes_per_task}) != {self.num_classes}"
+            )
+
+    def scaled(self, train_per_class: int, test_per_class: int) -> "DatasetSpec":
+        """Copy with different sample counts (used by the scale presets)."""
+        return replace(
+            self, train_per_class=train_per_class, test_per_class=test_per_class
+        )
+
+    def with_tasks(self, num_tasks: int) -> "DatasetSpec":
+        """Copy restricted to the first ``num_tasks`` tasks."""
+        if num_tasks > self.num_tasks:
+            raise ValueError(
+                f"{self.name} has only {self.num_tasks} tasks, asked for {num_tasks}"
+            )
+        return replace(
+            self,
+            num_tasks=num_tasks,
+            num_classes=num_tasks * self.classes_per_task,
+        )
+
+
+def cifar100_like(**overrides) -> DatasetSpec:
+    """100 classes, 10 tasks of 10 — trained with the 6-layer CNN."""
+    return replace(
+        DatasetSpec(
+            "cifar100", 100, 10, 10, model_name="six_cnn", noise=0.75,
+            dataset_seed=11,
+        ),
+        **overrides,
+    )
+
+
+def fc100_like(**overrides) -> DatasetSpec:
+    """FC100: same structure as CIFAR-100 but a harder (noisier) split."""
+    return replace(
+        DatasetSpec(
+            "fc100", 100, 10, 10, model_name="six_cnn", noise=0.9, dataset_seed=13
+        ),
+        **overrides,
+    )
+
+
+def core50_like(**overrides) -> DatasetSpec:
+    """CORe50: 550 classes, 11 tasks of 50 object classes."""
+    return replace(
+        DatasetSpec(
+            "core50", 550, 11, 50, model_name="six_cnn", noise=0.8, dataset_seed=17,
+            train_per_class=8, test_per_class=3,
+        ),
+        **overrides,
+    )
+
+
+def miniimagenet_like(**overrides) -> DatasetSpec:
+    """MiniImageNet: 100 classes, 10 tasks of 10 — trained with ResNet-18."""
+    return replace(
+        DatasetSpec(
+            "miniimagenet", 100, 10, 10, model_name="resnet18", noise=0.8,
+            dataset_seed=19,
+        ),
+        **overrides,
+    )
+
+
+def tinyimagenet_like(**overrides) -> DatasetSpec:
+    """TinyImageNet: 200 classes, 20 tasks of 10 — trained with ResNet-18."""
+    return replace(
+        DatasetSpec(
+            "tinyimagenet", 200, 20, 10, model_name="resnet18", noise=0.85,
+            dataset_seed=23,
+        ),
+        **overrides,
+    )
+
+
+def svhn_like(**overrides) -> DatasetSpec:
+    """SVHN: the 2-task hyperparameter-search dataset of Section V-B."""
+    return replace(
+        DatasetSpec(
+            "svhn", 10, 2, 5, model_name="six_cnn", noise=0.6, dataset_seed=29,
+        ),
+        **overrides,
+    )
+
+
+def combined_spec(
+    num_tasks: int = 80, classes_per_task: int = 5, **overrides
+) -> DatasetSpec:
+    """The Fig. 7 workload: MiniImageNet + CIFAR-100 + TinyImageNet combined.
+
+    The paper merges the three datasets' classes (100 + 100 + 200 = 400) and
+    re-splits them into 80 tasks; here the class universe is one synthetic
+    pool re-split the same way.
+    """
+    return replace(
+        DatasetSpec(
+            "combined",
+            num_tasks * classes_per_task,
+            num_tasks,
+            classes_per_task,
+            model_name="resnet18",
+            noise=0.8,
+            dataset_seed=31,
+        ),
+        **overrides,
+    )
+
+
+ALL_SPECS = {
+    "cifar100": cifar100_like,
+    "fc100": fc100_like,
+    "core50": core50_like,
+    "miniimagenet": miniimagenet_like,
+    "tinyimagenet": tinyimagenet_like,
+    "svhn": svhn_like,
+}
+
+
+def get_spec(name: str, **overrides) -> DatasetSpec:
+    """Look up a dataset spec builder by name."""
+    if name not in ALL_SPECS:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(ALL_SPECS)}")
+    return ALL_SPECS[name](**overrides)

@@ -1,0 +1,59 @@
+"""Edge substrate: device profiles, cost projection, network and clusters."""
+
+from .cluster import (
+    EdgeCluster,
+    jetson_cluster,
+    jetson_raspberry_cluster,
+    uniform_cluster,
+)
+from .cost import (
+    BYTES_PER_PARAM,
+    REFERENCE_MODELS,
+    REFERENCE_SAMPLE_BYTES,
+    TRAIN_FLOPS_MULTIPLIER,
+    ModelCostModel,
+    ReferenceModel,
+)
+from .device import (
+    DEVICE_CATALOG,
+    GB,
+    DeviceProfile,
+    JETSON_AGX,
+    JETSON_NANO,
+    JETSON_TX2,
+    JETSON_XAVIER_NX,
+    RASPBERRY_PI_2GB,
+    RASPBERRY_PI_4GB,
+    RASPBERRY_PI_8GB,
+    get_device,
+)
+from .network import FIG6_BANDWIDTHS, KB, MB, NetworkModel, format_bandwidth
+
+__all__ = [
+    "BYTES_PER_PARAM",
+    "DEVICE_CATALOG",
+    "DeviceProfile",
+    "EdgeCluster",
+    "FIG6_BANDWIDTHS",
+    "GB",
+    "JETSON_AGX",
+    "JETSON_NANO",
+    "JETSON_TX2",
+    "JETSON_XAVIER_NX",
+    "KB",
+    "MB",
+    "ModelCostModel",
+    "NetworkModel",
+    "RASPBERRY_PI_2GB",
+    "RASPBERRY_PI_4GB",
+    "RASPBERRY_PI_8GB",
+    "REFERENCE_MODELS",
+    "REFERENCE_SAMPLE_BYTES",
+    "ReferenceModel",
+    "TRAIN_FLOPS_MULTIPLIER",
+    "format_bandwidth",
+    "get_device",
+    "jetson_cluster",
+    "jetson_raspberry_cluster",
+    "uniform_cluster",
+]

@@ -1,0 +1,83 @@
+"""Heterogeneous edge clusters (the paper's 20- and 30-device testbeds)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .device import (
+    DeviceProfile,
+    JETSON_AGX,
+    JETSON_NANO,
+    JETSON_TX2,
+    JETSON_XAVIER_NX,
+    RASPBERRY_PI_2GB,
+    RASPBERRY_PI_4GB,
+    RASPBERRY_PI_8GB,
+)
+
+
+@dataclass
+class EdgeCluster:
+    """An ordered collection of devices; client ``i`` runs on device ``i % n``."""
+
+    devices: list[DeviceProfile] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.devices:
+            raise ValueError("cluster needs at least one device")
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def device_for_client(
+        self, client_id: int, num_clients: int | None = None
+    ) -> DeviceProfile:
+        """Deterministic client -> device placement.
+
+        With ``num_clients`` given and fewer clients than devices, clients are
+        spread across the whole catalogue (client i gets device
+        ``i * n_devices // num_clients``), so scaled-down experiments still
+        sample every device type — including the Raspberry Pis at the end of
+        the heterogeneous cluster.  Otherwise placement is round-robin.
+        """
+        if num_clients and 0 < num_clients < len(self.devices):
+            index = (client_id * len(self.devices)) // num_clients
+            return self.devices[min(index, len(self.devices) - 1)]
+        return self.devices[client_id % len(self.devices)]
+
+    @property
+    def slowest(self) -> DeviceProfile:
+        return min(self.devices, key=lambda d: d.flops_per_second)
+
+    @property
+    def min_memory(self) -> int:
+        return min(d.memory_bytes for d in self.devices)
+
+
+def jetson_cluster() -> EdgeCluster:
+    """The paper's 20-device cluster: 2 AGX + 2 TX2 + 8 Xavier NX + 8 Nano."""
+    return EdgeCluster(
+        [JETSON_AGX] * 2 + [JETSON_TX2] * 2 + [JETSON_XAVIER_NX] * 8 + [JETSON_NANO] * 8
+    )
+
+
+def jetson_raspberry_cluster() -> EdgeCluster:
+    """The 30-device cluster of Fig. 4(d-f): 20 Jetsons + 10 Raspberry Pis.
+
+    The Pi mix follows Section V-B: one 2 GB, five 4 GB, four 8 GB boards.
+    The 2 GB board is what runs out of memory under FedWEIT after 7 tasks.
+    """
+    cluster = jetson_cluster()
+    pis = (
+        [RASPBERRY_PI_2GB]
+        + [RASPBERRY_PI_4GB] * 5
+        + [RASPBERRY_PI_8GB] * 4
+    )
+    return EdgeCluster(cluster.devices + pis)
+
+
+def uniform_cluster(device: DeviceProfile, count: int) -> EdgeCluster:
+    """A homogeneous cluster of ``count`` identical devices."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return EdgeCluster([device] * count)

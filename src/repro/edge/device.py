@@ -1,0 +1,66 @@
+"""Edge device profiles (the paper's testbed, Section V-A).
+
+Each profile records an *effective training throughput* (sustained FLOP/s
+during DNN training, a conservative fraction of the peak) and the device's
+memory capacity.  These drive the simulated training-time and out-of-memory
+behaviour that replaces the physical Jetson / Raspberry Pi cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GB = 1024**3
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """An edge device's compute and memory capabilities."""
+
+    name: str
+    flops_per_second: float  # effective sustained training throughput
+    memory_bytes: int
+    has_gpu: bool = True
+
+    def __post_init__(self):
+        if self.flops_per_second <= 0:
+            raise ValueError(f"{self.name}: flops_per_second must be positive")
+        if self.memory_bytes <= 0:
+            raise ValueError(f"{self.name}: memory_bytes must be positive")
+
+    def training_seconds(self, flops: float) -> float:
+        """Time to execute ``flops`` of training work on this device."""
+        if flops < 0:
+            raise ValueError(f"flops must be non-negative, got {flops}")
+        return flops / self.flops_per_second
+
+
+# The paper's testbed devices.  Effective throughputs are sustained training
+# rates (roughly 15-20 % of peak fp16 for the Jetsons; NEON CPU for the Pi).
+JETSON_AGX = DeviceProfile("jetson_agx", 2.0e12, 32 * GB)
+JETSON_XAVIER_NX = DeviceProfile("jetson_xavier_nx", 1.0e12, 16 * GB)
+JETSON_TX2 = DeviceProfile("jetson_tx2", 2.5e11, 8 * GB)
+JETSON_NANO = DeviceProfile("jetson_nano", 8.0e10, 4 * GB)
+RASPBERRY_PI_2GB = DeviceProfile("raspberry_pi_2gb", 6.0e9, 2 * GB, has_gpu=False)
+RASPBERRY_PI_4GB = DeviceProfile("raspberry_pi_4gb", 6.0e9, 4 * GB, has_gpu=False)
+RASPBERRY_PI_8GB = DeviceProfile("raspberry_pi_8gb", 6.0e9, 8 * GB, has_gpu=False)
+
+DEVICE_CATALOG = {
+    profile.name: profile
+    for profile in (
+        JETSON_AGX,
+        JETSON_XAVIER_NX,
+        JETSON_TX2,
+        JETSON_NANO,
+        RASPBERRY_PI_2GB,
+        RASPBERRY_PI_4GB,
+        RASPBERRY_PI_8GB,
+    )
+}
+
+
+def get_device(name: str) -> DeviceProfile:
+    """Look up a device profile by name."""
+    if name not in DEVICE_CATALOG:
+        raise KeyError(f"unknown device {name!r}; known: {sorted(DEVICE_CATALOG)}")
+    return DEVICE_CATALOG[name]

@@ -1,0 +1,57 @@
+"""Bandwidth-limited network model for client <-> server communication.
+
+Fig. 6 of the paper sweeps the per-client bandwidth cap from 50 KB/s to
+10 MB/s (the default elsewhere is 1 MB/s); communication time is payload
+size divided by bandwidth plus a small per-round protocol latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KB = 1000
+MB = 1000**2
+
+#: The eight bandwidth settings of Fig. 6.
+FIG6_BANDWIDTHS: tuple[int, ...] = (
+    50 * KB,
+    100 * KB,
+    250 * KB,
+    500 * KB,
+    1 * MB,
+    2 * MB,
+    5 * MB,
+    10 * MB,
+)
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Symmetric per-client link to the central server."""
+
+    bandwidth_bytes_per_second: float = 1 * MB
+    round_latency_seconds: float = 0.05
+
+    def __post_init__(self):
+        if self.bandwidth_bytes_per_second <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.round_latency_seconds < 0:
+            raise ValueError("latency must be non-negative")
+
+    def transfer_seconds(self, num_bytes: float) -> float:
+        """Time to move ``num_bytes`` over this link."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        return num_bytes / self.bandwidth_bytes_per_second + self.round_latency_seconds
+
+
+def format_bandwidth(bytes_per_second: float) -> str:
+    """Human-readable bandwidth label (matches the paper's axis labels)."""
+    if bytes_per_second >= MB:
+        value = bytes_per_second / MB
+        unit = "MB/s"
+    else:
+        value = bytes_per_second / KB
+        unit = "KB/s"
+    text = f"{value:.0f}" if value == int(value) else f"{value:.1f}"
+    return f"{text} {unit}"

@@ -1,0 +1,73 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation."""
+
+from .ablations import (
+    AblationReport,
+    run_aggregation_ablation,
+    run_distance_ablation,
+    run_k_ablation,
+    run_qp_ablation,
+)
+from .config import BENCH, PAPER, PRESETS, UNIT, ScalePreset, get_preset
+from .fig4_accuracy import (
+    FIG4_DATASETS,
+    HETEROGENEOUS_DATASETS,
+    TOP3_METHODS,
+    Fig4Report,
+    run_fig4,
+    run_fig4_panel,
+)
+from .fig5_comm_volume import Fig5Report, run_fig5
+from .fig6_bandwidth import Fig6Report, comm_seconds_under_bandwidth, run_fig6
+from .fig7_tasks import Fig7Report, run_fig7
+from .fig8_clients import Fig8Report, run_fig8
+from .fig9_dnns import Fig9Report, run_fig9
+from .fig10_params import Fig10Report, run_fig10
+from .reporting import format_series, format_table
+from .runner import clear_cache, run_methods, run_single
+from .search import SearchResult, grid_search, search_fedknow
+from .table1_improvement import Table1Report, improvement_curve, run_table1
+
+__all__ = [
+    "AblationReport",
+    "BENCH",
+    "FIG4_DATASETS",
+    "Fig10Report",
+    "Fig4Report",
+    "Fig5Report",
+    "Fig6Report",
+    "Fig7Report",
+    "Fig8Report",
+    "Fig9Report",
+    "HETEROGENEOUS_DATASETS",
+    "PAPER",
+    "PRESETS",
+    "ScalePreset",
+    "SearchResult",
+    "TOP3_METHODS",
+    "Table1Report",
+    "UNIT",
+    "clear_cache",
+    "comm_seconds_under_bandwidth",
+    "format_series",
+    "format_table",
+    "get_preset",
+    "grid_search",
+    "improvement_curve",
+    "run_aggregation_ablation",
+    "run_distance_ablation",
+    "run_fig10",
+    "run_fig4",
+    "run_fig4_panel",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_k_ablation",
+    "run_methods",
+    "run_qp_ablation",
+    "run_single",
+    "run_table1",
+    "search_fedknow",
+    "improvement_curve",
+]

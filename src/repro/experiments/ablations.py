@@ -1,0 +1,104 @@
+"""Ablations of FedKNOW's design choices (called out in DESIGN.md).
+
+1. signature-task dissimilarity metric (Wasserstein / cosine / L2);
+2. number of signature gradients k (the paper's {5, 10, 20} search space);
+3. NNQP solver (active-set vs projected gradient);
+4. post-aggregation gradient integration on/off (isolates the
+   negative-transfer prevention mechanism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.config import FedKnowConfig
+from ..data.specs import cifar100_like
+from ..edge.cluster import jetson_cluster
+from ..metrics.tracker import RunResult
+from .config import BENCH, ScalePreset
+from .reporting import format_table
+from .runner import run_single
+
+DISTANCE_METRICS: tuple[str, ...] = ("wasserstein", "cosine", "l2")
+K_VALUES: tuple[int, ...] = (2, 5, 10)
+QP_SOLVERS: tuple[str, ...] = ("active_set", "projected_gradient")
+
+
+@dataclass
+class AblationReport:
+    """(variant -> result) for one ablated design axis."""
+
+    axis: str
+    results: dict[str, RunResult] = field(default_factory=dict)
+
+    @property
+    def rows(self) -> list[list]:
+        return [
+            [
+                variant,
+                round(result.final_accuracy, 3),
+                round(float(result.forgetting_curve[-1]), 3),
+                round(result.wall_seconds, 2),
+            ]
+            for variant, result in self.results.items()
+        ]
+
+    def __str__(self) -> str:
+        return format_table(
+            ["variant", "final_acc", "forgetting", "wall_s"],
+            self.rows,
+            title=f"Ablation: {self.axis}",
+        )
+
+
+def _run_variant(config: FedKnowConfig, preset: ScalePreset, seed: int) -> RunResult:
+    return run_single(
+        "fedknow",
+        cifar100_like(),
+        preset,
+        cluster=jetson_cluster(),
+        seed=seed,
+        method_kwargs={"fedknow_config": config},
+    )
+
+
+def run_distance_ablation(
+    preset: ScalePreset = BENCH, seed: int = 0
+) -> AblationReport:
+    """Compare the dissimilarity metrics for signature-task selection."""
+    report = AblationReport(axis="distance metric")
+    for metric in DISTANCE_METRICS:
+        # force selection pressure: fewer signature slots than stored tasks
+        config = FedKnowConfig(num_signature_gradients=2, distance_metric=metric)
+        report.results[metric] = _run_variant(config, preset, seed)
+    return report
+
+
+def run_k_ablation(preset: ScalePreset = BENCH, seed: int = 0) -> AblationReport:
+    """Sweep the number of signature gradients k."""
+    report = AblationReport(axis="signature gradients k")
+    for k in K_VALUES:
+        config = FedKnowConfig(num_signature_gradients=k)
+        report.results[f"k={k}"] = _run_variant(config, preset, seed)
+    return report
+
+
+def run_qp_ablation(preset: ScalePreset = BENCH, seed: int = 0) -> AblationReport:
+    """Compare the two NNQP solvers end-to-end."""
+    report = AblationReport(axis="NNQP solver")
+    for solver in QP_SOLVERS:
+        config = FedKnowConfig(qp_solver=solver)
+        report.results[solver] = _run_variant(config, preset, seed)
+    return report
+
+
+def run_aggregation_ablation(
+    preset: ScalePreset = BENCH, seed: int = 0
+) -> AblationReport:
+    """Toggle the post-aggregation integration (negative-transfer prevention)."""
+    report = AblationReport(axis="post-aggregation integration")
+    for enabled in (True, False):
+        config = FedKnowConfig(aggregation_integration=enabled)
+        label = "integration_on" if enabled else "integration_off"
+        report.results[label] = _run_variant(config, preset, seed)
+    return report

@@ -1,0 +1,99 @@
+"""Experiment scale presets.
+
+Every experiment accepts a :class:`ScalePreset`:
+
+* ``unit``  — seconds-scale configs for CI tests;
+* ``bench`` — the default for ``pytest benchmarks/`` (regenerates every
+  table/figure in minutes while preserving the paper's qualitative shape);
+* ``paper`` — the full workload sizes of Section V (20 clients, all tasks,
+  15 rounds x 25 iterations; hours of CPU time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..data.specs import DatasetSpec
+from ..federated.config import TrainConfig
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """A named bundle of experiment sizes."""
+
+    name: str
+    num_clients: int
+    num_tasks: int | None  # None = use all tasks in the dataset spec
+    train_per_class: int
+    test_per_class: int
+    rounds_per_task: int
+    iterations_per_round: int
+    batch_size: int = 12
+    lr: float = 0.01
+    lr_decay: float = 1e-4
+    seed: int = 0
+
+    def apply_to_spec(self, spec: DatasetSpec) -> DatasetSpec:
+        """Scale a dataset spec's sample counts / task count to this preset."""
+        scaled = spec.scaled(self.train_per_class, self.test_per_class)
+        if self.num_tasks is not None and self.num_tasks < spec.num_tasks:
+            scaled = scaled.with_tasks(self.num_tasks)
+        return scaled
+
+    def train_config(self, **overrides) -> TrainConfig:
+        """Build the matching :class:`TrainConfig`."""
+        config = TrainConfig(
+            batch_size=self.batch_size,
+            lr=self.lr,
+            lr_decay=self.lr_decay,
+            rounds_per_task=self.rounds_per_task,
+            iterations_per_round=self.iterations_per_round,
+            seed=self.seed,
+        )
+        return config.updated(**overrides) if overrides else config
+
+    def updated(self, **overrides) -> "ScalePreset":
+        return replace(self, **overrides)
+
+
+UNIT = ScalePreset(
+    name="unit",
+    num_clients=2,
+    num_tasks=2,
+    train_per_class=8,
+    test_per_class=4,
+    rounds_per_task=1,
+    iterations_per_round=3,
+    batch_size=8,
+)
+
+BENCH = ScalePreset(
+    name="bench",
+    num_clients=3,
+    num_tasks=3,
+    train_per_class=16,
+    test_per_class=6,
+    rounds_per_task=2,
+    iterations_per_round=6,
+    batch_size=12,
+)
+
+PAPER = ScalePreset(
+    name="paper",
+    num_clients=20,
+    num_tasks=None,
+    train_per_class=24,
+    test_per_class=8,
+    rounds_per_task=10,
+    iterations_per_round=25,
+    batch_size=16,
+)
+
+PRESETS = {"unit": UNIT, "bench": BENCH, "paper": PAPER}
+
+
+def get_preset(name: str) -> ScalePreset:
+    """Look up a scale preset by name."""
+    if name not in PRESETS:
+        raise KeyError(f"unknown preset {name!r}; known: {sorted(PRESETS)}")
+    return PRESETS[name]

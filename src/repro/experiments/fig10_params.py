@@ -1,0 +1,86 @@
+"""Fig. 10 — knowledge-retention parameter settings.
+
+Three ways of retaining previous knowledge, each under several budgets
+(MiniImageNet / ResNet-18):
+
+* GEM storing 10 / 20 / 50 / 100 % of each task's training samples;
+* FedWEIT using all clients' adaptive weights vs only its own;
+* FedKNOW retaining rho = 5 / 10 / 20 % of model weights.
+
+Reported: final average accuracy and simulated training time — FedKNOW's
+training time is nearly flat in rho, which is what lets it use more knowledge
+for more accuracy (the paper's key observation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.config import FedKnowConfig
+from ..data.specs import miniimagenet_like
+from ..edge.cluster import jetson_cluster
+from ..metrics.tracker import RunResult
+from .config import BENCH, ScalePreset
+from .reporting import format_table
+from .runner import run_single
+
+GEM_FRACTIONS: tuple[float, ...] = (0.10, 0.20, 0.50, 1.00)
+FEDKNOW_RATIOS: tuple[float, ...] = (0.05, 0.10, 0.20)
+
+
+@dataclass
+class Fig10Report:
+    """(setting -> result) for the three retention mechanisms."""
+
+    results: dict[str, RunResult] = field(default_factory=dict)
+
+    @property
+    def rows(self) -> list[list]:
+        return [
+            [
+                setting,
+                round(result.final_accuracy, 3),
+                round(result.sim_train_seconds / 3600.0, 3),
+            ]
+            for setting, result in self.results.items()
+        ]
+
+    def __str__(self) -> str:
+        return format_table(
+            ["setting", "final_acc", "train_hours"],
+            self.rows,
+            title="Fig.10: knowledge-retention parameter settings",
+        )
+
+
+def run_fig10(
+    preset: ScalePreset = BENCH,
+    seed: int = 0,
+    gem_fractions: tuple[float, ...] = GEM_FRACTIONS,
+    fedknow_ratios: tuple[float, ...] = FEDKNOW_RATIOS,
+) -> Fig10Report:
+    """Run the parameter-setting sweep of Fig. 10."""
+    spec = miniimagenet_like()
+    cluster = jetson_cluster()
+    report = Fig10Report()
+    for fraction in gem_fractions:
+        result = run_single(
+            "gem", spec, preset, cluster=cluster, seed=seed,
+            method_kwargs={"strategy_kwargs": {"memory_fraction": fraction}},
+        )
+        report.results[f"gem_{int(fraction * 100)}%"] = result
+    for use_foreign, label in ((True, "fedweit_all_clients"), (False, "fedweit_own_only")):
+        result = run_single(
+            "fedweit", spec, preset, cluster=cluster, seed=seed,
+            method_kwargs={"use_foreign": use_foreign},
+        )
+        report.results[label] = result
+    for ratio in fedknow_ratios:
+        result = run_single(
+            "fedknow", spec, preset, cluster=cluster, seed=seed,
+            method_kwargs={
+                "fedknow_config": FedKnowConfig(knowledge_ratio=ratio)
+            },
+        )
+        report.results[f"fedknow_rho{int(ratio * 100)}%"] = result
+    return report

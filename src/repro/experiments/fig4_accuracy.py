@@ -1,0 +1,103 @@
+"""Fig. 4 — accuracy and training time of 12 methods on five datasets.
+
+Panels (a)-(c), (g), (h): all 12 methods on the 20-Jetson cluster, one panel
+per dataset.  Panels (d)-(f): the top-3 methods (GEM, FedWEIT, FedKNOW) on
+the 30-device cluster that adds 10 Raspberry Pis — this variant exercises the
+memory simulation (FedWEIT's growing state OOMs the 2 GB Pi) and the 12x
+training-time inflation the paper reports for CPU devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..data.specs import get_spec
+from ..edge.cluster import jetson_cluster, jetson_raspberry_cluster
+from ..federated.registry import ALL_METHODS
+from ..metrics.tracker import RunResult
+from .config import BENCH, ScalePreset
+from .reporting import format_table
+from .runner import run_single
+
+FIG4_DATASETS: tuple[str, ...] = (
+    "cifar100",
+    "fc100",
+    "core50",
+    "miniimagenet",
+    "tinyimagenet",
+)
+
+#: Datasets of the heterogeneous (with-Raspberry-Pi) panels (d)-(f).
+HETEROGENEOUS_DATASETS: tuple[str, ...] = ("cifar100", "fc100", "core50")
+
+#: The three strongest methods, compared on the heterogeneous cluster.
+TOP3_METHODS: tuple[str, ...] = ("gem", "fedweit", "fedknow")
+
+
+@dataclass
+class Fig4Report:
+    """One panel: every method's accuracy curve and simulated time."""
+
+    dataset: str
+    heterogeneous: bool
+    results: dict[str, RunResult] = field(default_factory=dict)
+
+    @property
+    def rows(self) -> list[list]:
+        rows = []
+        for method, result in sorted(
+            self.results.items(), key=lambda kv: -kv[1].final_accuracy
+        ):
+            rows.append(
+                [
+                    method,
+                    round(result.final_accuracy, 3),
+                    round(float(result.forgetting_curve[-1]), 3),
+                    round(result.sim_total_seconds / 3600.0, 3),
+                ]
+            )
+        return rows
+
+    def best_method(self) -> str:
+        return max(self.results, key=lambda m: self.results[m].final_accuracy)
+
+    def __str__(self) -> str:
+        suffix = " (+Raspberry Pi)" if self.heterogeneous else " (20 Jetson)"
+        return format_table(
+            ["method", "final_acc", "forgetting", "sim_hours"],
+            self.rows,
+            title=f"Fig.4 {self.dataset}{suffix}",
+        )
+
+
+def run_fig4_panel(
+    dataset: str,
+    methods: tuple[str, ...] | None = None,
+    preset: ScalePreset = BENCH,
+    heterogeneous: bool = False,
+    seed: int = 0,
+) -> Fig4Report:
+    """Run one Fig. 4 panel (one dataset, many methods)."""
+    methods = methods or ALL_METHODS
+    cluster = jetson_raspberry_cluster() if heterogeneous else jetson_cluster()
+    spec = get_spec(dataset)
+    report = Fig4Report(dataset=dataset, heterogeneous=heterogeneous)
+    for method in methods:
+        report.results[method] = run_single(
+            method, spec, preset, cluster=cluster, seed=seed
+        )
+    return report
+
+
+def run_fig4(
+    datasets: tuple[str, ...] = FIG4_DATASETS,
+    methods: tuple[str, ...] | None = None,
+    preset: ScalePreset = BENCH,
+    heterogeneous: bool = False,
+    seed: int = 0,
+) -> list[Fig4Report]:
+    """Run the full Fig. 4 grid."""
+    return [
+        run_fig4_panel(dataset, methods, preset, heterogeneous, seed)
+        for dataset in datasets
+    ]

@@ -1,0 +1,80 @@
+"""Fig. 5 — total communication volume (GB): FedKNOW vs FedWEIT per dataset.
+
+FedKNOW (like all the FedAvg-based methods) only exchanges model weights;
+FedWEIT additionally uploads sparse adaptive weights every round and
+broadcasts every other client's adaptives at each task start, so its volume
+grows with clients and tasks.  The paper reports a 34.28 % average reduction
+for FedKNOW.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.specs import get_spec
+from ..edge.cluster import jetson_cluster
+from ..metrics.tracker import RunResult
+from .config import BENCH, ScalePreset
+from .fig4_accuracy import FIG4_DATASETS
+from .reporting import format_table
+from .runner import run_single
+
+
+@dataclass
+class Fig5Report:
+    """Total communication volume per dataset for the two FCL methods."""
+
+    datasets: list[str]
+    volumes: dict[str, dict[str, float]] = field(default_factory=dict)  # GB
+
+    @property
+    def rows(self) -> list[list]:
+        rows = []
+        for dataset in self.datasets:
+            entry = self.volumes[dataset]
+            saving = 100.0 * (1.0 - entry["fedknow"] / max(entry["fedweit"], 1e-12))
+            rows.append(
+                [
+                    dataset,
+                    round(entry["fedknow"], 3),
+                    round(entry["fedweit"], 3),
+                    f"{saving:.1f}%",
+                ]
+            )
+        return rows
+
+    def mean_saving_percent(self) -> float:
+        savings = []
+        for entry in self.volumes.values():
+            savings.append(100.0 * (1.0 - entry["fedknow"] / entry["fedweit"]))
+        return float(np.mean(savings))
+
+    def __str__(self) -> str:
+        table = format_table(
+            ["dataset", "fedknow_gb", "fedweit_gb", "saving"],
+            self.rows,
+            title="Fig.5: total communication volume (GB)",
+        )
+        return f"{table}\nmean saving: {self.mean_saving_percent():.2f}%"
+
+
+def run_fig5(
+    datasets: tuple[str, ...] = FIG4_DATASETS,
+    preset: ScalePreset = BENCH,
+    seed: int = 0,
+) -> Fig5Report:
+    """Measure total communication volume of FedKNOW vs FedWEIT."""
+    report = Fig5Report(datasets=list(datasets))
+    cluster = jetson_cluster()
+    for dataset in datasets:
+        spec = get_spec(dataset)
+        entry = {}
+        for method in ("fedknow", "fedweit"):
+            result: RunResult = run_single(
+                method, spec, preset, cluster=cluster, seed=seed
+            )
+            entry[method] = result.total_comm_bytes / 1e9
+        report.volumes[dataset] = entry
+    return report

@@ -1,0 +1,87 @@
+"""Fig. 6 — communication time under different network bandwidths.
+
+Eight bandwidth settings from 50 KB/s to 10 MB/s, two DNNs (the 6-layer CNN
+and ResNet-18), FedKNOW vs FedWEIT.  Transfer volumes are measured from one
+training run per (method, model); times are the measured per-round payloads
+replayed through each bandwidth setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..data.specs import cifar100_like, miniimagenet_like
+from ..edge.cluster import jetson_cluster
+from ..edge.network import FIG6_BANDWIDTHS, NetworkModel, format_bandwidth
+from ..metrics.tracker import RunResult
+from .config import BENCH, ScalePreset
+from .reporting import format_table
+from .runner import run_single
+
+#: Fig. 6's two panels: (label, dataset spec builder).
+FIG6_MODELS = (
+    ("6cnn", cifar100_like),
+    ("resnet18", miniimagenet_like),
+)
+
+
+def comm_seconds_under_bandwidth(
+    result: RunResult, bandwidth_bytes_per_second: float
+) -> float:
+    """Replay a run's per-round payloads through a different bandwidth."""
+    network = NetworkModel(bandwidth_bytes_per_second=bandwidth_bytes_per_second)
+    total = 0.0
+    for record in result.rounds:
+        per_client = (record.upload_bytes + record.download_bytes) / max(
+            record.active_clients, 1
+        )
+        total += network.transfer_seconds(per_client)
+    return total
+
+
+@dataclass
+class Fig6Report:
+    """Communication time (hours) per bandwidth, model and method."""
+
+    bandwidths: tuple[int, ...]
+    # times[model_label][method] = list of hours aligned with bandwidths
+    times: dict[str, dict[str, list[float]]] = field(default_factory=dict)
+
+    @property
+    def rows(self) -> list[list]:
+        rows = []
+        for model_label, methods in self.times.items():
+            for method, hours in methods.items():
+                rows.append(
+                    [model_label, method]
+                    + [round(h, 4) for h in hours]
+                )
+        return rows
+
+    def __str__(self) -> str:
+        headers = ["model", "method"] + [
+            format_bandwidth(b) for b in self.bandwidths
+        ]
+        return format_table(
+            headers, self.rows, title="Fig.6: communication time (hours) vs bandwidth"
+        )
+
+
+def run_fig6(
+    preset: ScalePreset = BENCH,
+    bandwidths: tuple[int, ...] = FIG6_BANDWIDTHS,
+    seed: int = 0,
+) -> Fig6Report:
+    """Measure communication time across the Fig. 6 bandwidth sweep."""
+    report = Fig6Report(bandwidths=bandwidths)
+    cluster = jetson_cluster()
+    for label, spec_builder in FIG6_MODELS:
+        spec = spec_builder()
+        report.times[label] = {}
+        for method in ("fedknow", "fedweit"):
+            result = run_single(method, spec, preset, cluster=cluster, seed=seed)
+            report.times[label][method] = [
+                comm_seconds_under_bandwidth(result, bw) / 3600.0
+                for bw in bandwidths
+            ]
+    return report

@@ -1,0 +1,78 @@
+"""Fig. 7 — scalability in the number of tasks (the 80-task workload).
+
+The paper combines MiniImageNet + CIFAR-100 + TinyImageNet into an 80-task
+sequence trained with ResNet-18 on 20 clients, comparing GEM, FedWEIT and
+FedKNOW on average accuracy and average forgetting rate as tasks accumulate.
+At ``bench`` scale the combined dataset is shortened (the preset's
+``num_tasks``), preserving the trend's shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.specs import combined_spec
+from ..edge.cluster import jetson_cluster
+from ..metrics.tracker import RunResult
+from .config import BENCH, ScalePreset
+from .fig4_accuracy import TOP3_METHODS
+from .reporting import format_series
+from .runner import run_single
+
+
+@dataclass
+class Fig7Report:
+    """Accuracy / forgetting trajectories over a long task sequence."""
+
+    num_tasks: int
+    results: dict[str, RunResult] = field(default_factory=dict)
+
+    def accuracy_curves(self) -> dict[str, np.ndarray]:
+        return {m: r.accuracy_curve for m, r in self.results.items()}
+
+    def forgetting_curves(self) -> dict[str, np.ndarray]:
+        return {m: r.forgetting_curve for m, r in self.results.items()}
+
+    def __str__(self) -> str:
+        stages = np.arange(1, self.num_tasks + 1)
+        blocks = ["Fig.7: accuracy / forgetting vs number of tasks"]
+        for method, result in self.results.items():
+            blocks.append(
+                format_series(
+                    f"[{method}] avg accuracy", stages, result.accuracy_curve,
+                    x_name="tasks", y_name="accuracy",
+                )
+            )
+            blocks.append(
+                format_series(
+                    f"[{method}] forgetting", stages, result.forgetting_curve,
+                    x_name="tasks", y_name="rate",
+                )
+            )
+        return "\n".join(blocks)
+
+
+def run_fig7(
+    preset: ScalePreset = BENCH,
+    num_tasks: int | None = None,
+    methods: tuple[str, ...] = TOP3_METHODS,
+    seed: int = 0,
+) -> Fig7Report:
+    """Run the long-task-sequence comparison.
+
+    ``num_tasks`` defaults to the preset's task budget (80 at paper scale).
+    """
+    if num_tasks is None:
+        num_tasks = preset.num_tasks if preset.num_tasks is not None else 80
+    spec = combined_spec(num_tasks=num_tasks)
+    # the preset must not re-truncate the combined spec
+    preset = preset.updated(num_tasks=None)
+    report = Fig7Report(num_tasks=num_tasks)
+    cluster = jetson_cluster()
+    for method in methods:
+        report.results[method] = run_single(
+            method, spec, preset, cluster=cluster, seed=seed
+        )
+    return report

@@ -1,0 +1,83 @@
+"""Fig. 8 — scalability in the number of clients (50 and 100 in the paper).
+
+With more clients, each holds fewer samples and the population is more
+heterogeneous, so negative knowledge transfer intensifies; FedKNOW's
+gradient integration keeps both the highest accuracy and lowest forgetting.
+MiniImageNet / ResNet-18, the top-3 methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.specs import miniimagenet_like
+from ..edge.cluster import jetson_cluster
+from ..metrics.tracker import RunResult
+from .config import BENCH, ScalePreset
+from .fig4_accuracy import TOP3_METHODS
+from .reporting import format_table
+from .runner import run_single
+
+#: Paper client counts; benches scale these down proportionally.
+PAPER_CLIENT_COUNTS: tuple[int, ...] = (50, 100)
+
+
+@dataclass
+class Fig8Report:
+    """Accuracy / forgetting at several federation sizes."""
+
+    client_counts: tuple[int, ...]
+    # results[num_clients][method]
+    results: dict[int, dict[str, RunResult]] = field(default_factory=dict)
+
+    @property
+    def rows(self) -> list[list]:
+        rows = []
+        for count in self.client_counts:
+            for method, result in self.results[count].items():
+                rows.append(
+                    [
+                        count,
+                        method,
+                        round(result.final_accuracy, 3),
+                        round(float(result.forgetting_curve[-1]), 3),
+                    ]
+                )
+        return rows
+
+    def __str__(self) -> str:
+        return format_table(
+            ["clients", "method", "final_acc", "forgetting"],
+            self.rows,
+            title="Fig.8: accuracy / forgetting vs number of clients",
+        )
+
+
+def run_fig8(
+    preset: ScalePreset = BENCH,
+    client_counts: tuple[int, ...] | None = None,
+    methods: tuple[str, ...] = TOP3_METHODS,
+    seed: int = 0,
+) -> Fig8Report:
+    """Run the client-scaling comparison.
+
+    Default counts scale the paper's 50/100 down proportionally to the
+    preset (bench: 6/10; paper preset uses the real 50/100).
+    """
+    if client_counts is None:
+        client_counts = (
+            PAPER_CLIENT_COUNTS if preset.name == "paper" else (6, 10)
+        )
+    spec = miniimagenet_like()
+    report = Fig8Report(client_counts=tuple(client_counts))
+    cluster = jetson_cluster()
+    for count in client_counts:
+        sized = preset.updated(num_clients=count)
+        report.results[count] = {}
+        for method in methods:
+            report.results[count][method] = run_single(
+                method, spec, sized, cluster=cluster, seed=seed
+            )
+    return report

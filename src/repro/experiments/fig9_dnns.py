@@ -1,0 +1,75 @@
+"""Fig. 9 — applicability to eight modern DNN architectures.
+
+GEM, FedWEIT and FedKNOW retrain each of the eight Fig. 9 networks
+(WideResNet, ResNeXt, ResNet-152, SENet18, MobileNetV2 x1/x2, ShuffleNetV2,
+DenseNet) over the MiniImageNet task sequence; FedKNOW's magnitude-based
+knowledge is architecture-agnostic, whereas FedWEIT's decomposition struggles
+on compact networks (Section V-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..data.specs import miniimagenet_like
+from ..edge.cluster import jetson_cluster
+from ..metrics.tracker import RunResult
+from ..models.zoo import FIG9_MODELS, model_family
+from .config import BENCH, ScalePreset
+from .fig4_accuracy import TOP3_METHODS
+from .reporting import format_table
+from .runner import run_single
+
+
+@dataclass
+class Fig9Report:
+    """Final accuracy of each method on each architecture."""
+
+    models: tuple[str, ...]
+    # results[model][method]
+    results: dict[str, dict[str, RunResult]] = field(default_factory=dict)
+
+    @property
+    def rows(self) -> list[list]:
+        rows = []
+        for model in self.models:
+            entry = self.results[model]
+            row: list = [model, model_family(model)]
+            for method in sorted(entry):
+                row.append(round(entry[method].final_accuracy, 3))
+            rows.append(row)
+        return rows
+
+    def best_method_per_model(self) -> dict[str, str]:
+        return {
+            model: max(entry, key=lambda m: entry[m].final_accuracy)
+            for model, entry in self.results.items()
+        }
+
+    def __str__(self) -> str:
+        methods = sorted(next(iter(self.results.values())))
+        return format_table(
+            ["model", "family"] + [f"acc_{m}" for m in methods],
+            self.rows,
+            title="Fig.9: applicability to six DNN categories (final avg accuracy)",
+        )
+
+
+def run_fig9(
+    preset: ScalePreset = BENCH,
+    models: tuple[str, ...] = FIG9_MODELS,
+    methods: tuple[str, ...] = TOP3_METHODS,
+    seed: int = 0,
+) -> Fig9Report:
+    """Run the architecture-applicability comparison."""
+    report = Fig9Report(models=tuple(models))
+    cluster = jetson_cluster()
+    base_spec = miniimagenet_like()
+    for model in models:
+        spec = replace(base_spec, model_name=model)
+        report.results[model] = {}
+        for method in methods:
+            report.results[model][method] = run_single(
+                method, spec, preset, cluster=cluster, seed=seed
+            )
+    return report

@@ -1,0 +1,45 @@
+"""Plain-text reporting: aligned tables and series (the repo has no plotting
+dependencies, so every figure is regenerated as the numeric series behind it)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str | None = None
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(separator)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    label: str, xs: Sequence, ys: Sequence, x_name: str = "x", y_name: str = "y"
+) -> str:
+    """Render a named (x, y) series as two aligned rows."""
+    x_cells = [_fmt(x) for x in xs]
+    y_cells = [_fmt(y) for y in ys]
+    widths = [max(len(a), len(b)) for a, b in zip(x_cells, y_cells)]
+    line_x = "  ".join(c.rjust(w) for c, w in zip(x_cells, widths))
+    line_y = "  ".join(c.rjust(w) for c, w in zip(y_cells, widths))
+    return f"{label}\n  {x_name:>10s}: {line_x}\n  {y_name:>10s}: {line_y}"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "nan"
+        if abs(value) >= 1000 or (abs(value) < 0.001 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".") or "0"
+    return str(value)

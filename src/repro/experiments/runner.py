@@ -1,0 +1,112 @@
+"""Shared experiment runner with in-process result caching.
+
+Several of the paper's tables are different views of the same runs (Table I
+summarises Fig. 4; Fig. 5's volumes come from the same training jobs), so
+:func:`run_single` memoises results by their full setting.  Benchmarks that
+execute in one pytest session therefore pay for each training run once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.federated import build_benchmark
+from ..data.specs import DatasetSpec
+from ..edge.cluster import EdgeCluster
+from ..edge.network import NetworkModel
+from ..federated.registry import create_trainer
+from ..metrics.tracker import RunResult
+from .config import ScalePreset
+
+_CACHE: dict[tuple, RunResult] = {}
+
+
+def clear_cache() -> None:
+    """Drop all memoised run results."""
+    _CACHE.clear()
+
+
+def _cache_key(
+    method: str,
+    spec: DatasetSpec,
+    preset: ScalePreset,
+    seed: int,
+    cluster: EdgeCluster | None,
+    network: NetworkModel | None,
+    model_kwargs: dict | None,
+    method_kwargs: dict | None,
+) -> tuple:
+    cluster_key = (
+        tuple(d.name for d in cluster.devices) if cluster is not None else None
+    )
+    network_key = (
+        network.bandwidth_bytes_per_second if network is not None else None
+    )
+    return (
+        method,
+        spec.name,
+        spec.num_tasks,
+        spec.train_per_class,
+        spec.test_per_class,
+        spec.model_name,
+        preset.name,
+        preset.num_clients,
+        preset.rounds_per_task,
+        preset.iterations_per_round,
+        seed,
+        cluster_key,
+        network_key,
+        repr(sorted((model_kwargs or {}).items())),
+        repr(sorted((method_kwargs or {}).items(), key=lambda kv: kv[0])),
+    )
+
+
+def run_single(
+    method: str,
+    spec: DatasetSpec,
+    preset: ScalePreset,
+    cluster: EdgeCluster | None = None,
+    network: NetworkModel | None = None,
+    seed: int | None = None,
+    model_kwargs: dict | None = None,
+    method_kwargs: dict | None = None,
+    use_cache: bool = True,
+) -> RunResult:
+    """Train ``method`` on ``spec`` at ``preset`` scale and return its metrics."""
+    seed = preset.seed if seed is None else seed
+    scaled = preset.apply_to_spec(spec)
+    key = _cache_key(
+        method, scaled, preset, seed, cluster, network, model_kwargs, method_kwargs
+    )
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    benchmark = build_benchmark(
+        scaled, num_clients=preset.num_clients, rng=np.random.default_rng(seed)
+    )
+    trainer = create_trainer(
+        method,
+        benchmark,
+        preset.train_config(),
+        model_seed=1000 + seed,
+        rng=np.random.default_rng(seed + 1),
+        cluster=cluster,
+        network=network,
+        model_kwargs=model_kwargs,
+        method_kwargs=method_kwargs,
+    )
+    result = trainer.run()
+    if use_cache:
+        _CACHE[key] = result
+    return result
+
+
+def run_methods(
+    methods: list[str],
+    spec: DatasetSpec,
+    preset: ScalePreset,
+    **kwargs,
+) -> dict[str, RunResult]:
+    """Run several methods on the same workload (shared data and init)."""
+    return {
+        method: run_single(method, spec, preset, **kwargs) for method in methods
+    }

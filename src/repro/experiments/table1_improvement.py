@@ -1,0 +1,84 @@
+"""Table I — per-task percentage accuracy improvement of FedKNOW.
+
+For each dataset and each task stage ``m``, the table reports
+
+    100 * (acc_FedKNOW(m) - mean_baselines(m)) / mean_baselines(m),
+
+where the mean is over the 11 baseline techniques, and the accuracy is the
+average accuracy over the ``m`` learned tasks (the paper's Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..metrics.tracker import RunResult
+from .fig4_accuracy import FIG4_DATASETS, run_fig4_panel
+from .config import BENCH, ScalePreset
+from .reporting import format_table
+
+
+@dataclass
+class Table1Report:
+    """Improvement (%) of FedKNOW over the baseline mean, per task stage."""
+
+    datasets: list[str]
+    improvements: dict[str, np.ndarray] = field(default_factory=dict)
+    overall: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def rows(self) -> list[list]:
+        max_tasks = max(len(v) for v in self.improvements.values())
+        rows = []
+        for stage in range(max_tasks):
+            row: list = [f"Task{stage + 1}"]
+            for dataset in self.datasets:
+                values = self.improvements[dataset]
+                row.append(
+                    f"{values[stage]:+.2f}%" if stage < len(values) else "-"
+                )
+            rows.append(row)
+        return rows
+
+    def mean_improvement(self, dataset: str) -> float:
+        return float(np.mean(self.improvements[dataset]))
+
+    def __str__(self) -> str:
+        table = format_table(
+            ["task"] + list(self.datasets),
+            self.rows,
+            title="Table I: FedKNOW accuracy improvement over 11-baseline mean",
+        )
+        means = ", ".join(
+            f"{d}: {self.mean_improvement(d):+.2f}%" for d in self.datasets
+        )
+        return f"{table}\nmean per dataset: {means}"
+
+
+def improvement_curve(
+    fedknow: RunResult, baselines: list[RunResult]
+) -> np.ndarray:
+    """Per-stage improvement (%) of FedKNOW over the mean baseline accuracy."""
+    fk = fedknow.accuracy_curve
+    base = np.mean([b.accuracy_curve for b in baselines], axis=0)
+    return 100.0 * (fk - base) / np.maximum(base, 1e-9)
+
+
+def run_table1(
+    datasets: tuple[str, ...] = FIG4_DATASETS,
+    preset: ScalePreset = BENCH,
+    methods: tuple[str, ...] | None = None,
+    seed: int = 0,
+) -> Table1Report:
+    """Compute Table I from the Fig. 4 runs (memoised, so shared work)."""
+    report = Table1Report(datasets=list(datasets))
+    for dataset in datasets:
+        panel = run_fig4_panel(dataset, methods=methods, preset=preset, seed=seed)
+        fedknow = panel.results["fedknow"]
+        baselines = [r for m, r in panel.results.items() if m != "fedknow"]
+        curve = improvement_curve(fedknow, baselines)
+        report.improvements[dataset] = curve
+        report.overall[dataset] = float(np.mean(curve))
+    return report

@@ -1,0 +1,37 @@
+"""Federated learning framework: clients, servers, trainer, method registry."""
+
+from .apfl import APFLClient
+from .base import FederatedClient, SGDClient
+from .config import TrainConfig
+from .fedrep import FedRepClient
+from .fedweit import FedWeitClient, FedWeitServer, sparse_adaptive_bytes
+from .flcn import FLCNClient
+from .registry import (
+    ALL_METHODS,
+    CONTINUAL_STRATEGIES,
+    FCL_METHODS,
+    FEDERATED_METHODS,
+    create_trainer,
+)
+from .server import FedAvgServer, FLCNServer
+from .trainer import FederatedTrainer
+
+__all__ = [
+    "ALL_METHODS",
+    "APFLClient",
+    "CONTINUAL_STRATEGIES",
+    "FCL_METHODS",
+    "FEDERATED_METHODS",
+    "FedAvgServer",
+    "FederatedClient",
+    "FederatedTrainer",
+    "FedRepClient",
+    "FedWeitClient",
+    "FedWeitServer",
+    "FLCNClient",
+    "FLCNServer",
+    "SGDClient",
+    "TrainConfig",
+    "create_trainer",
+    "sparse_adaptive_bytes",
+]

@@ -1,0 +1,133 @@
+"""APFL — Adaptive Personalized Federated Learning (Deng et al., 2020).
+
+Each client maintains a personal model alongside the shared global model and
+serves the adaptive mixture ``v = alpha * personal + (1 - alpha) * global``.
+The global model trains on the local loss as usual (and is aggregated); the
+personal model trains on the mixture's loss; ``alpha`` itself follows its
+gradient, so each client finds its own personalisation level.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..data.federated import ClientData
+from ..models.base import ImageClassifier
+from ..nn import functional as F
+from ..nn.optim import SGD
+from ..nn.schedules import InverseTimeDecay
+from ..nn.tensor import Tensor
+from ..data.loader import sample_batch
+from .base import FederatedClient
+from .config import TrainConfig
+
+
+class APFLClient(FederatedClient):
+    """Client with an adaptively mixed personal/global model pair."""
+
+    method_name = "apfl"
+
+    def __init__(
+        self,
+        client_id: int,
+        data: ClientData,
+        model: ImageClassifier,
+        config: TrainConfig,
+        model_factory: Callable[[], ImageClassifier],
+        alpha: float = 0.5,
+        alpha_lr: float = 0.05,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(client_id, data, model, config, rng)
+        self.personal = model_factory()
+        self.personal.load_state_dict(model.state_dict())
+        self._mixture = model_factory()
+        self.alpha = float(np.clip(alpha, 0.0, 1.0))
+        self.alpha_lr = alpha_lr
+        self.optimizer = SGD(model.parameters(), lr=config.lr,
+                             momentum=config.momentum)
+        self.personal_optimizer = SGD(
+            self.personal.parameters(), lr=config.lr, momentum=config.momentum
+        )
+        self._schedule = InverseTimeDecay(config.lr, config.lr_decay)
+
+    # ------------------------------------------------------------------
+    # mixture handling
+    # ------------------------------------------------------------------
+    def _load_mixture(self) -> None:
+        mixed = {}
+        personal = self.personal.state_dict()
+        shared = self.model.state_dict()
+        for key in shared:
+            mixed[key] = self.alpha * personal[key] + (1.0 - self.alpha) * shared[key]
+        self._mixture.load_state_dict(mixed)
+
+    def local_train(self, iterations: int) -> dict:
+        if self.task is None:
+            raise RuntimeError("local_train called before begin_task")
+        mask = self.task.class_mask()
+        self.model.train()
+        self.personal.train()
+        self._mixture.train()
+        losses = []
+        for _ in range(iterations):
+            xb, yb = sample_batch(
+                self.task.train_x, self.task.train_y, self.config.batch_size, self.rng
+            )
+            # 1. global-model step on the local loss
+            self.optimizer.zero_grad()
+            loss = F.cross_entropy(self.model(Tensor(xb)), yb, class_mask=mask)
+            loss.backward()
+            self.global_iteration += 1
+            lr = self._schedule(self.global_iteration)
+            self.optimizer.set_lr(lr)
+            self.optimizer.step()
+            # 2. personal-model step on the mixture's loss
+            self._load_mixture()
+            self._mixture.zero_grad()
+            mixture_loss = F.cross_entropy(
+                self._mixture(Tensor(xb)), yb, class_mask=mask
+            )
+            mixture_loss.backward()
+            alpha_grad = 0.0
+            for (name, mixture_param), personal_param, shared_param in zip(
+                self._mixture.named_parameters(),
+                self.personal.parameters(),
+                self.model.parameters(),
+            ):
+                if mixture_param.grad is None:
+                    continue
+                # d v / d personal = alpha;  d v / d alpha = personal - shared
+                personal_param.data -= (
+                    lr * self.alpha * mixture_param.grad
+                )
+                alpha_grad += float(
+                    (mixture_param.grad *
+                     (personal_param.data - shared_param.data)).sum()
+                )
+            self.alpha = float(
+                np.clip(self.alpha - self.alpha_lr * alpha_grad, 0.05, 0.95)
+            )
+            self.add_compute(2.0)
+            losses.append(loss.item())
+        return {"mean_loss": float(np.mean(losses)), "iterations": iterations}
+
+    def evaluate(self, upto_position: int | None = None) -> list[float]:
+        """Evaluate on the personalised mixture model."""
+        if upto_position is None:
+            upto_position = self.position if self.position is not None else -1
+        self._load_mixture()
+        self._mixture.eval()
+        accuracies = []
+        for position in range(upto_position + 1):
+            task = self.data.task_at(position)
+            logits = self._mixture.logits(task.test_x)
+            accuracies.append(
+                F.accuracy(logits, task.test_y, class_mask=task.class_mask())
+            )
+        return accuracies
+
+    def extra_state_bytes(self) -> dict[str, int]:
+        return {"model": self.personal.num_parameters() * 4, "samples": 0}

@@ -1,0 +1,37 @@
+"""Training configuration shared by all federated clients."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Local-training hyperparameters (Section V-B's common settings).
+
+    The paper trains each task for ``rounds_per_task`` global aggregation
+    rounds of ``iterations_per_round`` local iterations, with an inverse-time
+    learning-rate decay ("learning rate" / "decrease rate" pairs such as
+    0.001 / 1e-4).  Values here default to this reproduction's CPU scale.
+    """
+
+    batch_size: int = 16
+    lr: float = 0.01
+    lr_decay: float = 1e-4
+    momentum: float = 0.0
+    rounds_per_task: int = 3
+    iterations_per_round: int = 10
+    eval_batch_size: int = 512
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.lr <= 0:
+            raise ValueError(f"lr must be positive, got {self.lr}")
+        if self.rounds_per_task < 1 or self.iterations_per_round < 1:
+            raise ValueError("rounds_per_task and iterations_per_round must be >= 1")
+
+    def updated(self, **overrides) -> "TrainConfig":
+        """Copy with the given fields replaced."""
+        return replace(self, **overrides)

@@ -1,0 +1,92 @@
+"""FedRep — shared representation, personal head (Collins et al., 2021).
+
+Clients share (and aggregate) only the representation layers; the
+classification head stays local.  Each round first fits the personal head
+with the body frozen, then updates the body with the head frozen, exactly
+the alternating scheme of the original.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..data.federated import ClientData
+from ..data.loader import sample_batch
+from ..models.base import ImageClassifier
+from ..nn import functional as F
+from ..nn.optim import SGD
+from ..nn.schedules import InverseTimeDecay
+from ..nn.tensor import Tensor
+from .base import FederatedClient
+from .config import TrainConfig
+
+
+class FedRepClient(FederatedClient):
+    """Representation/head split client."""
+
+    method_name = "fedrep"
+
+    def __init__(
+        self,
+        client_id: int,
+        data: ClientData,
+        model: ImageClassifier,
+        config: TrainConfig,
+        head_fraction: float = 0.3,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(client_id, data, model, config, rng)
+        if not 0.0 < head_fraction < 1.0:
+            raise ValueError(f"head_fraction must be in (0, 1), got {head_fraction}")
+        self.head_fraction = head_fraction
+        self._head_names = set(model.head_parameter_names())
+        self.optimizer = SGD(model.parameters(), lr=config.lr,
+                             momentum=config.momentum)
+        self._schedule = InverseTimeDecay(config.lr, config.lr_decay)
+
+    def _zero_grads(self, head: bool) -> None:
+        """Zero gradients of head (``head=True``) or body parameters."""
+        for name, param in self.model.named_parameters():
+            is_head = name in self._head_names
+            if param.grad is not None and (is_head if head else not is_head):
+                param.grad = None
+
+    def local_train(self, iterations: int) -> dict:
+        if self.task is None:
+            raise RuntimeError("local_train called before begin_task")
+        mask = self.task.class_mask()
+        self.model.train()
+        head_steps = max(int(round(self.head_fraction * iterations)), 1)
+        losses = []
+        for iteration in range(iterations):
+            xb, yb = sample_batch(
+                self.task.train_x, self.task.train_y, self.config.batch_size, self.rng
+            )
+            self.optimizer.zero_grad()
+            loss = F.cross_entropy(self.model(Tensor(xb)), yb, class_mask=mask)
+            loss.backward()
+            if iteration < head_steps:
+                self._zero_grads(head=False)  # train head only
+            else:
+                self._zero_grads(head=True)  # train body only
+            self.global_iteration += 1
+            self.optimizer.set_lr(self._schedule(self.global_iteration))
+            self.optimizer.step()
+            self.add_compute(1.0)
+            losses.append(loss.item())
+        return {"mean_loss": float(np.mean(losses)), "iterations": iterations}
+
+    def upload_state(self) -> dict[str, np.ndarray]:
+        """Upload representation layers only (plus BN buffers)."""
+        state = self.model.state_dict()
+        return {k: v for k, v in state.items() if k not in self._head_names}
+
+    def receive_global(self, state: Mapping[str, np.ndarray], round_index: int) -> None:
+        """Install aggregated representation; keep the personal head."""
+        merged = self.model.state_dict()
+        for key, value in state.items():
+            if key not in self._head_names:
+                merged[key] = value
+        self.model.load_state_dict(merged)

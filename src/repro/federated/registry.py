@@ -1,0 +1,171 @@
+"""Method registry: builds a ready-to-run trainer for any of the 12 methods.
+
+The registry reproduces Section V-B's controlled comparison: every method
+gets identical initial weights (a fixed model seed), identical data, and the
+same training configuration; only the algorithm differs.
+
+====================  ==========================================
+method                composition
+====================  ==========================================
+fedknow               FedKnowClient + FedAvg server
+fedweit               FedWeitClient + FedWeit server
+fedavg                SGDClient (no CL strategy) + FedAvg
+apfl                  APFLClient + FedAvg
+fedrep                FedRepClient + FedAvg (representation keys)
+flcn                  FLCNClient + FLCN rehearsal server
+gem / bcn / co2l /
+ewc / mas / agscl     SGDClient + CL strategy + FedAvg
+====================  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..continual import (
+    AGSCLStrategy,
+    BCNStrategy,
+    Co2LStrategy,
+    EWCStrategy,
+    GEMStrategy,
+    MASStrategy,
+)
+from ..data.federated import FederatedContinualBenchmark
+from ..edge.cluster import EdgeCluster
+from ..edge.cost import ModelCostModel
+from ..edge.network import NetworkModel
+from ..models import build_model
+from ..utils.rng import spawn
+from .apfl import APFLClient
+from .base import SGDClient
+from .config import TrainConfig
+from .fedrep import FedRepClient
+from .fedweit import FedWeitClient, FedWeitServer
+from .flcn import FLCNClient
+from .server import FedAvgServer, FLCNServer
+from .trainer import FederatedTrainer
+
+CONTINUAL_STRATEGIES: dict[str, Callable] = {
+    "gem": GEMStrategy,
+    "bcn": BCNStrategy,
+    "co2l": Co2LStrategy,
+    "ewc": EWCStrategy,
+    "mas": MASStrategy,
+    "agscl": AGSCLStrategy,
+}
+
+FEDERATED_METHODS = ("fedavg", "apfl", "fedrep")
+FCL_METHODS = ("fedknow", "fedweit", "flcn")
+
+#: The 12 methods of the Fig. 4 comparison.
+ALL_METHODS: tuple[str, ...] = (
+    ("fedknow", "fedweit", "flcn")
+    + FEDERATED_METHODS
+    + tuple(CONTINUAL_STRATEGIES)
+)
+
+
+def create_trainer(
+    method: str,
+    benchmark: FederatedContinualBenchmark,
+    config: TrainConfig,
+    model_seed: int = 1234,
+    rng: np.random.Generator | None = None,
+    cluster: EdgeCluster | None = None,
+    network: NetworkModel | None = None,
+    with_cost_model: bool = True,
+    model_kwargs: dict | None = None,
+    method_kwargs: dict | None = None,
+) -> FederatedTrainer:
+    """Build a :class:`FederatedTrainer` running ``method`` on ``benchmark``."""
+    # imported here to avoid a circular import (core.client uses federated.base)
+    from ..core.client import FedKnowClient
+    from ..core.config import FedKnowConfig
+
+    if method not in ALL_METHODS:
+        raise KeyError(f"unknown method {method!r}; known: {sorted(ALL_METHODS)}")
+    rng = rng or np.random.default_rng(config.seed)
+    model_kwargs = dict(model_kwargs or {})
+    method_kwargs = dict(method_kwargs or {})
+    spec = benchmark.spec
+
+    def model_factory():
+        # fixed seed => identical initial weights for every client and method
+        return build_model(
+            spec.model_name,
+            spec.num_classes,
+            input_shape=spec.input_shape,
+            rng=np.random.default_rng(model_seed),
+            **model_kwargs,
+        )
+
+    client_rngs = spawn(rng, benchmark.num_clients)
+    clients = []
+
+    if method == "flcn":
+        server: FedAvgServer = FLCNServer(model_factory(), rng=rng)
+    elif method == "fedweit":
+        server = FedWeitServer()
+    else:
+        server = FedAvgServer()
+
+    for data, client_rng in zip(benchmark.clients, client_rngs):
+        model = model_factory()
+        if method == "fedknow":
+            client = FedKnowClient(
+                data.client_id, data, model, config,
+                model_factory=model_factory,
+                fedknow=method_kwargs.get("fedknow_config", FedKnowConfig()),
+                rng=client_rng,
+            )
+        elif method == "fedweit":
+            client = FedWeitClient(
+                data.client_id, data, model, config, server=server,
+                rng=client_rng,
+                **{k: v for k, v in method_kwargs.items()
+                   if k in ("sparsity_penalty", "drift_penalty",
+                            "adaptive_density", "use_foreign")},
+            )
+        elif method == "flcn":
+            client = FLCNClient(
+                data.client_id, data, model, config, server=server,
+                share_fraction=method_kwargs.get("share_fraction", 0.10),
+                rng=client_rng,
+            )
+        elif method == "apfl":
+            client = APFLClient(
+                data.client_id, data, model, config,
+                model_factory=model_factory, rng=client_rng,
+            )
+        elif method == "fedrep":
+            client = FedRepClient(
+                data.client_id, data, model, config, rng=client_rng
+            )
+        elif method == "fedavg":
+            client = SGDClient(data.client_id, data, model, config, rng=client_rng)
+        else:
+            strategy_kwargs = method_kwargs.get("strategy_kwargs", {})
+            strategy = CONTINUAL_STRATEGIES[method](**strategy_kwargs)
+            client = SGDClient(
+                data.client_id, data, model, config,
+                strategy=strategy, rng=client_rng,
+            )
+        clients.append(client)
+
+    cost_model = None
+    if with_cost_model:
+        cost_model = ModelCostModel(
+            clients[0].model, spec.model_name, dataset_name=spec.name
+        )
+    return FederatedTrainer(
+        server=server,
+        clients=clients,
+        config=config,
+        cost_model=cost_model,
+        cluster=cluster,
+        network=network,
+        dataset_name=spec.name,
+        method_name=method,
+    )

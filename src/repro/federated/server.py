@@ -1,0 +1,140 @@
+"""Central servers: FedAvg aggregation and the FLCN rehearsal server.
+
+The server aggregates whatever keys the clients upload (FedRep clients upload
+only representation-layer keys, so personal heads are untouched), weighted by
+client sample counts, following McMahan et al.'s FedAvg.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..models.base import ImageClassifier
+from ..nn import functional as F
+from ..nn.optim import SGD
+from ..nn.tensor import Tensor
+from ..utils.rng import get_rng
+
+
+class FedAvgServer:
+    """Sample-count-weighted federated averaging."""
+
+    def __init__(self):
+        self.global_state: dict[str, np.ndarray] | None = None
+        self.round_index = 0
+
+    def aggregate(
+        self,
+        states: Sequence[Mapping[str, np.ndarray]],
+        weights: Sequence[float],
+    ) -> dict[str, np.ndarray]:
+        """Aggregate client states; returns the new global state."""
+        if not states:
+            raise ValueError("no client states to aggregate")
+        if len(states) != len(weights):
+            raise ValueError(
+                f"got {len(states)} states but {len(weights)} weights"
+            )
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("aggregation weights must sum to a positive value")
+        keys = states[0].keys()
+        for state in states[1:]:
+            if state.keys() != keys:
+                raise ValueError("clients uploaded inconsistent state keys")
+        aggregated: dict[str, np.ndarray] = {}
+        for key in keys:
+            stacked = np.stack(
+                [np.asarray(state[key], dtype=np.float64) for state in states]
+            )
+            coeffs = np.asarray(weights, dtype=np.float64) / total
+            aggregated[key] = np.tensordot(coeffs, stacked, axes=1).astype(
+                states[0][key].dtype
+            )
+        self.global_state = aggregated
+        self.round_index += 1
+        return aggregated
+
+
+class FLCNServer(FedAvgServer):
+    """FLCN (Yao & Sun 2020): server-side continual local training.
+
+    Clients share a fraction of their training samples with the server (the
+    privacy cost Section II highlights); after each aggregation the server
+    fine-tunes the global model on the accumulated replay buffer so the
+    global model does not forget earlier tasks.
+    """
+
+    def __init__(
+        self,
+        model: ImageClassifier,
+        finetune_steps: int = 5,
+        finetune_lr: float = 0.005,
+        batch_size: int = 32,
+        max_buffer: int = 2048,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        self.model = model
+        self.finetune_steps = finetune_steps
+        self.finetune_lr = finetune_lr
+        self.batch_size = batch_size
+        self.max_buffer = max_buffer
+        self.rng = get_rng(rng)
+        self._buffer_x: list[np.ndarray] = []
+        self._buffer_y: list[np.ndarray] = []
+        self._buffer_mask: list[np.ndarray] = []
+
+    def receive_samples(
+        self, x: np.ndarray, y: np.ndarray, class_mask: np.ndarray
+    ) -> None:
+        """Store replay samples shared by a client (with their task mask)."""
+        self._buffer_x.append(np.asarray(x))
+        self._buffer_y.append(np.asarray(y))
+        self._buffer_mask.append(
+            np.broadcast_to(class_mask, (len(y), class_mask.size)).copy()
+        )
+        total = sum(len(y) for y in self._buffer_y)
+        while total > self.max_buffer and len(self._buffer_y) > 1:
+            total -= len(self._buffer_y[0])
+            self._buffer_x.pop(0)
+            self._buffer_y.pop(0)
+            self._buffer_mask.pop(0)
+
+    @property
+    def buffer_size(self) -> int:
+        return int(sum(len(y) for y in self._buffer_y))
+
+    def buffer_bytes(self) -> int:
+        return int(sum(x.nbytes for x in self._buffer_x))
+
+    def aggregate(
+        self,
+        states: Sequence[Mapping[str, np.ndarray]],
+        weights: Sequence[float],
+    ) -> dict[str, np.ndarray]:
+        aggregated = super().aggregate(states, weights)
+        if self.buffer_size == 0:
+            return aggregated
+        # fine-tune the aggregated model on the replay buffer
+        self.model.load_state_dict(aggregated)
+        self.model.train()
+        x = np.concatenate(self._buffer_x)
+        y = np.concatenate(self._buffer_y)
+        masks = np.concatenate(self._buffer_mask)
+        optimizer = SGD(self.model.parameters(), lr=self.finetune_lr)
+        n = len(y)
+        for _ in range(self.finetune_steps):
+            indices = self.rng.choice(n, size=min(self.batch_size, n), replace=False)
+            # samples in a batch may carry different task masks; use their union
+            union_mask = masks[indices].any(axis=0)
+            optimizer.zero_grad()
+            loss = F.cross_entropy(
+                self.model(Tensor(x[indices])), y[indices], class_mask=union_mask
+            )
+            loss.backward()
+            optimizer.step()
+        self.global_state = self.model.state_dict()
+        return self.global_state

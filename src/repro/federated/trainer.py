@@ -1,0 +1,176 @@
+"""The federated continual-learning simulation loop.
+
+Drives the task-stage / aggregation-round / local-iteration structure of
+Section III-A: every client trains its current task for ``r`` rounds of ``v``
+local iterations; each round ends with FedAvg aggregation and global-state
+download.  The trainer also runs the edge simulation — per-round simulated
+training time (device FLOP throughput x measured compute units), per-round
+communication time (payload / bandwidth), and device out-of-memory dropout —
+and assembles the :class:`~repro.metrics.tracker.RunResult` that the
+experiment harness reports.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..edge.cluster import EdgeCluster, uniform_cluster
+from ..edge.cost import ModelCostModel
+from ..edge.device import JETSON_XAVIER_NX
+from ..edge.network import NetworkModel
+from ..metrics.tracker import RoundRecord, RunResult, accuracy_matrix_from_client_evals
+from .base import FederatedClient
+from .config import TrainConfig
+from .server import FedAvgServer
+
+
+class FederatedTrainer:
+    """Synchronous federated continual training over a client population."""
+
+    def __init__(
+        self,
+        server: FedAvgServer,
+        clients: list[FederatedClient],
+        config: TrainConfig,
+        cost_model: ModelCostModel | None = None,
+        cluster: EdgeCluster | None = None,
+        network: NetworkModel | None = None,
+        dataset_name: str = "unknown",
+        method_name: str | None = None,
+    ):
+        if not clients:
+            raise ValueError("trainer needs at least one client")
+        self.server = server
+        self.clients = clients
+        self.config = config
+        self.cost_model = cost_model
+        self.cluster = cluster or uniform_cluster(JETSON_XAVIER_NX, len(clients))
+        self.network = network or NetworkModel()
+        self.dataset_name = dataset_name
+        self.method_name = method_name or clients[0].method_name
+        self._oom: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # edge simulation helpers
+    # ------------------------------------------------------------------
+    def _check_memory(self, client: FederatedClient) -> bool:
+        """True if the client's device can hold its training state."""
+        if self.cost_model is None:
+            return True
+        device = self.cluster.device_for_client(client.client_id, len(self.clients))
+        extra = client.extra_state_bytes()
+        required = (
+            self.cost_model.training_memory_bytes(self.config.batch_size)
+            + self.cost_model.real_state_bytes(extra.get("model", 0))
+            + self.cost_model.real_sample_store_bytes(extra.get("samples", 0))
+        )
+        return required <= device.memory_bytes
+
+    def _train_seconds(self, client: FederatedClient, units: float) -> float:
+        if self.cost_model is None:
+            return 0.0
+        device = self.cluster.device_for_client(client.client_id, len(self.clients))
+        flops = self.cost_model.train_flops(self.config.batch_size, units)
+        return device.training_seconds(flops)
+
+    def _comm_seconds(self, up_bytes: int, down_bytes: int) -> float:
+        return self.network.transfer_seconds(up_bytes + down_bytes)
+
+    def _real_bytes(self, our_bytes: int) -> int:
+        if self.cost_model is None:
+            return our_bytes
+        return self.cost_model.real_state_bytes(our_bytes)
+
+    def _real_sample_bytes(self, our_bytes: int) -> int:
+        if self.cost_model is None:
+            return our_bytes
+        return self.cost_model.real_sample_store_bytes(our_bytes)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def active_clients(self) -> list[FederatedClient]:
+        return [c for c in self.clients if c.client_id not in self._oom]
+
+    def run(self, num_positions: int | None = None) -> RunResult:
+        """Run the full task sequence; returns the collected metrics."""
+        started = time.time()
+        num_positions = num_positions or self.clients[0].data.num_tasks
+        rounds: list[RoundRecord] = []
+        stage_evals: list[list[list[float]]] = []
+
+        for position in range(num_positions):
+            for client in self.active_clients():
+                client.begin_task(position)
+                if not self._check_memory(client):
+                    # The device cannot hold the method's state any more
+                    # (e.g. FedWEIT on the 2 GB Raspberry Pi): it drops out of
+                    # federation permanently, as in Section V-B.
+                    self._oom.add(client.client_id)
+            active = self.active_clients()
+            if not active:
+                raise RuntimeError(
+                    f"all clients ran out of memory before task stage {position}"
+                )
+
+            for round_index in range(self.config.rounds_per_task):
+                states, weights, losses = [], [], []
+                up_total, down_total = 0, 0
+                train_seconds = 0.0
+                comm_seconds = 0.0
+                for client in active:
+                    stats = client.local_train(self.config.iterations_per_round)
+                    losses.append(stats.get("mean_loss", np.nan))
+                    states.append(client.upload_state())
+                    weights.append(client.num_train_samples)
+                    up = self._real_bytes(client.upload_bytes())
+                    up += self._real_sample_bytes(client.upload_sample_bytes())
+                    up_total += up
+                    units = client.take_compute_units()
+                    train_seconds = max(
+                        train_seconds, self._train_seconds(client, units)
+                    )
+                global_state = self.server.aggregate(states, weights)
+                for client in active:
+                    down = self._real_bytes(client.download_bytes(global_state))
+                    down_total += down
+                    client.receive_global(global_state, round_index)
+                    units = client.take_compute_units()
+                    train_seconds = max(
+                        train_seconds, self._train_seconds(client, units)
+                    )
+                per_client_up = up_total / max(len(active), 1)
+                per_client_down = down_total / max(len(active), 1)
+                comm_seconds = self._comm_seconds(per_client_up, per_client_down)
+                rounds.append(
+                    RoundRecord(
+                        position=position,
+                        round_index=round_index,
+                        upload_bytes=up_total,
+                        download_bytes=down_total,
+                        sim_train_seconds=train_seconds,
+                        sim_comm_seconds=comm_seconds,
+                        active_clients=len(active),
+                        mean_loss=float(np.nanmean(losses)),
+                    )
+                )
+            for client in active:
+                client.end_task()
+                client.take_compute_units()
+
+            stage_evals.append(
+                [client.evaluate(position) for client in self.clients]
+            )
+
+        matrix = accuracy_matrix_from_client_evals(stage_evals)
+        return RunResult(
+            method=self.method_name,
+            dataset=self.dataset_name,
+            num_clients=len(self.clients),
+            num_tasks=num_positions,
+            accuracy_matrix=matrix,
+            rounds=rounds,
+            wall_seconds=time.time() - started,
+        )

@@ -1,0 +1,23 @@
+"""Evaluation metrics for federated continual learning."""
+
+from .io import (
+    load_result,
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+    save_results,
+)
+from .tracker import RoundRecord, RunResult, accuracy_matrix_from_client_evals
+
+__all__ = [
+    "RoundRecord",
+    "RunResult",
+    "accuracy_matrix_from_client_evals",
+    "load_result",
+    "load_results",
+    "result_from_dict",
+    "result_to_dict",
+    "save_result",
+    "save_results",
+]

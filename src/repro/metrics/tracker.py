@@ -1,0 +1,146 @@
+"""Experiment metrics: average accuracy, forgetting rate, communication, time.
+
+The paper's metrics (Section V-A / V-D):
+
+* **accuracy of task ``t_m``** — the average top-1 accuracy over all ``m``
+  learned tasks (averaged across clients here);
+* **forgetting rate of task ``k`` after ``m`` tasks** — the drop of task
+  ``k``'s accuracy relative to its accuracy right after it was learned:
+  ``(acc_k(k) - acc_k(m)) / acc_k(k)``, reported as the mean over ``k < m``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class RoundRecord:
+    """Accounting for one global aggregation round."""
+
+    position: int
+    round_index: int
+    upload_bytes: int
+    download_bytes: int
+    sim_train_seconds: float
+    sim_comm_seconds: float
+    active_clients: int
+    mean_loss: float
+
+
+@dataclass
+class RunResult:
+    """Complete record of one federated continual-learning run."""
+
+    method: str
+    dataset: str
+    num_clients: int
+    num_tasks: int
+    # accuracy_matrix[m, k] = mean accuracy on task k after learning m+1 tasks
+    accuracy_matrix: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
+    rounds: list[RoundRecord] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # accuracy metrics
+    # ------------------------------------------------------------------
+    @property
+    def accuracy_curve(self) -> np.ndarray:
+        """Average accuracy over learned tasks, after each task stage."""
+        m = self.accuracy_matrix.shape[0]
+        return np.array(
+            [self.accuracy_matrix[stage, : stage + 1].mean() for stage in range(m)]
+        )
+
+    @property
+    def final_accuracy(self) -> float:
+        curve = self.accuracy_curve
+        return float(curve[-1]) if len(curve) else float("nan")
+
+    def forgetting_rate(self, stage: int) -> float:
+        """Mean forgetting over tasks learned strictly before ``stage``."""
+        if stage <= 0:
+            return 0.0
+        rates = []
+        for k in range(stage):
+            acc_then = self.accuracy_matrix[k, k]
+            acc_now = self.accuracy_matrix[stage, k]
+            if acc_then > 0:
+                rates.append(np.clip((acc_then - acc_now) / acc_then, 0.0, 1.0))
+        return float(np.mean(rates)) if rates else 0.0
+
+    @property
+    def forgetting_curve(self) -> np.ndarray:
+        m = self.accuracy_matrix.shape[0]
+        return np.array([self.forgetting_rate(stage) for stage in range(m)])
+
+    # ------------------------------------------------------------------
+    # communication / time metrics
+    # ------------------------------------------------------------------
+    @property
+    def total_upload_bytes(self) -> int:
+        return int(sum(r.upload_bytes for r in self.rounds))
+
+    @property
+    def total_download_bytes(self) -> int:
+        return int(sum(r.download_bytes for r in self.rounds))
+
+    @property
+    def total_comm_bytes(self) -> int:
+        return self.total_upload_bytes + self.total_download_bytes
+
+    @property
+    def sim_train_seconds(self) -> float:
+        return float(sum(r.sim_train_seconds for r in self.rounds))
+
+    @property
+    def sim_comm_seconds(self) -> float:
+        return float(sum(r.sim_comm_seconds for r in self.rounds))
+
+    @property
+    def sim_total_seconds(self) -> float:
+        return self.sim_train_seconds + self.sim_comm_seconds
+
+    def time_curve(self) -> np.ndarray:
+        """Cumulative simulated time (hours) at the end of each task stage."""
+        per_stage: dict[int, float] = {}
+        for record in self.rounds:
+            per_stage.setdefault(record.position, 0.0)
+            per_stage[record.position] += (
+                record.sim_train_seconds + record.sim_comm_seconds
+            )
+        stages = sorted(per_stage)
+        return np.cumsum([per_stage[s] for s in stages]) / 3600.0
+
+    def summary(self) -> dict:
+        """Compact dictionary used by the experiment reports."""
+        return {
+            "method": self.method,
+            "dataset": self.dataset,
+            "final_accuracy": round(self.final_accuracy, 4),
+            "final_forgetting": round(float(self.forgetting_curve[-1]), 4)
+            if self.accuracy_matrix.size
+            else float("nan"),
+            "comm_gb": round(self.total_comm_bytes / 1e9, 4),
+            "sim_hours": round(self.sim_total_seconds / 3600.0, 4),
+        }
+
+
+def accuracy_matrix_from_client_evals(evals: list[list[list[float]]]) -> np.ndarray:
+    """Build the mean accuracy matrix from per-stage, per-client accuracy lists.
+
+    ``evals[m][c]`` is the list of per-task accuracies of client ``c`` after
+    stage ``m`` (length ``m + 1``).
+    """
+    stages = len(evals)
+    matrix = np.full((stages, stages), np.nan)
+    for stage, client_accs in enumerate(evals):
+        stacked = np.array(client_accs)  # (clients, stage+1)
+        if stacked.ndim != 2 or stacked.shape[1] != stage + 1:
+            raise ValueError(
+                f"stage {stage}: expected per-client lists of length {stage + 1}"
+            )
+        matrix[stage, : stage + 1] = stacked.mean(axis=0)
+    return matrix

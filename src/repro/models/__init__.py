@@ -1,0 +1,45 @@
+"""Model zoo: the paper's 6-layer CNN, ResNet-18, and the eight Fig. 9 DNNs."""
+
+from .base import ImageClassifier
+from .densenet import DenseNet, densenet
+from .inception import Inception, inception
+from .mobilenet import MobileNetV2, mobilenet_v2, mobilenet_v2_x2
+from .resnet import BasicBlock, Bottleneck, ResNet, resnet18, resnet152, resnext, wide_resnet
+from .senet import SEModule, senet18
+from .shufflenet import ShuffleNetV2, shufflenet_v2
+from .six_cnn import SixCNN
+from .zoo import (
+    FIG9_MODELS,
+    available_models,
+    build_model,
+    model_family,
+    register_model,
+)
+
+__all__ = [
+    "BasicBlock",
+    "Bottleneck",
+    "DenseNet",
+    "FIG9_MODELS",
+    "ImageClassifier",
+    "Inception",
+    "MobileNetV2",
+    "ResNet",
+    "SEModule",
+    "ShuffleNetV2",
+    "SixCNN",
+    "available_models",
+    "build_model",
+    "densenet",
+    "inception",
+    "mobilenet_v2",
+    "mobilenet_v2_x2",
+    "model_family",
+    "register_model",
+    "resnet18",
+    "resnet152",
+    "resnext",
+    "senet18",
+    "shufflenet_v2",
+    "wide_resnet",
+]

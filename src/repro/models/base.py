@@ -1,0 +1,69 @@
+"""Common base class for image-classification models.
+
+Every model in the zoo follows the same contract:
+
+* ``forward_features(x) -> Tensor`` produces a flat embedding;
+* ``forward(x) -> Tensor`` produces logits over **all** classes in the
+  dataset (task-incremental evaluation masks logits per task via the
+  ``class_mask`` arguments of the loss / accuracy functions);
+* the classification head is stored in the attribute ``classifier`` so the
+  representation/head split needed by FedRep and by FedKNOW's per-task head
+  knowledge is the parameter-name prefix ``"classifier"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Module, Parameter
+from ..nn.tensor import Tensor
+
+
+class ImageClassifier(Module):
+    """Base class: a feature body plus a ``classifier`` head."""
+
+    def __init__(self, num_classes: int, input_shape: tuple[int, int, int]):
+        super().__init__()
+        if num_classes < 2:
+            raise ValueError(f"need at least two classes, got {num_classes}")
+        if len(input_shape) != 3:
+            raise ValueError(f"input_shape must be (C, H, W), got {input_shape}")
+        self.num_classes = num_classes
+        self.input_shape = tuple(int(s) for s in input_shape)
+
+    # ------------------------------------------------------------------
+    # body / head split
+    # ------------------------------------------------------------------
+    def head_parameter_names(self) -> list[str]:
+        """Names of parameters belonging to the classification head."""
+        return [n for n, _ in self.named_parameters() if n.startswith("classifier")]
+
+    def body_parameter_names(self) -> list[str]:
+        """Names of parameters belonging to the feature body."""
+        return [
+            n for n, _ in self.named_parameters() if not n.startswith("classifier")
+        ]
+
+    def body_parameters(self) -> list[Parameter]:
+        return [
+            p for n, p in self.named_parameters() if not n.startswith("classifier")
+        ]
+
+    def head_parameters(self) -> list[Parameter]:
+        return [p for n, p in self.named_parameters() if n.startswith("classifier")]
+
+    # ------------------------------------------------------------------
+    # forward contract
+    # ------------------------------------------------------------------
+    def forward_features(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.forward_features(x))
+
+    def logits(self, inputs: np.ndarray) -> np.ndarray:
+        """Convenience: numpy in, numpy logits out (no autograd graph)."""
+        from ..nn.tensor import Tensor, no_grad
+
+        with no_grad():
+            return self.forward(Tensor(inputs)).data

@@ -1,0 +1,123 @@
+"""DenseNet (Fig. 9's multi-path connectivity family).
+
+Faithful block structure — every layer receives the concatenation of all
+previous feature maps within its dense block — with growth rate and depth
+scaled for CPU execution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import concat
+from ..utils.rng import get_rng
+from .base import ImageClassifier
+
+
+class DenseLayer(nn.Module):
+    """BN-ReLU-Conv(3x3) producing ``growth_rate`` new channels."""
+
+    def __init__(
+        self, in_channels: int, growth_rate: int, rng: np.random.Generator | None = None
+    ):
+        super().__init__()
+        rng = get_rng(rng)
+        self.bn = nn.BatchNorm2d(in_channels)
+        self.conv = nn.Conv2d(in_channels, growth_rate, 3, padding=1, bias=False, rng=rng)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        return self.conv(self.bn(x).relu())
+
+
+class DenseBlock(nn.Module):
+    """Stack of dense layers with cumulative channel concatenation."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        num_layers: int,
+        growth_rate: int,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        self.layers = nn.ModuleList()
+        channels = in_channels
+        for _ in range(num_layers):
+            self.layers.append(DenseLayer(channels, growth_rate, rng=rng))
+            channels += growth_rate
+        self.out_channels = channels
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        features = x
+        for layer in self.layers:
+            new = layer(features)
+            features = concat([features, new], axis=1)
+        return features
+
+
+class Transition(nn.Module):
+    """1x1 conv compression followed by 2x2 average pooling."""
+
+    def __init__(
+        self, in_channels: int, out_channels: int, rng: np.random.Generator | None = None
+    ):
+        super().__init__()
+        rng = get_rng(rng)
+        self.bn = nn.BatchNorm2d(in_channels)
+        self.conv = nn.Conv2d(in_channels, out_channels, 1, bias=False, rng=rng)
+        self.pool = nn.AvgPool2d(2)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        return self.pool(self.conv(self.bn(x).relu()))
+
+
+class DenseNet(ImageClassifier):
+    """DenseNet with three dense blocks and two transitions."""
+
+    def __init__(
+        self,
+        num_classes: int,
+        input_shape: tuple[int, int, int] = (3, 16, 16),
+        growth_rate: int = 6,
+        block_layers: tuple[int, ...] = (3, 3, 3),
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(num_classes, input_shape)
+        rng = get_rng(rng)
+        c = self.input_shape[0]
+        stem_channels = 2 * growth_rate
+        self.stem = nn.Sequential(
+            nn.Conv2d(c, stem_channels, 3, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(stem_channels),
+            nn.ReLU(),
+        )
+        modules = []
+        channels = stem_channels
+        for index, num_layers in enumerate(block_layers):
+            block = DenseBlock(channels, num_layers, growth_rate, rng=rng)
+            modules.append(block)
+            channels = block.out_channels
+            if index != len(block_layers) - 1:
+                compressed = channels // 2
+                modules.append(Transition(channels, compressed, rng=rng))
+                channels = compressed
+        self.blocks = nn.Sequential(*modules)
+        self.final_bn = nn.BatchNorm2d(channels)
+        self.pool = nn.GlobalAvgPool2d()
+        self.feature_dim = channels
+        self.classifier = nn.Linear(channels, num_classes, rng=rng)
+
+    def forward_features(self, x: nn.Tensor) -> nn.Tensor:
+        out = self.blocks(self.stem(x))
+        return self.pool(self.final_bn(out).relu())
+
+
+def densenet(
+    num_classes: int,
+    input_shape: tuple[int, int, int] = (3, 16, 16),
+    growth_rate: int = 6,
+    rng: np.random.Generator | None = None,
+) -> DenseNet:
+    """Default small DenseNet."""
+    return DenseNet(num_classes, input_shape, growth_rate, rng=rng)

@@ -1,0 +1,118 @@
+"""Inception network (Fig. 9's width / multi-branch family).
+
+Each inception module runs four parallel branches — 1x1, 1x1->3x3,
+1x1->3x3->3x3 (the factorised 5x5 of InceptionV3), and pool->1x1 — and
+concatenates their outputs along the channel axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import concat
+from ..utils.rng import get_rng
+from .base import ImageClassifier
+
+
+class ConvBNReLU(nn.Module):
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size,
+        stride=1,
+        padding=0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = get_rng(rng)
+        self.conv = nn.Conv2d(
+            in_channels, out_channels, kernel_size, stride, padding, bias=False, rng=rng
+        )
+        self.bn = nn.BatchNorm2d(out_channels)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        return self.bn(self.conv(x)).relu()
+
+
+class InceptionModule(nn.Module):
+    """Four-branch inception block; output channels = sum of branch widths."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        b1: int,
+        b3_reduce: int,
+        b3: int,
+        b5_reduce: int,
+        b5: int,
+        pool_proj: int,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = get_rng(rng)
+        self.branch1 = ConvBNReLU(in_channels, b1, 1, rng=rng)
+        self.branch3 = nn.Sequential(
+            ConvBNReLU(in_channels, b3_reduce, 1, rng=rng),
+            ConvBNReLU(b3_reduce, b3, 3, padding=1, rng=rng),
+        )
+        self.branch5 = nn.Sequential(
+            ConvBNReLU(in_channels, b5_reduce, 1, rng=rng),
+            ConvBNReLU(b5_reduce, b5, 3, padding=1, rng=rng),
+            ConvBNReLU(b5, b5, 3, padding=1, rng=rng),
+        )
+        self.branch_pool = nn.Sequential(
+            nn.MaxPool2d(3, stride=1, padding=1),
+            ConvBNReLU(in_channels, pool_proj, 1, rng=rng),
+        )
+        self.out_channels = b1 + b3 + b5 + pool_proj
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        return concat(
+            [self.branch1(x), self.branch3(x), self.branch5(x), self.branch_pool(x)],
+            axis=1,
+        )
+
+
+class Inception(ImageClassifier):
+    """Small InceptionV3-style network: stem, two inception stages, head."""
+
+    def __init__(
+        self,
+        num_classes: int,
+        input_shape: tuple[int, int, int] = (3, 16, 16),
+        width: int = 8,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(num_classes, input_shape)
+        rng = get_rng(rng)
+        c = self.input_shape[0]
+        self.stem = ConvBNReLU(c, width, 3, padding=1, rng=rng)
+        self.inception1 = InceptionModule(
+            width, width, width // 2, width, width // 2, width, width // 2, rng=rng
+        )
+        self.pool1 = nn.MaxPool2d(2)
+        mid = self.inception1.out_channels
+        self.inception2 = InceptionModule(
+            mid, width * 2, width, width * 2, width, width, width, rng=rng
+        )
+        self.pool2 = nn.MaxPool2d(2)
+        self.gap = nn.GlobalAvgPool2d()
+        self.feature_dim = self.inception2.out_channels
+        self.classifier = nn.Linear(self.feature_dim, num_classes, rng=rng)
+
+    def forward_features(self, x: nn.Tensor) -> nn.Tensor:
+        out = self.pool1(self.inception1(self.stem(x)))
+        out = self.pool2(self.inception2(out))
+        return self.gap(out)
+
+
+def inception(
+    num_classes: int,
+    input_shape: tuple[int, int, int] = (3, 16, 16),
+    width: int = 8,
+    rng: np.random.Generator | None = None,
+) -> Inception:
+    """Default small Inception."""
+    return Inception(num_classes, input_shape, width, rng=rng)

@@ -1,0 +1,135 @@
+"""MobileNetV2 (Fig. 9's lightweight family).
+
+Inverted-residual blocks: pointwise expansion, depthwise 3x3, linear
+pointwise projection, with a residual connection when the shapes allow.  The
+paper evaluates width multipliers 1.0 and 2.0; ``width_mult`` scales all
+channel counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..utils.rng import get_rng
+from .base import ImageClassifier
+
+
+def _scale(channels: int, mult: float) -> int:
+    return max(int(round(channels * mult)), 4)
+
+
+class InvertedResidual(nn.Module):
+    """MobileNetV2 building block (expansion -> depthwise -> projection)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int,
+        expand_ratio: int,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = get_rng(rng)
+        hidden = in_channels * expand_ratio
+        self.use_residual = stride == 1 and in_channels == out_channels
+        layers = []
+        if expand_ratio != 1:
+            layers += [
+                nn.Conv2d(in_channels, hidden, 1, bias=False, rng=rng),
+                nn.BatchNorm2d(hidden),
+                nn.ReLU(),
+            ]
+        layers += [
+            nn.Conv2d(
+                hidden, hidden, 3, stride=stride, padding=1, groups=hidden,
+                bias=False, rng=rng,
+            ),
+            nn.BatchNorm2d(hidden),
+            nn.ReLU(),
+            nn.Conv2d(hidden, out_channels, 1, bias=False, rng=rng),
+            nn.BatchNorm2d(out_channels),
+        ]
+        self.block = nn.Sequential(*layers)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        out = self.block(x)
+        return out + x if self.use_residual else out
+
+
+class MobileNetV2(ImageClassifier):
+    """Scaled-down MobileNetV2 with configurable width multiplier."""
+
+    # (expand_ratio, channels, repeats, stride) per stage
+    DEFAULT_CONFIG = (
+        (1, 8, 1, 1),
+        (2, 12, 2, 2),
+        (2, 16, 2, 2),
+        (2, 24, 1, 1),
+    )
+
+    def __init__(
+        self,
+        num_classes: int,
+        input_shape: tuple[int, int, int] = (3, 16, 16),
+        width_mult: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(num_classes, input_shape)
+        rng = get_rng(rng)
+        c = self.input_shape[0]
+        self.width_mult = width_mult
+        stem_channels = _scale(8, width_mult)
+        self.stem = nn.Sequential(
+            nn.Conv2d(c, stem_channels, 3, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(stem_channels),
+            nn.ReLU(),
+        )
+        blocks = []
+        in_channels = stem_channels
+        for expand, channels, repeats, stride in self.DEFAULT_CONFIG:
+            out_channels = _scale(channels, width_mult)
+            for index in range(repeats):
+                blocks.append(
+                    InvertedResidual(
+                        in_channels,
+                        out_channels,
+                        stride if index == 0 else 1,
+                        expand,
+                        rng=rng,
+                    )
+                )
+                in_channels = out_channels
+        self.blocks = nn.Sequential(*blocks)
+        head_channels = _scale(32, width_mult)
+        self.head = nn.Sequential(
+            nn.Conv2d(in_channels, head_channels, 1, bias=False, rng=rng),
+            nn.BatchNorm2d(head_channels),
+            nn.ReLU(),
+        )
+        self.pool = nn.GlobalAvgPool2d()
+        self.feature_dim = head_channels
+        self.classifier = nn.Linear(head_channels, num_classes, rng=rng)
+
+    def forward_features(self, x: nn.Tensor) -> nn.Tensor:
+        return self.pool(self.head(self.blocks(self.stem(x))))
+
+
+def mobilenet_v2(
+    num_classes: int,
+    input_shape: tuple[int, int, int] = (3, 16, 16),
+    width_mult: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> MobileNetV2:
+    """MobileNetV2 with width multiplier 1.0 (paper also evaluates 2.0)."""
+    return MobileNetV2(num_classes, input_shape, width_mult, rng=rng)
+
+
+def mobilenet_v2_x2(
+    num_classes: int,
+    input_shape: tuple[int, int, int] = (3, 16, 16),
+    rng: np.random.Generator | None = None,
+) -> MobileNetV2:
+    """MobileNetV2 with width multiplier 2.0."""
+    return MobileNetV2(num_classes, input_shape, 2.0, rng=rng)

@@ -1,0 +1,228 @@
+"""ResNet family: ResNet-18, ResNet-152, WideResNet, and the SE variant's base.
+
+Channel widths are scaled down from the ImageNet originals (the paper runs on
+Jetson GPUs; this reproduction runs the same block structure on CPU with a
+configurable base width).  Depth configurations are faithful: ResNet-18 is
+BasicBlock x [2,2,2,2]; ResNet-152 is Bottleneck x [3,8,36,3].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..utils.rng import get_rng
+from .base import ImageClassifier
+
+
+class BasicBlock(nn.Module):
+    """Two 3x3 convolutions with identity (or 1x1-projected) skip."""
+
+    expansion = 1
+
+    def __init__(
+        self,
+        in_channels: int,
+        channels: int,
+        stride: int = 1,
+        rng: np.random.Generator | None = None,
+        se_module: nn.Module | None = None,
+    ):
+        super().__init__()
+        rng = get_rng(rng)
+        self.conv1 = nn.Conv2d(
+            in_channels, channels, 3, stride=stride, padding=1, bias=False, rng=rng
+        )
+        self.bn1 = nn.BatchNorm2d(channels)
+        self.conv2 = nn.Conv2d(channels, channels, 3, padding=1, bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(channels)
+        self.se = se_module if se_module is not None else nn.Identity()
+        out_channels = channels * self.expansion
+        if stride != 1 or in_channels != out_channels:
+            # The paper highlights these downsample projections: FedWEIT's
+            # weight decomposition damages them (Section V-B), which FedKNOW's
+            # magnitude-based knowledge preserves.
+            self.downsample = nn.Sequential(
+                nn.Conv2d(
+                    in_channels, out_channels, 1, stride=stride, bias=False, rng=rng
+                ),
+                nn.BatchNorm2d(out_channels),
+            )
+        else:
+            self.downsample = nn.Identity()
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        out = self.se(out)
+        return (out + self.downsample(x)).relu()
+
+
+class Bottleneck(nn.Module):
+    """1x1 reduce -> 3x3 (optionally grouped) -> 1x1 expand, with skip."""
+
+    expansion = 4
+
+    def __init__(
+        self,
+        in_channels: int,
+        channels: int,
+        stride: int = 1,
+        groups: int = 1,
+        rng: np.random.Generator | None = None,
+        se_module: nn.Module | None = None,
+    ):
+        super().__init__()
+        rng = get_rng(rng)
+        self.conv1 = nn.Conv2d(in_channels, channels, 1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(channels)
+        self.conv2 = nn.Conv2d(
+            channels,
+            channels,
+            3,
+            stride=stride,
+            padding=1,
+            groups=groups,
+            bias=False,
+            rng=rng,
+        )
+        self.bn2 = nn.BatchNorm2d(channels)
+        out_channels = channels * self.expansion
+        self.conv3 = nn.Conv2d(channels, out_channels, 1, bias=False, rng=rng)
+        self.bn3 = nn.BatchNorm2d(out_channels)
+        self.se = se_module if se_module is not None else nn.Identity()
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = nn.Sequential(
+                nn.Conv2d(
+                    in_channels, out_channels, 1, stride=stride, bias=False, rng=rng
+                ),
+                nn.BatchNorm2d(out_channels),
+            )
+        else:
+            self.downsample = nn.Identity()
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out)).relu()
+        out = self.bn3(self.conv3(out))
+        out = self.se(out)
+        return (out + self.downsample(x)).relu()
+
+
+class ResNet(ImageClassifier):
+    """Configurable residual network over ``(N, C, H, W)`` inputs."""
+
+    def __init__(
+        self,
+        num_classes: int,
+        block_type: type = BasicBlock,
+        stage_blocks: tuple[int, ...] = (2, 2, 2, 2),
+        input_shape: tuple[int, int, int] = (3, 16, 16),
+        width: int = 8,
+        groups: int = 1,
+        se_reduction: int = 0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(num_classes, input_shape)
+        rng = get_rng(rng)
+        c = self.input_shape[0]
+        self.width = width
+        self.stem = nn.Sequential(
+            nn.Conv2d(c, width, 3, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(width),
+            nn.ReLU(),
+        )
+        stages = []
+        in_channels = width
+        channels = width
+        for stage_index, num_blocks in enumerate(stage_blocks):
+            stride = 1 if stage_index == 0 else 2
+            blocks = []
+            for block_index in range(num_blocks):
+                se = self._make_se(channels * block_type.expansion, se_reduction, rng)
+                kwargs = {"rng": rng, "se_module": se}
+                if block_type is Bottleneck:
+                    kwargs["groups"] = groups
+                blocks.append(
+                    block_type(
+                        in_channels,
+                        channels,
+                        stride=stride if block_index == 0 else 1,
+                        **kwargs,
+                    )
+                )
+                in_channels = channels * block_type.expansion
+            stages.append(nn.Sequential(*blocks))
+            channels *= 2
+        self.stages = nn.Sequential(*stages)
+        self.pool = nn.GlobalAvgPool2d()
+        self.feature_dim = in_channels
+        self.classifier = nn.Linear(in_channels, num_classes, rng=rng)
+
+    @staticmethod
+    def _make_se(
+        channels: int, reduction: int, rng: np.random.Generator
+    ) -> nn.Module | None:
+        if reduction <= 0:
+            return None
+        from .senet import SEModule
+
+        return SEModule(channels, reduction, rng=rng)
+
+    def forward_features(self, x: nn.Tensor) -> nn.Tensor:
+        return self.pool(self.stages(self.stem(x)))
+
+
+def resnet18(
+    num_classes: int,
+    input_shape: tuple[int, int, int] = (3, 16, 16),
+    width: int = 8,
+    rng: np.random.Generator | None = None,
+) -> ResNet:
+    """ResNet-18: BasicBlock x [2, 2, 2, 2] (the paper's MiniImageNet/TinyImageNet model)."""
+    return ResNet(
+        num_classes, BasicBlock, (2, 2, 2, 2), input_shape, width, rng=rng
+    )
+
+
+def resnet152(
+    num_classes: int,
+    input_shape: tuple[int, int, int] = (3, 16, 16),
+    width: int = 4,
+    rng: np.random.Generator | None = None,
+) -> ResNet:
+    """ResNet-152: Bottleneck x [3, 8, 36, 3] (Fig. 9's depth representative)."""
+    return ResNet(
+        num_classes, Bottleneck, (3, 8, 36, 3), input_shape, width, rng=rng
+    )
+
+
+def wide_resnet(
+    num_classes: int,
+    input_shape: tuple[int, int, int] = (3, 16, 16),
+    width: int = 16,
+    rng: np.random.Generator | None = None,
+) -> ResNet:
+    """WideResNet: ResNet-18 structure at double width (Fig. 9's width representative)."""
+    return ResNet(
+        num_classes, BasicBlock, (2, 2, 2, 2), input_shape, width, rng=rng
+    )
+
+
+def resnext(
+    num_classes: int,
+    input_shape: tuple[int, int, int] = (3, 16, 16),
+    width: int = 8,
+    groups: int = 4,
+    rng: np.random.Generator | None = None,
+) -> ResNet:
+    """ResNeXt: grouped-bottleneck residual network (cardinality via ``groups``)."""
+    return ResNet(
+        num_classes,
+        Bottleneck,
+        (2, 2, 2, 2),
+        input_shape,
+        width,
+        groups=groups,
+        rng=rng,
+    )

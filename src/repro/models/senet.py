@@ -1,0 +1,48 @@
+"""Squeeze-and-Excitation networks (Fig. 9's feature-map-exploitation / attention family)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..utils.rng import get_rng
+from .base import ImageClassifier
+from .resnet import BasicBlock, ResNet
+
+
+class SEModule(nn.Module):
+    """Channel attention: squeeze (global pool) -> excite (bottleneck MLP) -> scale."""
+
+    def __init__(
+        self, channels: int, reduction: int = 4, rng: np.random.Generator | None = None
+    ):
+        super().__init__()
+        rng = get_rng(rng)
+        hidden = max(channels // reduction, 2)
+        self.fc1 = nn.Linear(channels, hidden, rng=rng)
+        self.fc2 = nn.Linear(hidden, channels, rng=rng)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        n, c = x.shape[0], x.shape[1]
+        squeezed = x.mean(axis=(2, 3))
+        scale = self.fc2(self.fc1(squeezed).relu()).sigmoid()
+        return x * scale.reshape(n, c, 1, 1)
+
+
+def senet18(
+    num_classes: int,
+    input_shape: tuple[int, int, int] = (3, 16, 16),
+    width: int = 8,
+    se_reduction: int = 4,
+    rng: np.random.Generator | None = None,
+) -> ResNet:
+    """SENet-18: ResNet-18 with an SE block after every residual block's second BN."""
+    return ResNet(
+        num_classes,
+        BasicBlock,
+        (2, 2, 2, 2),
+        input_shape,
+        width,
+        se_reduction=se_reduction,
+        rng=rng,
+    )

@@ -1,0 +1,134 @@
+"""ShuffleNetV2 (Fig. 9's second lightweight representative).
+
+Stride-1 units split channels in half, transform one half, concatenate and
+shuffle; stride-2 units transform both halves and double the channels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import concat
+from ..utils.rng import get_rng
+from .base import ImageClassifier
+
+
+def _branch(
+    in_channels: int,
+    out_channels: int,
+    stride: int,
+    rng: np.random.Generator,
+) -> nn.Sequential:
+    """1x1 -> depthwise 3x3 -> 1x1 transform used in both unit types."""
+    return nn.Sequential(
+        nn.Conv2d(in_channels, out_channels, 1, bias=False, rng=rng),
+        nn.BatchNorm2d(out_channels),
+        nn.ReLU(),
+        nn.Conv2d(
+            out_channels, out_channels, 3, stride=stride, padding=1,
+            groups=out_channels, bias=False, rng=rng,
+        ),
+        nn.BatchNorm2d(out_channels),
+        nn.Conv2d(out_channels, out_channels, 1, bias=False, rng=rng),
+        nn.BatchNorm2d(out_channels),
+        nn.ReLU(),
+    )
+
+
+class ShuffleUnit(nn.Module):
+    """Stride-1 ShuffleNetV2 unit with channel split and shuffle."""
+
+    def __init__(self, channels: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = get_rng(rng)
+        if channels % 2:
+            raise ValueError(f"channels must be even, got {channels}")
+        half = channels // 2
+        self.half = half
+        self.branch = _branch(half, half, 1, rng)
+        self.shuffle = nn.ChannelShuffle(2)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        left = x[:, : self.half]
+        right = x[:, self.half :]
+        out = concat([left, self.branch(right)], axis=1)
+        return self.shuffle(out)
+
+
+class ShuffleDownUnit(nn.Module):
+    """Stride-2 ShuffleNetV2 unit: both branches are transformed, channels double."""
+
+    def __init__(
+        self, in_channels: int, out_channels: int, rng: np.random.Generator | None = None
+    ):
+        super().__init__()
+        rng = get_rng(rng)
+        half = out_channels // 2
+        self.branch_main = _branch(in_channels, half, 2, rng)
+        self.branch_proj = nn.Sequential(
+            nn.Conv2d(
+                in_channels, in_channels, 3, stride=2, padding=1,
+                groups=in_channels, bias=False, rng=rng,
+            ),
+            nn.BatchNorm2d(in_channels),
+            nn.Conv2d(in_channels, half, 1, bias=False, rng=rng),
+            nn.BatchNorm2d(half),
+            nn.ReLU(),
+        )
+        self.shuffle = nn.ChannelShuffle(2)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        out = concat([self.branch_proj(x), self.branch_main(x)], axis=1)
+        return self.shuffle(out)
+
+
+class ShuffleNetV2(ImageClassifier):
+    """Small ShuffleNetV2: stem, two shuffle stages, 1x1 head."""
+
+    def __init__(
+        self,
+        num_classes: int,
+        input_shape: tuple[int, int, int] = (3, 16, 16),
+        width: int = 16,
+        units_per_stage: int = 2,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(num_classes, input_shape)
+        rng = get_rng(rng)
+        c = self.input_shape[0]
+        self.stem = nn.Sequential(
+            nn.Conv2d(c, width, 3, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(width),
+            nn.ReLU(),
+        )
+        stages = []
+        channels = width
+        for _ in range(2):
+            stages.append(ShuffleDownUnit(channels, channels * 2, rng=rng))
+            channels *= 2
+            for _ in range(units_per_stage - 1):
+                stages.append(ShuffleUnit(channels, rng=rng))
+        self.stages = nn.Sequential(*stages)
+        head_channels = channels * 2
+        self.head = nn.Sequential(
+            nn.Conv2d(channels, head_channels, 1, bias=False, rng=rng),
+            nn.BatchNorm2d(head_channels),
+            nn.ReLU(),
+        )
+        self.pool = nn.GlobalAvgPool2d()
+        self.feature_dim = head_channels
+        self.classifier = nn.Linear(head_channels, num_classes, rng=rng)
+
+    def forward_features(self, x: nn.Tensor) -> nn.Tensor:
+        return self.pool(self.head(self.stages(self.stem(x))))
+
+
+def shufflenet_v2(
+    num_classes: int,
+    input_shape: tuple[int, int, int] = (3, 16, 16),
+    width: int = 16,
+    rng: np.random.Generator | None = None,
+) -> ShuffleNetV2:
+    """Default small ShuffleNetV2."""
+    return ShuffleNetV2(num_classes, input_shape, width, rng=rng)

@@ -1,0 +1,53 @@
+"""The 6-layer CNN used by the paper for CIFAR-100 / FC100 / CORe50.
+
+Four 3x3 convolutions (two per stage, max-pooled between stages) followed by
+two fully-connected layers — six weighted layers total, matching the "6-layer
+CNN model [19]" of Section V-A.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..utils.rng import get_rng
+from .base import ImageClassifier
+
+
+class SixCNN(ImageClassifier):
+    """6-layer CNN: [conv-conv-pool] x2 -> fc -> fc."""
+
+    def __init__(
+        self,
+        num_classes: int,
+        input_shape: tuple[int, int, int] = (3, 16, 16),
+        width: int = 16,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(num_classes, input_shape)
+        rng = get_rng(rng)
+        c, h, w = self.input_shape
+        self.width = width
+        self.features = nn.Sequential(
+            nn.Conv2d(c, width, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.Conv2d(width, width, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(width, 2 * width, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.Conv2d(2 * width, 2 * width, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Flatten(),
+        )
+        feat_dim = 2 * width * (h // 4) * (w // 4)
+        hidden = 4 * width
+        self.neck = nn.Sequential(
+            nn.Linear(feat_dim, hidden, rng=rng),
+            nn.ReLU(),
+        )
+        self.classifier = nn.Linear(hidden, num_classes, rng=rng)
+
+    def forward_features(self, x: nn.Tensor) -> nn.Tensor:
+        return self.neck(self.features(x))

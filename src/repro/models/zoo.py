@@ -1,0 +1,98 @@
+"""Model registry and factory.
+
+Maps the model names used throughout the experiment configs to constructor
+functions, and records the architecture *family* each model represents in the
+paper's Figure 9 taxonomy (depth / multi-path / width / feature-map
+exploitation / attention / lightweight).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .base import ImageClassifier
+from .densenet import densenet
+from .inception import inception
+from .mobilenet import mobilenet_v2, mobilenet_v2_x2
+from .resnet import resnet18, resnet152, resnext, wide_resnet
+from .senet import senet18
+from .shufflenet import shufflenet_v2
+from .six_cnn import SixCNN
+
+ModelFactory = Callable[..., ImageClassifier]
+
+_REGISTRY: dict[str, ModelFactory] = {}
+_FAMILIES: dict[str, str] = {}
+
+
+def register_model(name: str, family: str) -> Callable[[ModelFactory], ModelFactory]:
+    """Decorator/registrar adding a factory under ``name`` with its family tag."""
+
+    def decorator(factory: ModelFactory) -> ModelFactory:
+        if name in _REGISTRY:
+            raise ValueError(f"model {name!r} already registered")
+        _REGISTRY[name] = factory
+        _FAMILIES[name] = family
+        return factory
+
+    return decorator
+
+
+def _register_defaults() -> None:
+    register_model("six_cnn", "baseline")(
+        lambda num_classes, **kw: SixCNN(num_classes, **kw)
+    )
+    register_model("resnet18", "depth")(resnet18)
+    register_model("resnet152", "depth")(resnet152)
+    register_model("wide_resnet", "width")(wide_resnet)
+    register_model("resnext", "width")(resnext)
+    register_model("inception", "width")(inception)
+    register_model("densenet", "multi-path")(densenet)
+    register_model("senet18", "feature-map")(senet18)
+    register_model("mobilenet_v2", "lightweight")(mobilenet_v2)
+    register_model("mobilenet_v2_x2", "lightweight")(mobilenet_v2_x2)
+    register_model("shufflenet_v2", "lightweight")(shufflenet_v2)
+
+
+_register_defaults()
+
+#: The eight networks evaluated in Figure 9 (six architecture categories).
+FIG9_MODELS: tuple[str, ...] = (
+    "wide_resnet",
+    "resnext",
+    "resnet152",
+    "senet18",
+    "mobilenet_v2",
+    "mobilenet_v2_x2",
+    "shufflenet_v2",
+    "densenet",
+)
+
+
+def available_models() -> list[str]:
+    """Names of all registered models."""
+    return sorted(_REGISTRY)
+
+
+def model_family(name: str) -> str:
+    """Architecture family (Fig. 9 taxonomy) of a registered model."""
+    if name not in _FAMILIES:
+        raise KeyError(f"unknown model {name!r}; known: {available_models()}")
+    return _FAMILIES[name]
+
+
+def build_model(
+    name: str,
+    num_classes: int,
+    input_shape: tuple[int, int, int] = (3, 16, 16),
+    rng: np.random.Generator | None = None,
+    **kwargs,
+) -> ImageClassifier:
+    """Instantiate a registered model by name."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown model {name!r}; known: {available_models()}")
+    return _REGISTRY[name](
+        num_classes, input_shape=input_shape, rng=rng, **kwargs
+    )

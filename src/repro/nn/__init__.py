@@ -1,0 +1,87 @@
+"""``repro.nn`` — a numpy-based deep-learning substrate.
+
+Replaces PyTorch for this reproduction: reverse-mode autograd
+(:mod:`repro.nn.tensor`), NN operators (:mod:`repro.nn.functional`), layers,
+SGD, and the convergence-constrained learning-rate schedules of the paper's
+Section IV.
+"""
+
+from . import functional, init
+from .layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    ChannelShuffle,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from .module import Module, ModuleList, Parameter, Sequential
+from .optim import SGD, clip_grad_norm
+from .schedules import (
+    BoundedInverseDecay,
+    ConstantLR,
+    InverseSqrtDecay,
+    InverseTimeDecay,
+    LRSchedule,
+    make_convergent_schedules,
+)
+from .tensor import Tensor, as_tensor, concat, is_grad_enabled, no_grad, stack
+from .vector import (
+    gradients_to_vector,
+    model_gradient,
+    model_vector,
+    parameters_to_vector,
+    vector_to_gradients,
+    vector_to_parameters,
+)
+
+__all__ = [
+    "AvgPool2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "BoundedInverseDecay",
+    "ChannelShuffle",
+    "ConstantLR",
+    "Conv2d",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool2d",
+    "Identity",
+    "InverseSqrtDecay",
+    "InverseTimeDecay",
+    "LRSchedule",
+    "Linear",
+    "MaxPool2d",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Sigmoid",
+    "Tanh",
+    "Tensor",
+    "as_tensor",
+    "clip_grad_norm",
+    "concat",
+    "functional",
+    "gradients_to_vector",
+    "init",
+    "is_grad_enabled",
+    "make_convergent_schedules",
+    "model_gradient",
+    "model_vector",
+    "no_grad",
+    "parameters_to_vector",
+    "stack",
+    "vector_to_gradients",
+    "vector_to_parameters",
+]

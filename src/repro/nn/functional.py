@@ -1,0 +1,420 @@
+"""Neural-network operators for the numpy autograd substrate.
+
+Implements the fused / structured operations that the :class:`~repro.nn.tensor.Tensor`
+method set does not cover: grouped 2-D convolution (im2col based), max / average
+pooling, batch normalisation, dropout, log-softmax and the cross-entropy losses
+used throughout the FedKNOW reproduction (hard-label, soft-label / distillation,
+and task-masked variants).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import profiler
+from .tensor import Tensor, is_grad_enabled
+
+# ---------------------------------------------------------------------------
+# im2col / col2im
+# ---------------------------------------------------------------------------
+
+
+def _pair(value) -> tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, sh: int, sw: int, ph: int, pw: int
+) -> tuple[np.ndarray, int, int]:
+    """Unfold sliding windows of ``x`` into columns.
+
+    Returns an array of shape ``(N, C*kh*kw, OH*OW)`` whose second axis is laid
+    out as ``(channel, kernel_row, kernel_col)``, plus the output spatial size.
+    """
+    n, c, h, w = x.shape
+    oh = (h + 2 * ph - kh) // sh + 1
+    ow = (w + 2 * pw - kw) // sw + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError(
+            f"convolution window ({kh}x{kw}, stride {sh}x{sw}) does not fit "
+            f"input of spatial size {h}x{w} with padding {ph}x{pw}"
+        )
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
+    for i in range(kh):
+        i_end = i + sh * oh
+        for j in range(kw):
+            cols[:, :, i, j] = x[:, :, i:i_end:sh, j : j + sw * ow : sw]
+    return cols.reshape(n, c * kh * kw, oh * ow), oh, ow
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    sh: int,
+    sw: int,
+    ph: int,
+    pw: int,
+) -> np.ndarray:
+    """Fold columns produced by :func:`im2col` back into an image (adds overlaps)."""
+    n, c, h, w = x_shape
+    oh = (h + 2 * ph - kh) // sh + 1
+    ow = (w + 2 * pw - kw) // sw + 1
+    cols = cols.reshape(n, c, kh, kw, oh, ow)
+    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    for i in range(kh):
+        i_end = i + sh * oh
+        for j in range(kw):
+            padded[:, :, i:i_end:sh, j : j + sw * ow : sw] += cols[:, :, i, j]
+    if ph or pw:
+        return padded[:, :, ph : ph + h, pw : pw + w]
+    return padded
+
+
+# ---------------------------------------------------------------------------
+# convolution
+# ---------------------------------------------------------------------------
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride=1,
+    padding=0,
+    groups: int = 1,
+) -> Tensor:
+    """Grouped 2-D convolution.
+
+    ``x`` has shape ``(N, C, H, W)``; ``weight`` has shape
+    ``(C_out, C_in // groups, kh, kw)``.  Depthwise convolution is the special
+    case ``groups == C_in`` used by MobileNetV2 / ShuffleNetV2.
+    """
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    n, c, _, _ = x.shape
+    c_out, c_in_g, kh, kw = weight.shape
+    if c != c_in_g * groups:
+        raise ValueError(
+            f"input has {c} channels but weight expects {c_in_g * groups} "
+            f"({c_in_g} per group x {groups} groups)"
+        )
+    if c_out % groups:
+        raise ValueError(f"output channels {c_out} not divisible by groups {groups}")
+
+    cols, oh, ow = im2col(x.data, kh, kw, sh, sw, ph, pw)
+    l = oh * ow
+    cog = c_out // groups
+    # (N, G, Cg*kh*kw, L) x (G, CoG, Cg*kh*kw) -> (N, G, CoG, L)
+    cols_g = cols.reshape(n, groups, c_in_g * kh * kw, l)
+    w_g = weight.data.reshape(groups, cog, c_in_g * kh * kw)
+    out = np.einsum("ngkl,gok->ngol", cols_g, w_g, optimize=True)
+    out = out.reshape(n, c_out, oh, ow)
+    if bias is not None:
+        out = out + bias.data.reshape(1, c_out, 1, 1)
+    if profiler.is_profiling():
+        profiler.record_op(2.0 * n * c_out * l * c_in_g * kh * kw, float(out.size))
+
+    x_shape = x.shape
+
+    def backward(g: np.ndarray) -> None:
+        g_g = g.reshape(n, groups, cog, l)
+        if bias is not None and bias.requires_grad:
+            bias.accumulate_grad(g.sum(axis=(0, 2, 3)))
+        if weight.requires_grad:
+            grad_w = np.einsum("ngol,ngkl->gok", g_g, cols_g, optimize=True)
+            weight.accumulate_grad(grad_w.reshape(weight.shape))
+        if x.requires_grad:
+            grad_cols = np.einsum("ngol,gok->ngkl", g_g, w_g, optimize=True)
+            grad_cols = grad_cols.reshape(n, c * kh * kw, l)
+            x.accumulate_grad(col2im(grad_cols, x_shape, kh, kw, sh, sw, ph, pw))
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._make(out, parents, backward)
+
+
+# ---------------------------------------------------------------------------
+# pooling
+# ---------------------------------------------------------------------------
+
+
+def max_pool2d(x: Tensor, kernel_size=2, stride=None, padding=0) -> Tensor:
+    """Max pooling over spatial windows."""
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride if stride is not None else kernel_size)
+    ph, pw = _pair(padding)
+    n, c, _, _ = x.shape
+    data = x.data
+    if ph or pw:
+        pad_value = np.finfo(data.dtype).min
+        data = np.pad(
+            data, ((0, 0), (0, 0), (ph, ph), (pw, pw)), constant_values=pad_value
+        )
+    cols, oh, ow = im2col(data, kh, kw, sh, sw, 0, 0)
+    windows = cols.reshape(n, c, kh * kw, oh * ow)
+    arg = windows.argmax(axis=2)
+    out = np.take_along_axis(windows, arg[:, :, None, :], axis=2)[:, :, 0, :]
+    out = out.reshape(n, c, oh, ow)
+
+    padded_shape = data.shape
+    x_shape = x.shape
+
+    def backward(g: np.ndarray) -> None:
+        grad_windows = np.zeros_like(windows)
+        np.put_along_axis(
+            grad_windows, arg[:, :, None, :], g.reshape(n, c, 1, oh * ow), axis=2
+        )
+        grad_cols = grad_windows.reshape(n, c * kh * kw, oh * ow)
+        grad_padded = col2im(grad_cols, padded_shape, kh, kw, sh, sw, 0, 0)
+        if ph or pw:
+            grad_padded = grad_padded[
+                :, :, ph : ph + x_shape[2], pw : pw + x_shape[3]
+            ]
+        x.accumulate_grad(grad_padded)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel_size=2, stride=None, padding=0) -> Tensor:
+    """Average pooling over spatial windows."""
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride if stride is not None else kernel_size)
+    ph, pw = _pair(padding)
+    n, c, _, _ = x.shape
+    cols, oh, ow = im2col(x.data, kh, kw, sh, sw, ph, pw)
+    windows = cols.reshape(n, c, kh * kw, oh * ow)
+    out = windows.mean(axis=2).reshape(n, c, oh, ow)
+    scale = 1.0 / (kh * kw)
+    x_shape = x.shape
+
+    def backward(g: np.ndarray) -> None:
+        g_flat = (g.reshape(n, c, 1, oh * ow) * scale).astype(g.dtype)
+        grad_windows = np.broadcast_to(g_flat, (n, c, kh * kw, oh * ow))
+        grad_cols = np.ascontiguousarray(grad_windows).reshape(
+            n, c * kh * kw, oh * ow
+        )
+        x.accumulate_grad(col2im(grad_cols, x_shape, kh, kw, sh, sw, ph, pw))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Adaptive average pooling to a single spatial location, flattened."""
+    return x.mean(axis=(2, 3))
+
+
+# ---------------------------------------------------------------------------
+# normalisation
+# ---------------------------------------------------------------------------
+
+
+def batch_norm(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalisation over the channel axis for 2-D or 4-D inputs.
+
+    ``running_mean`` / ``running_var`` are plain numpy buffers updated in place
+    during training (they carry no gradient).
+    """
+    if x.ndim == 4:
+        axes = (0, 2, 3)
+        shape = (1, -1, 1, 1)
+    elif x.ndim == 2:
+        axes = (0,)
+        shape = (1, -1)
+    else:
+        raise ValueError(f"batch_norm expects 2-D or 4-D input, got {x.ndim}-D")
+
+    if training:
+        mean = x.data.mean(axis=axes)
+        var = x.data.var(axis=axes)
+        count = x.data.size // x.data.shape[1]
+        unbiased = var * count / max(count - 1, 1)
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * unbiased
+    else:
+        mean = running_mean
+        var = running_var
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mean.reshape(shape)) * inv_std.reshape(shape)
+    out = gamma.data.reshape(shape) * x_hat + beta.data.reshape(shape)
+
+    def backward(g: np.ndarray) -> None:
+        if beta.requires_grad:
+            beta.accumulate_grad(g.sum(axis=axes))
+        if gamma.requires_grad:
+            gamma.accumulate_grad((g * x_hat).sum(axis=axes))
+        if x.requires_grad:
+            g_hat = g * gamma.data.reshape(shape)
+            if training:
+                count = x.data.size // x.data.shape[1]
+                sum_g = g_hat.sum(axis=axes, keepdims=True)
+                sum_gx = (g_hat * x_hat).sum(axis=axes, keepdims=True)
+                grad_x = (
+                    inv_std.reshape(shape)
+                    / count
+                    * (count * g_hat - sum_g - x_hat * sum_gx)
+                )
+            else:
+                grad_x = g_hat * inv_std.reshape(shape)
+            x.accumulate_grad(grad_x.astype(g.dtype))
+
+    return Tensor._make(out.astype(x.data.dtype), (x, gamma, beta), backward)
+
+
+# ---------------------------------------------------------------------------
+# regularisation
+# ---------------------------------------------------------------------------
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: active only in training mode."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+    out = x.data * mask
+
+    def backward(g: np.ndarray) -> None:
+        x.accumulate_grad(g * mask)
+
+    return Tensor._make(out, (x,), backward)
+
+
+# ---------------------------------------------------------------------------
+# softmax family
+# ---------------------------------------------------------------------------
+
+
+def _log_softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+
+
+def log_softmax(x: Tensor) -> Tensor:
+    """Row-wise log-softmax (over axis 1)."""
+    out = _log_softmax(x.data)
+    softmax = np.exp(out)
+
+    def backward(g: np.ndarray) -> None:
+        x.accumulate_grad(g - softmax * g.sum(axis=1, keepdims=True))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def softmax(x: Tensor) -> Tensor:
+    """Row-wise softmax (over axis 1)."""
+    out = np.exp(_log_softmax(x.data))
+
+    def backward(g: np.ndarray) -> None:
+        dot = (g * out).sum(axis=1, keepdims=True)
+        x.accumulate_grad(out * (g - dot))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def _apply_class_mask(logits: np.ndarray, class_mask: np.ndarray | None) -> np.ndarray:
+    if class_mask is None:
+        return logits
+    masked = np.where(class_mask[None, :], logits, np.float32(-1e9))
+    return masked.astype(logits.dtype)
+
+
+def cross_entropy(
+    logits: Tensor,
+    labels: np.ndarray,
+    class_mask: np.ndarray | None = None,
+) -> Tensor:
+    """Mean cross-entropy between ``logits`` and integer ``labels``.
+
+    ``class_mask`` (bool, shape ``(num_classes,)``) restricts the softmax to a
+    task's classes — the task-incremental evaluation protocol used throughout
+    the paper's benchmarks.
+    """
+    labels = np.asarray(labels)
+    n = logits.shape[0]
+    if labels.shape != (n,):
+        raise ValueError(f"labels shape {labels.shape} does not match batch {n}")
+    masked = _apply_class_mask(logits.data, class_mask)
+    logp = _log_softmax(masked)
+    loss = -logp[np.arange(n), labels].mean()
+    probs = np.exp(logp)
+
+    def backward(g: np.ndarray) -> None:
+        grad = probs.copy()
+        grad[np.arange(n), labels] -= 1.0
+        grad *= g / n
+        if class_mask is not None:
+            grad[:, ~class_mask] = 0.0
+        logits.accumulate_grad(grad.astype(logits.data.dtype))
+
+    return Tensor._make(np.asarray(loss, dtype=logits.data.dtype), (logits,), backward)
+
+
+def soft_cross_entropy(
+    logits: Tensor,
+    target_probs: np.ndarray,
+    class_mask: np.ndarray | None = None,
+) -> Tensor:
+    """Mean cross-entropy against a soft target distribution.
+
+    This is the loss of FedKNOW's gradient restorer (Eq. 2 of the paper): the
+    target is the probability distribution predicted by a past task's retained
+    knowledge, and the gradient ``softmax(logits) - target`` points along the
+    update direction that keeps the current model consistent with that task.
+    """
+    target_probs = np.asarray(target_probs, dtype=logits.data.dtype)
+    if target_probs.shape != logits.shape:
+        raise ValueError(
+            f"target shape {target_probs.shape} != logits shape {logits.shape}"
+        )
+    n = logits.shape[0]
+    masked = _apply_class_mask(logits.data, class_mask)
+    logp = _log_softmax(masked)
+    if class_mask is not None:
+        loss = -(target_probs[:, class_mask] * logp[:, class_mask]).sum() / n
+    else:
+        loss = -(target_probs * logp).sum() / n
+    probs = np.exp(logp)
+
+    def backward(g: np.ndarray) -> None:
+        grad = (probs - target_probs) * (g / n)
+        if class_mask is not None:
+            grad[:, ~class_mask] = 0.0
+        logits.accumulate_grad(grad.astype(logits.data.dtype))
+
+    return Tensor._make(np.asarray(loss, dtype=logits.data.dtype), (logits,), backward)
+
+
+def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target."""
+    target = np.asarray(target, dtype=pred.data.dtype)
+    diff = pred - Tensor(target)
+    return (diff * diff).mean()
+
+
+def accuracy(
+    logits: np.ndarray, labels: np.ndarray, class_mask: np.ndarray | None = None
+) -> float:
+    """Top-1 accuracy of raw ``logits`` against integer ``labels``."""
+    logits = np.asarray(logits)
+    masked = _apply_class_mask(logits, class_mask)
+    pred = masked.argmax(axis=1)
+    return float((pred == np.asarray(labels)).mean())

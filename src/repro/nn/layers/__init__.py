@@ -1,0 +1,26 @@
+"""Layer catalogue for the numpy NN substrate."""
+
+from .activation import Identity, ReLU, Sigmoid, Tanh
+from .conv import Conv2d
+from .dropout import Dropout
+from .linear import Linear
+from .norm import BatchNorm1d, BatchNorm2d
+from .pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from .shape import ChannelShuffle, Flatten
+
+__all__ = [
+    "AvgPool2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "ChannelShuffle",
+    "Conv2d",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool2d",
+    "Identity",
+    "Linear",
+    "MaxPool2d",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+]

@@ -1,0 +1,61 @@
+"""2-D convolution layer (supports grouped / depthwise convolution)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...utils.rng import get_rng
+from .. import functional as F
+from .. import init
+from ..module import Module, Parameter
+from ..tensor import Tensor
+
+
+class Conv2d(Module):
+    """Grouped 2-D convolution over ``(N, C, H, W)`` inputs."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size,
+        stride=1,
+        padding=0,
+        groups: int = 1,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = get_rng(rng)
+        if in_channels % groups:
+            raise ValueError(
+                f"in_channels {in_channels} not divisible by groups {groups}"
+            )
+        kh, kw = F._pair(kernel_size)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = F._pair(stride)
+        self.padding = F._pair(padding)
+        self.groups = groups
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels // groups, kh, kw), rng)
+        )
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(
+            x,
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            groups=self.groups,
+        )
+
+    def output_spatial(self, h: int, w: int) -> tuple[int, int]:
+        """Spatial size of the output for an ``h x w`` input (used by the FLOP model)."""
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        ph, pw = self.padding
+        return (h + 2 * ph - kh) // sh + 1, (w + 2 * pw - kw) // sw + 1

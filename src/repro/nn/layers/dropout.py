@@ -1,0 +1,24 @@
+"""Dropout layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...utils.rng import get_rng
+from .. import functional as F
+from ..module import Module
+from ..tensor import Tensor
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = get_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, self._rng)

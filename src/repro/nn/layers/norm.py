@@ -1,0 +1,40 @@
+"""Batch normalisation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import functional as F
+from .. import init
+from ..module import Module, Parameter
+from ..tensor import Tensor
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over the channel axis of ``(N, C, H, W)`` inputs."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.weight = Parameter(init.ones((num_features,)))
+        self.bias = Parameter(init.zeros((num_features,)))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.batch_norm(
+            x,
+            self.weight,
+            self.bias,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+
+class BatchNorm1d(BatchNorm2d):
+    """Batch normalisation over the feature axis of ``(N, C)`` inputs."""

@@ -1,0 +1,31 @@
+"""Shape-manipulation layers."""
+
+from __future__ import annotations
+
+from ..module import Module
+from ..tensor import Tensor
+
+
+class Flatten(Module):
+    """Flatten all dimensions except the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten()
+
+
+class ChannelShuffle(Module):
+    """Interleave channel groups (ShuffleNetV2's shuffle operation)."""
+
+    def __init__(self, groups: int):
+        super().__init__()
+        self.groups = groups
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, h, w = x.shape
+        if c % self.groups:
+            raise ValueError(f"channels {c} not divisible by groups {self.groups}")
+        return (
+            x.reshape(n, self.groups, c // self.groups, h, w)
+            .transpose(0, 2, 1, 3, 4)
+            .reshape(n, c, h, w)
+        )

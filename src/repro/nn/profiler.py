@@ -1,0 +1,58 @@
+"""Operation-level FLOP / activation profiling.
+
+The edge-device time and memory simulation needs per-model compute costs.
+An active :class:`OpProfiler` accumulates multiply-accumulate counts (as
+2-FLOP MACs) and activation element counts from the conv / matmul ops while
+it is entered; :func:`profile_forward` measures one forward pass of a model.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+_active: list["OpProfiler"] = []
+
+
+class OpProfiler:
+    """Accumulates FLOPs and activation elements while active."""
+
+    def __init__(self):
+        self.flops = 0.0
+        self.activation_elems = 0.0
+
+    def add(self, flops: float, activation_elems: float) -> None:
+        self.flops += flops
+        self.activation_elems += activation_elems
+
+    def __enter__(self) -> "OpProfiler":
+        _active.append(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _active.remove(self)
+
+
+def record_op(flops: float, activation_elems: float) -> None:
+    """Called by instrumented ops; no-op when no profiler is active."""
+    for profiler in _active:
+        profiler.add(flops, activation_elems)
+
+
+def is_profiling() -> bool:
+    return bool(_active)
+
+
+def profile_forward(model, input_shape: tuple[int, ...], batch: int = 2):
+    """Measure (flops, activation elements) per **sample** of one forward pass."""
+    import numpy as np
+
+    from .tensor import Tensor, no_grad
+
+    x = np.zeros((batch, *input_shape), dtype=np.float32)
+    was_training = model.training
+    model.eval()
+    with OpProfiler() as profiler, no_grad():
+        model(Tensor(x))
+    if was_training:
+        model.train()
+    return profiler.flops / batch, profiler.activation_elems / batch

@@ -1,0 +1,91 @@
+"""Learning-rate schedules, including the convergence-constrained pair of §IV.
+
+Theorem 1 of the paper proves FedKNOW converges when
+
+* the **local** weights' learning rate decays at rate ``O(r^-1/2)``, and
+* the **global** weights' learning rate satisfies ``eta_G <= 2 / (mu * (gamma + r))``
+  and decays at rate ``O(r^-1)``,
+
+where ``r`` is the training-iteration index.  :class:`InverseSqrtDecay` and
+:class:`BoundedInverseDecay` implement exactly those constraints;
+:func:`make_convergent_schedules` builds the matched pair.  The plain
+:class:`InverseTimeDecay` matches the "learning rate + decrease rate"
+hyperparameters reported in Section V-B (e.g. lr 0.001, decrease rate 1e-4).
+"""
+
+from __future__ import annotations
+
+
+class LRSchedule:
+    """Maps an iteration index ``r`` (1-based) to a learning rate."""
+
+    def lr(self, r: int) -> float:
+        raise NotImplementedError
+
+    def __call__(self, r: int) -> float:
+        if r < 1:
+            raise ValueError(f"iteration index must be >= 1, got {r}")
+        return self.lr(r)
+
+
+class ConstantLR(LRSchedule):
+    def __init__(self, base_lr: float):
+        if base_lr <= 0:
+            raise ValueError("base_lr must be positive")
+        self.base_lr = base_lr
+
+    def lr(self, r: int) -> float:
+        return self.base_lr
+
+
+class InverseTimeDecay(LRSchedule):
+    """``lr_r = base / (1 + decay * r)`` — the paper's lr/decrease-rate pairing."""
+
+    def __init__(self, base_lr: float, decay: float):
+        if base_lr <= 0 or decay < 0:
+            raise ValueError("base_lr must be positive and decay non-negative")
+        self.base_lr = base_lr
+        self.decay = decay
+
+    def lr(self, r: int) -> float:
+        return self.base_lr / (1.0 + self.decay * r)
+
+
+class InverseSqrtDecay(LRSchedule):
+    """``lr_r = base / sqrt(r)`` — the O(r^-1/2) local-weight constraint."""
+
+    def __init__(self, base_lr: float):
+        if base_lr <= 0:
+            raise ValueError("base_lr must be positive")
+        self.base_lr = base_lr
+
+    def lr(self, r: int) -> float:
+        return self.base_lr / (r**0.5)
+
+
+class BoundedInverseDecay(LRSchedule):
+    """``lr_r = min(base, 2 / (mu * (gamma + r)))`` — the O(r^-1) global constraint.
+
+    The ``2 / (mu * (gamma + r))`` cap is the admissibility condition of
+    Theorem 1 for the global weights' learning rate.
+    """
+
+    def __init__(self, base_lr: float, mu: float = 1.0, gamma: float = 8.0):
+        if base_lr <= 0 or mu <= 0 or gamma < 0:
+            raise ValueError("base_lr and mu must be positive, gamma non-negative")
+        self.base_lr = base_lr
+        self.mu = mu
+        self.gamma = gamma
+
+    def bound(self, r: int) -> float:
+        return 2.0 / (self.mu * (self.gamma + r))
+
+    def lr(self, r: int) -> float:
+        return min(self.base_lr, self.bound(r))
+
+
+def make_convergent_schedules(
+    local_lr: float, global_lr: float, mu: float = 1.0, gamma: float = 8.0
+) -> tuple[InverseSqrtDecay, BoundedInverseDecay]:
+    """Return the (local, global) schedule pair satisfying Theorem 1."""
+    return InverseSqrtDecay(local_lr), BoundedInverseDecay(global_lr, mu, gamma)

@@ -1,0 +1,456 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the foundation of the ``repro.nn`` deep-learning substrate
+that replaces PyTorch in this reproduction.  A :class:`Tensor` wraps a numpy
+array and records the operations applied to it; calling :meth:`Tensor.backward`
+on a scalar result propagates gradients to every tensor created with
+``requires_grad=True``.
+
+The engine is deliberately small: a dynamic tape of parent links plus a
+closure per op.  It supports everything the FedKNOW experiments need —
+broadcasting arithmetic, matrix products, reductions, views, slicing — while
+convolution, pooling and the fused losses live in :mod:`repro.nn.functional`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from . import profiler
+
+DEFAULT_DTYPE = np.float32
+
+_grad_enabled = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction (used for eval)."""
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations will be recorded on the autograd tape."""
+    return _grad_enabled
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(
+        i for i, (g, s) in enumerate(zip(grad.shape, shape)) if s == 1 and g != 1
+    )
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed array with reverse-mode autograd support."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False, dtype=None):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=dtype or DEFAULT_DTYPE)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # ------------------------------------------------------------------
+    # basic introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.data.dtype}{flag})"
+
+    # ------------------------------------------------------------------
+    # autograd machinery
+    # ------------------------------------------------------------------
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into this tensor's gradient buffer."""
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar backward()")
+            grad = np.ones_like(self.data)
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+        self.accumulate_grad(np.asarray(grad, dtype=self.data.dtype))
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------
+    # graph-building helper
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create an op result, wiring the backward closure if grads flow."""
+        needs = _grad_enabled and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=needs, dtype=data.dtype)
+        if needs:
+            out._parents = tuple(p for p in parents if p.requires_grad)
+            out._backward = backward
+        return out
+
+    @staticmethod
+    def _coerce(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data + other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self.accumulate_grad(_unbroadcast(g, self.shape))
+            if other.requires_grad:
+                other.accumulate_grad(_unbroadcast(g, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(-g)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data - other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self.accumulate_grad(_unbroadcast(g, self.shape))
+            if other.requires_grad:
+                other.accumulate_grad(_unbroadcast(-g, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data * other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self.accumulate_grad(_unbroadcast(g * other.data, self.shape))
+            if other.requires_grad:
+                other.accumulate_grad(_unbroadcast(g * self.data, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data / other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self.accumulate_grad(_unbroadcast(g / other.data, self.shape))
+            if other.requires_grad:
+                other.accumulate_grad(
+                    _unbroadcast(-g * self.data / (other.data**2), other.shape)
+                )
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._coerce(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g * exponent * self.data ** (exponent - 1))
+
+        return self._make(out_data, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data @ other.data
+        if profiler.is_profiling():
+            profiler.record_op(2.0 * self.data.size * other.data.shape[-1],
+                               float(out_data.size))
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self.accumulate_grad(g @ other.data.T)
+            if other.requires_grad:
+                other.accumulate_grad(self.data.T @ g)
+
+        return self._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g * mask)
+
+        return self._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g * out_data * (1.0 - out_data))
+
+        return self._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g * (1.0 - out_data**2))
+
+        return self._make(out_data, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g * out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g / self.data)
+
+        return self._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g * 0.5 / out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        out_data = np.abs(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g * sign)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        in_shape = self.shape
+
+        def backward(g: np.ndarray) -> None:
+            grad = g
+            if not keepdims and axis is not None:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % len(in_shape) for a in axes)
+                shape = tuple(
+                    1 if i in axes else s for i, s in enumerate(in_shape)
+                )
+                grad = grad.reshape(shape)
+            self.accumulate_grad(np.broadcast_to(grad, in_shape).astype(g.dtype))
+
+        return self._make(np.asarray(out_data), (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        max_keep = self.data.max(axis=axis, keepdims=True)
+        mask = self.data == max_keep
+        counts = mask.sum(axis=axis, keepdims=True)
+        in_shape = self.shape
+
+        def backward(g: np.ndarray) -> None:
+            grad = g
+            if not keepdims and axis is not None:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % len(in_shape) for a in axes)
+                shape = tuple(1 if i in axes else s for i, s in enumerate(in_shape))
+                grad = grad.reshape(shape)
+            elif not keepdims and axis is None:
+                grad = np.reshape(grad, (1,) * len(in_shape))
+            self.accumulate_grad((mask * grad / counts).astype(g.dtype))
+
+        return self._make(np.asarray(out_data), (self,), backward)
+
+    # ------------------------------------------------------------------
+    # shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        in_shape = self.shape
+        out_data = self.data.reshape(shape)
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g.reshape(in_shape))
+
+        return self._make(out_data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        inverse = np.argsort(axes)
+        out_data = self.data.transpose(axes)
+
+        def backward(g: np.ndarray) -> None:
+            self.accumulate_grad(g.transpose(inverse))
+
+        return self._make(out_data, (self,), backward)
+
+    def flatten(self) -> "Tensor":
+        """Flatten all dimensions except the leading (batch) one."""
+        return self.reshape(self.shape[0], -1)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+        in_shape = self.shape
+        in_dtype = self.data.dtype
+
+        def backward(g: np.ndarray) -> None:
+            full = np.zeros(in_shape, dtype=in_dtype)
+            np.add.at(full, index, g)
+            self.accumulate_grad(full)
+
+        return self._make(np.ascontiguousarray(out_data), (self,), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` (differentiable)."""
+    tensors = [Tensor._coerce(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                index = [slice(None)] * g.ndim
+                index[axis] = slice(start, stop)
+                tensor.accumulate_grad(np.ascontiguousarray(g[tuple(index)]))
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` (differentiable)."""
+    tensors = [Tensor._coerce(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g: np.ndarray) -> None:
+        slices = np.moveaxis(g, axis, 0)
+        for tensor, piece in zip(tensors, slices):
+            if tensor.requires_grad:
+                tensor.accumulate_grad(np.ascontiguousarray(piece))
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def as_tensor(value, dtype=None) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` without copying when possible."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, dtype=dtype)

@@ -1,0 +1,65 @@
+"""Flattening model parameters / gradients to single vectors and back.
+
+The FedKNOW gradient integrator, GEM's projection, EWC's penalty and the
+Wasserstein task-distance all operate on flat gradient vectors; these helpers
+define the canonical parameter ordering (the module traversal order of
+``Module.named_parameters``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .module import Module, Parameter
+
+
+def parameters_to_vector(params: Sequence[Parameter]) -> np.ndarray:
+    """Concatenate parameter values into one float64 vector."""
+    return np.concatenate([p.data.reshape(-1).astype(np.float64) for p in params])
+
+
+def vector_to_parameters(vector: np.ndarray, params: Sequence[Parameter]) -> None:
+    """Write a flat vector back into the parameter tensors (in place)."""
+    expected = sum(p.size for p in params)
+    if vector.size != expected:
+        raise ValueError(f"vector has {vector.size} elements, expected {expected}")
+    offset = 0
+    for param in params:
+        chunk = vector[offset : offset + param.size]
+        param.data[...] = chunk.reshape(param.shape).astype(param.data.dtype)
+        offset += param.size
+
+
+def gradients_to_vector(params: Sequence[Parameter]) -> np.ndarray:
+    """Concatenate gradients into one float64 vector (zeros where grad is None)."""
+    chunks = []
+    for param in params:
+        if param.grad is None:
+            chunks.append(np.zeros(param.size, dtype=np.float64))
+        else:
+            chunks.append(param.grad.reshape(-1).astype(np.float64))
+    return np.concatenate(chunks)
+
+
+def vector_to_gradients(vector: np.ndarray, params: Sequence[Parameter]) -> None:
+    """Write a flat vector into the ``grad`` buffers of the parameters."""
+    expected = sum(p.size for p in params)
+    if vector.size != expected:
+        raise ValueError(f"vector has {vector.size} elements, expected {expected}")
+    offset = 0
+    for param in params:
+        chunk = vector[offset : offset + param.size]
+        param.grad = chunk.reshape(param.shape).astype(param.data.dtype)
+        offset += param.size
+
+
+def model_gradient(model: Module) -> np.ndarray:
+    """Flat gradient vector of a model's parameters."""
+    return gradients_to_vector(model.parameters())
+
+
+def model_vector(model: Module) -> np.ndarray:
+    """Flat value vector of a model's parameters."""
+    return parameters_to_vector(model.parameters())

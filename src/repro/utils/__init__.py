@@ -1,0 +1,6 @@
+"""Shared utilities: deterministic RNG handling, serialisation helpers."""
+
+from .rng import get_rng, seed_all, spawn
+from .serialization import load_state, save_state, state_num_bytes
+
+__all__ = ["get_rng", "seed_all", "spawn", "load_state", "save_state", "state_num_bytes"]

@@ -1,0 +1,32 @@
+"""Deterministic random-number management.
+
+All stochastic components (weight init, data generation, client sampling,
+dropout) draw from explicit :class:`numpy.random.Generator` objects.  A global
+default generator exists for convenience; experiments re-seed it so that every
+compared method sees identical initial weights and data order, matching the
+paper's controlled-comparison protocol (Section V-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_DEFAULT_SEED = 0
+_default_rng = np.random.default_rng(_DEFAULT_SEED)
+
+
+def seed_all(seed: int) -> None:
+    """Reset the global default generator to ``seed``."""
+    global _default_rng
+    _default_rng = np.random.default_rng(seed)
+
+
+def get_rng(rng: np.random.Generator | None = None) -> np.random.Generator:
+    """Return ``rng`` if given, else the global default generator."""
+    return rng if rng is not None else _default_rng
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``."""
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,29 @@
+"""State-dict serialisation and size accounting.
+
+``state_num_bytes`` is the canonical measure of message size used by the
+communication-cost experiments (Figures 5 and 6): a state dict transmitted
+between a client and the server costs the sum of its arrays' byte sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping
+
+import numpy as np
+
+
+def state_num_bytes(state: Mapping[str, np.ndarray]) -> int:
+    """Total payload size, in bytes, of a ``name -> array`` state mapping."""
+    return int(sum(np.asarray(v).nbytes for v in state.values()))
+
+
+def save_state(state: Mapping[str, np.ndarray], path: str | os.PathLike) -> None:
+    """Persist a state dict as a compressed ``.npz`` archive."""
+    np.savez_compressed(path, **{k: np.asarray(v) for k, v in state.items()})
+
+
+def load_state(path: str | os.PathLike) -> dict[str, np.ndarray]:
+    """Load a state dict previously written by :func:`save_state`."""
+    with np.load(path) as archive:
+        return {key: archive[key] for key in archive.files}

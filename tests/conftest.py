@@ -1,0 +1,74 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# keep property-based tests fast and deterministic in CI
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def tiny_spec():
+    """A 2-task, 8-class dataset spec small enough for unit tests."""
+    from repro.data import cifar100_like
+
+    return cifar100_like(train_per_class=8, test_per_class=4).with_tasks(2)
+
+
+@pytest.fixture
+def tiny_benchmark(tiny_spec, rng):
+    """A 2-client federated benchmark over the tiny spec."""
+    from repro.data import build_benchmark
+
+    return build_benchmark(tiny_spec, num_clients=2, rng=rng)
+
+
+@pytest.fixture
+def tiny_model(tiny_spec):
+    """A small SixCNN sized for the tiny spec, deterministic init."""
+    from repro.models import build_model
+
+    return build_model(
+        tiny_spec.model_name,
+        tiny_spec.num_classes,
+        input_shape=tiny_spec.input_shape,
+        rng=np.random.default_rng(42),
+        width=8,
+    )
+
+
+def numeric_gradient(fn, array: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``array`` in place."""
+    grad = np.zeros_like(array, dtype=np.float64)
+    iterator = np.nditer(array, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + eps
+        f_plus = fn()
+        array[index] = original - eps
+        f_minus = fn()
+        array[index] = original
+        grad[index] = (f_plus - f_minus) / (2 * eps)
+        iterator.iternext()
+    return grad
+
+
+@pytest.fixture
+def gradcheck():
+    return numeric_gradient

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import FIGURES, main
+
+
+class TestList:
+    def test_list_prints_catalogue(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fedknow" in out
+        assert "cifar100" in out
+        assert "resnet18" in out
+        assert "fig5" in out
+
+
+class TestRun:
+    def test_run_unit_scale(self, capsys):
+        code = main([
+            "run", "--method", "fedavg", "--dataset", "svhn",
+            "--preset", "unit", "--seed", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        assert "forgetting" in out
+        assert "fedavg" in out
+
+    def test_run_overrides_clients_and_tasks(self, capsys):
+        code = main([
+            "run", "--method", "fedavg", "--dataset", "cifar100",
+            "--preset", "unit", "--clients", "2", "--tasks", "2",
+        ])
+        assert code == 0
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--method", "sgd", "--dataset", "svhn"])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--method", "fedavg", "--dataset", "imagenet"])
+
+
+class TestFigure:
+    def test_figures_catalogue_complete(self):
+        for name in ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+                     "table1", "ablations", "fig4-hetero"):
+            assert name in FIGURES
+
+    def test_fig5_unit(self, capsys):
+        from repro.experiments import clear_cache
+
+        clear_cache()
+        code = main(["figure", "fig5", "--preset", "unit"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fedknow_gb" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+class TestSearchCommand:
+    def test_search_unit(self, capsys):
+        from repro.experiments import clear_cache
+
+        clear_cache()
+        code = main(["search", "--preset", "unit"])
+        assert code == 0
+        assert "best" in capsys.readouterr().out

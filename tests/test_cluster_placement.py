@@ -1,0 +1,55 @@
+"""Tests for client-to-device placement on heterogeneous clusters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.edge import (
+    EdgeCluster,
+    JETSON_AGX,
+    JETSON_NANO,
+    jetson_raspberry_cluster,
+    uniform_cluster,
+)
+
+
+class TestStridedPlacement:
+    def test_few_clients_span_whole_catalogue(self):
+        """With fewer clients than devices, every device tier is sampled —
+        in particular the Raspberry Pis at the end of the 30-device cluster."""
+        cluster = jetson_raspberry_cluster()
+        devices = [
+            cluster.device_for_client(i, num_clients=3) for i in range(3)
+        ]
+        names = [d.name for d in devices]
+        assert any(name.startswith("raspberry_pi") for name in names), names
+        assert any(name.startswith("jetson") for name in names), names
+
+    def test_matching_counts_identity(self):
+        cluster = jetson_raspberry_cluster()
+        for i in (0, 7, 29):
+            assert (
+                cluster.device_for_client(i, num_clients=30)
+                is cluster.devices[i]
+            )
+
+    def test_more_clients_than_devices_round_robin(self):
+        cluster = uniform_cluster(JETSON_AGX, 4)
+        assert cluster.device_for_client(5, num_clients=8) is cluster.devices[1]
+
+    def test_without_count_round_robin(self):
+        cluster = EdgeCluster([JETSON_AGX, JETSON_NANO])
+        assert cluster.device_for_client(0) is JETSON_AGX
+        assert cluster.device_for_client(1) is JETSON_NANO
+        assert cluster.device_for_client(2) is JETSON_AGX
+
+    def test_placement_deterministic(self):
+        cluster = jetson_raspberry_cluster()
+        a = [cluster.device_for_client(i, 5).name for i in range(5)]
+        b = [cluster.device_for_client(i, 5).name for i in range(5)]
+        assert a == b
+
+    def test_last_client_within_bounds(self):
+        cluster = jetson_raspberry_cluster()
+        device = cluster.device_for_client(6, num_clients=7)
+        assert device in cluster.devices

@@ -1,0 +1,253 @@
+"""Tests for the six continual-learning strategies and the episodic buffer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.continual import (
+    AGSCLStrategy,
+    BCNStrategy,
+    Co2LStrategy,
+    EWCStrategy,
+    EpisodicMemory,
+    FinetuneStrategy,
+    GEMStrategy,
+    MASStrategy,
+)
+from repro.federated import SGDClient, TrainConfig
+
+
+def make_client(tiny_benchmark, tiny_model, strategy):
+    config = TrainConfig(batch_size=8, lr=0.02, rounds_per_task=1,
+                         iterations_per_round=4)
+    return SGDClient(
+        0, tiny_benchmark.clients[0], tiny_model, config,
+        strategy=strategy, rng=np.random.default_rng(0),
+    )
+
+
+def run_two_tasks(client):
+    for position in range(2):
+        client.begin_task(position)
+        client.local_train(4)
+        client.end_task()
+    return client
+
+
+class TestEpisodicMemory:
+    def test_store_fraction(self, tiny_benchmark, rng):
+        task = tiny_benchmark.clients[0].tasks[0]
+        memory = EpisodicMemory(fraction=0.5)
+        memory.store(task, rng)
+        assert len(memory) == 1
+        assert memory[0].x.shape[0] == pytest.approx(task.num_train * 0.5, abs=1)
+
+    def test_minimum_per_task(self, tiny_benchmark, rng):
+        task = tiny_benchmark.clients[0].tasks[0]
+        memory = EpisodicMemory(fraction=0.001)
+        memory.store(task, rng)
+        assert len(memory[0].y) >= min(4, task.num_train)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            EpisodicMemory(fraction=0.0)
+
+    def test_sample_joint_union_mask(self, tiny_benchmark, rng):
+        memory = EpisodicMemory(fraction=1.0)
+        for task in tiny_benchmark.clients[0].tasks[:2]:
+            memory.store(task, rng)
+        x, y, mask = memory.sample_joint(8, rng)
+        assert len(x) == len(y) == 8
+        for label in y:
+            assert mask[label]
+
+    def test_sample_joint_empty_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            EpisodicMemory().sample_joint(4, rng)
+
+    def test_nbytes(self, tiny_benchmark, rng):
+        memory = EpisodicMemory(fraction=1.0)
+        memory.store(tiny_benchmark.clients[0].tasks[0], rng)
+        expected = memory[0].x.nbytes + memory[0].y.nbytes
+        assert memory.nbytes == expected
+
+
+class TestFinetune:
+    def test_is_default_and_reports_zero_state(self, tiny_benchmark, tiny_model):
+        client = make_client(tiny_benchmark, tiny_model, None)
+        assert isinstance(client.strategy, FinetuneStrategy)
+        assert client.extra_state_bytes() == {"model": 0, "samples": 0}
+
+
+class TestGEM:
+    def test_memory_grows_per_task(self, tiny_benchmark, tiny_model):
+        strategy = GEMStrategy(memory_fraction=0.5)
+        client = run_two_tasks(make_client(tiny_benchmark, tiny_model, strategy))
+        assert len(strategy.memory) == 2
+        assert client.extra_state_bytes()["samples"] > 0
+
+    def test_projection_satisfies_memory_constraints(
+        self, tiny_benchmark, tiny_model
+    ):
+        from repro.nn import functional as F
+        from repro.nn.tensor import Tensor
+        from repro.nn.vector import gradients_to_vector
+
+        strategy = GEMStrategy(memory_fraction=1.0)
+        client = make_client(tiny_benchmark, tiny_model, strategy)
+        client.begin_task(0)
+        client.local_train(4)
+        client.end_task()
+        client.begin_task(1)
+        task = client.task
+        xb, yb = task.train_x[:8], task.train_y[:8]
+        client.model.zero_grad()
+        loss = strategy.loss(client.model, xb, yb, task.class_mask())
+        loss.backward()
+        strategy.post_backward(client.model, xb, yb, task.class_mask())
+        projected = gradients_to_vector(client.model.parameters())
+        # recompute the memory gradient and check the acute-angle condition
+        memory = strategy.memory[0]
+        client.model.zero_grad()
+        F.cross_entropy(
+            client.model(Tensor(memory.x[:32])), memory.y[:32],
+            class_mask=memory.class_mask,
+        ).backward()
+        memory_grad = gradients_to_vector(client.model.parameters())
+        scale = max(abs(float(memory_grad @ projected)), 1.0)
+        assert float(memory_grad @ projected) >= -1e-5 * scale
+
+    def test_extra_compute_counts_references(self, tiny_benchmark, tiny_model):
+        strategy = GEMStrategy(memory_fraction=0.5)
+        run_two_tasks(make_client(tiny_benchmark, tiny_model, strategy))
+        assert strategy.extra_compute_units() == 2.0
+
+    def test_max_reference_tasks_limits(self, tiny_benchmark, tiny_model):
+        strategy = GEMStrategy(memory_fraction=0.5, max_reference_tasks=1)
+        run_two_tasks(make_client(tiny_benchmark, tiny_model, strategy))
+        assert strategy.extra_compute_units() == 1.0
+
+
+class TestEWC:
+    def test_fisher_accumulated_per_task(self, tiny_benchmark, tiny_model):
+        strategy = EWCStrategy(penalty=10.0, fisher_batches=2)
+        run_two_tasks(make_client(tiny_benchmark, tiny_model, strategy))
+        assert len(strategy.fishers) == 2
+        assert strategy.fishers[0].shape == (tiny_model.num_parameters(),)
+        assert (strategy.fishers[0] >= 0).all()
+
+    def test_penalty_pulls_towards_anchor(self, tiny_benchmark, tiny_model):
+        strategy = EWCStrategy(penalty=10.0, fisher_batches=2)
+        client = make_client(tiny_benchmark, tiny_model, strategy)
+        client.begin_task(0)
+        client.local_train(4)
+        client.end_task()
+        anchor = strategy.anchors[0]
+        client.begin_task(1)
+        # move weights off the anchor so the quadratic penalty is active
+        for param in client.model.parameters():
+            param.data += 0.05
+        task = client.task
+        client.model.zero_grad()
+        loss = strategy.loss(
+            client.model, task.train_x[:8], task.train_y[:8], task.class_mask()
+        )
+        loss.backward()
+        before = [None if p.grad is None else p.grad.copy()
+                  for p in client.model.parameters()]
+        strategy.post_backward(client.model, None, None, None)
+        after = [p.grad for p in client.model.parameters()]
+        changed = any(
+            b is not None and not np.allclose(a, b)
+            for a, b in zip(after, before)
+        )
+        assert changed
+
+    def test_state_bytes_grow_with_tasks(self, tiny_benchmark, tiny_model):
+        strategy = EWCStrategy(penalty=10.0, fisher_batches=1)
+        client = make_client(tiny_benchmark, tiny_model, strategy)
+        client.begin_task(0)
+        client.local_train(2)
+        client.end_task()
+        one = client.extra_state_bytes()["model"]
+        client.begin_task(1)
+        client.local_train(2)
+        client.end_task()
+        assert client.extra_state_bytes()["model"] == 2 * one
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ValueError):
+            EWCStrategy(penalty=-1.0)
+
+
+class TestMAS:
+    def test_omega_accumulates_in_place(self, tiny_benchmark, tiny_model):
+        strategy = MASStrategy(penalty=10.0, importance_batches=2)
+        run_two_tasks(make_client(tiny_benchmark, tiny_model, strategy))
+        assert strategy.omega is not None
+        assert (strategy.omega >= 0).all()
+
+    def test_state_constant_in_task_count(self, tiny_benchmark, tiny_model):
+        strategy = MASStrategy(penalty=10.0, importance_batches=1)
+        client = make_client(tiny_benchmark, tiny_model, strategy)
+        client.begin_task(0)
+        client.local_train(2)
+        client.end_task()
+        one = client.extra_state_bytes()["model"]
+        client.begin_task(1)
+        client.local_train(2)
+        client.end_task()
+        assert client.extra_state_bytes()["model"] == one  # unlike EWC
+
+
+class TestAGSCL:
+    def test_importance_tracked_per_parameter(self, tiny_benchmark, tiny_model):
+        strategy = AGSCLStrategy()
+        run_two_tasks(make_client(tiny_benchmark, tiny_model, strategy))
+        assert strategy.importance
+        for name, importance in strategy.importance.items():
+            assert (importance >= 0).all()
+
+    def test_anchors_snapshot_values(self, tiny_benchmark, tiny_model):
+        strategy = AGSCLStrategy()
+        client = make_client(tiny_benchmark, tiny_model, strategy)
+        client.begin_task(0)
+        client.local_train(2)
+        client.end_task()
+        for name, param in client.model.named_parameters():
+            assert np.allclose(strategy.anchors[name], param.data)
+
+
+class TestCo2L:
+    def test_previous_model_snapshot(self, tiny_benchmark, tiny_model):
+        strategy = Co2LStrategy(memory_fraction=0.5)
+        client = run_two_tasks(make_client(tiny_benchmark, tiny_model, strategy))
+        assert strategy.previous_model is not None
+        assert client.extra_state_bytes()["model"] > 0
+        assert client.extra_state_bytes()["samples"] > 0
+
+    def test_loss_finite_with_distillation(self, tiny_benchmark, tiny_model):
+        strategy = Co2LStrategy(memory_fraction=0.5)
+        client = make_client(tiny_benchmark, tiny_model, strategy)
+        client.begin_task(0)
+        client.local_train(2)
+        client.end_task()
+        client.begin_task(1)
+        stats = client.local_train(2)
+        assert np.isfinite(stats["mean_loss"])
+
+
+class TestBCN:
+    def test_alpha_stays_in_bounds(self, tiny_benchmark, tiny_model):
+        strategy = BCNStrategy(memory_fraction=0.5, alpha_bounds=(0.2, 0.8))
+        client = run_two_tasks(make_client(tiny_benchmark, tiny_model, strategy))
+        assert 0.2 <= strategy.alpha <= 0.8
+
+    def test_no_memory_plain_loss(self, tiny_benchmark, tiny_model):
+        strategy = BCNStrategy()
+        client = make_client(tiny_benchmark, tiny_model, strategy)
+        client.begin_task(0)
+        stats = client.local_train(2)
+        assert np.isfinite(stats["mean_loss"])
+        assert strategy.extra_compute_units() == 0.0

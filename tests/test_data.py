@@ -1,0 +1,262 @@
+"""Tests for the data substrate: synthesis, specs, federated partition, loader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data import (
+    ClientTransform,
+    SyntheticImageSource,
+    build_benchmark,
+    cifar100_like,
+    combined_spec,
+    core50_like,
+    fc100_like,
+    get_spec,
+    iterate_batches,
+    miniimagenet_like,
+    sample_batch,
+    single_client_benchmark,
+    svhn_like,
+    task_classes,
+    tinyimagenet_like,
+)
+
+
+class TestSyntheticSource:
+    def test_prototype_deterministic(self):
+        a = SyntheticImageSource(10, dataset_seed=3)
+        b = SyntheticImageSource(10, dataset_seed=3)
+        assert np.array_equal(a.prototype(4), b.prototype(4))
+
+    def test_prototype_differs_across_classes(self):
+        src = SyntheticImageSource(10)
+        assert not np.allclose(src.prototype(0), src.prototype(1))
+
+    def test_prototype_differs_across_seeds(self):
+        a = SyntheticImageSource(10, dataset_seed=1)
+        b = SyntheticImageSource(10, dataset_seed=2)
+        assert not np.allclose(a.prototype(0), b.prototype(0))
+
+    def test_prototype_normalised(self):
+        proto = SyntheticImageSource(5).prototype(2)
+        assert abs(proto.mean()) < 0.05
+        assert abs(proto.std() - 1.0) < 0.05
+
+    def test_out_of_range_class_raises(self):
+        with pytest.raises(IndexError):
+            SyntheticImageSource(5).prototype(5)
+
+    def test_samples_cluster_around_prototype(self, rng):
+        src = SyntheticImageSource(5, noise=0.3, max_shift=0)
+        samples = src.sample(1, 32, rng)
+        mean_image = samples.mean(axis=0)
+        correlation = np.corrcoef(mean_image.ravel(), src.prototype(1).ravel())[0, 1]
+        assert correlation > 0.8
+
+    def test_make_split_shuffles_and_labels(self, rng):
+        src = SyntheticImageSource(6)
+        x, y = src.make_split(np.array([1, 4]), per_class=10, rng=rng)
+        assert x.shape == (20, 3, 16, 16)
+        assert set(np.unique(y)) == {1, 4}
+        assert (y[:10] != 1).any() or (y[:10] != 4).any()  # shuffled
+
+    def test_client_transform_applies(self, rng):
+        transform = ClientTransform(
+            gain=np.array([2.0, 1.0, 1.0], dtype=np.float32),
+            bias=np.zeros(3, dtype=np.float32),
+        )
+        src = SyntheticImageSource(4, noise=0.0, max_shift=0)
+        plain = src.sample(0, 4, np.random.default_rng(5))
+        shifted = transform.apply(plain)
+        assert np.allclose(shifted[:, 0], plain[:, 0] * 2.0)
+        assert np.allclose(shifted[:, 1:], plain[:, 1:])
+
+    def test_random_transform_in_bounds(self, rng):
+        transform = ClientTransform.random(3, rng)
+        assert (0.8 <= transform.gain).all() and (transform.gain <= 1.2).all()
+
+
+class TestSpecs:
+    @pytest.mark.parametrize(
+        "builder,classes,tasks,per_task,model",
+        [
+            (cifar100_like, 100, 10, 10, "six_cnn"),
+            (fc100_like, 100, 10, 10, "six_cnn"),
+            (core50_like, 550, 11, 50, "six_cnn"),
+            (miniimagenet_like, 100, 10, 10, "resnet18"),
+            (tinyimagenet_like, 200, 20, 10, "resnet18"),
+            (svhn_like, 10, 2, 5, "six_cnn"),
+        ],
+    )
+    def test_paper_structure(self, builder, classes, tasks, per_task, model):
+        spec = builder()
+        assert spec.num_classes == classes
+        assert spec.num_tasks == tasks
+        assert spec.classes_per_task == per_task
+        assert spec.model_name == model
+
+    def test_with_tasks_truncation(self):
+        spec = cifar100_like().with_tasks(3)
+        assert spec.num_tasks == 3
+        assert spec.num_classes == 30
+
+    def test_with_tasks_overflow_raises(self):
+        with pytest.raises(ValueError):
+            cifar100_like().with_tasks(99)
+
+    def test_inconsistent_spec_rejected(self):
+        from repro.data.specs import DatasetSpec
+
+        with pytest.raises(ValueError):
+            DatasetSpec("bad", 100, 9, 10)
+
+    def test_combined_spec_structure(self):
+        spec = combined_spec(num_tasks=80, classes_per_task=5)
+        assert spec.num_tasks == 80
+        assert spec.num_classes == 400
+        assert spec.model_name == "resnet18"
+
+    def test_get_spec_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_spec("imagenet21k")
+
+    def test_scaled_copies(self):
+        spec = cifar100_like().scaled(5, 2)
+        assert spec.train_per_class == 5
+        assert spec.test_per_class == 2
+
+    def test_task_classes_contiguous(self):
+        spec = cifar100_like()
+        assert np.array_equal(task_classes(spec, 0), np.arange(10))
+        assert np.array_equal(task_classes(spec, 3), np.arange(30, 40))
+        with pytest.raises(IndexError):
+            task_classes(spec, 10)
+
+
+class TestFederatedPartition:
+    @pytest.fixture(scope="class")
+    def fed_bench(self):
+        spec = cifar100_like(train_per_class=12, test_per_class=4).with_tasks(4)
+        return build_benchmark(spec, num_clients=5, rng=np.random.default_rng(0))
+
+    def test_every_client_has_all_tasks(self, fed_bench):
+        for client in fed_bench.clients:
+            task_ids = sorted(t.task_id for t in client.tasks)
+            assert task_ids == list(range(4))
+
+    def test_task_orders_differ_between_clients(self, fed_bench):
+        orders = {tuple(t.task_id for t in c.tasks) for c in fed_bench.clients}
+        assert len(orders) > 1
+
+    def test_classes_within_task_range(self, fed_bench):
+        spec = fed_bench.spec
+        for client in fed_bench.clients:
+            for task in client.tasks:
+                pool = task_classes(spec, task.task_id)
+                assert set(task.classes) <= set(pool)
+
+    def test_classes_per_client_in_paper_range(self, fed_bench):
+        for client in fed_bench.clients:
+            for task in client.tasks:
+                assert 2 <= len(task.classes) <= 5
+
+    def test_labels_match_assigned_classes(self, fed_bench):
+        for client in fed_bench.clients:
+            for task in client.tasks:
+                assert set(np.unique(task.train_y)) <= set(task.classes)
+                assert set(np.unique(task.test_y)) <= set(task.classes)
+
+    def test_class_mask_consistent(self, fed_bench):
+        task = fed_bench.clients[0].tasks[0]
+        mask = task.class_mask()
+        assert mask.sum() == len(task.classes)
+        assert mask[task.classes].all()
+
+    def test_deterministic_given_seed(self):
+        spec = cifar100_like(train_per_class=6, test_per_class=2).with_tasks(2)
+        a = build_benchmark(spec, num_clients=2, rng=np.random.default_rng(9))
+        b = build_benchmark(spec, num_clients=2, rng=np.random.default_rng(9))
+        assert np.array_equal(a.clients[0].tasks[0].train_x,
+                              b.clients[0].tasks[0].train_x)
+
+    def test_clients_have_distinct_data(self, fed_bench):
+        x0 = fed_bench.clients[0].tasks[0].train_x
+        x1 = fed_bench.clients[1].tasks[0].train_x
+        assert x0.shape != x1.shape or not np.allclose(x0, x1)
+
+    def test_single_client_benchmark_full_classes(self):
+        spec = cifar100_like(train_per_class=4, test_per_class=2).with_tasks(2)
+        bench = single_client_benchmark(spec)
+        assert bench.num_clients == 1
+        task = bench.clients[0].tasks[0]
+        assert len(task.classes) == spec.classes_per_task
+        assert [t.task_id for t in bench.clients[0].tasks] == [0, 1]
+
+    def test_invalid_args_raise(self):
+        spec = cifar100_like().with_tasks(2)
+        with pytest.raises(ValueError):
+            build_benchmark(spec, num_clients=0)
+        with pytest.raises(ValueError):
+            build_benchmark(spec, 2, classes_per_client=(0, 3))
+        with pytest.raises(ValueError):
+            build_benchmark(spec, 2, sample_fraction=(0.5, 1.5))
+
+    @given(st.integers(1, 4), st.integers(2, 5))
+    def test_partition_invariants_property(self, num_clients, num_tasks):
+        spec = cifar100_like(train_per_class=4, test_per_class=2).with_tasks(num_tasks)
+        bench = build_benchmark(
+            spec, num_clients=num_clients, rng=np.random.default_rng(17)
+        )
+        assert bench.num_clients == num_clients
+        for client in bench.clients:
+            assert client.num_tasks == num_tasks
+            for task in client.tasks:
+                assert task.num_train >= 2 * len(task.classes)
+                assert task.class_mask().sum() == len(task.classes)
+
+
+class TestLoader:
+    def test_iterate_batches_covers_everything(self, rng):
+        x = np.arange(23).reshape(23, 1)
+        y = np.arange(23)
+        seen = []
+        for xb, yb in iterate_batches(x, y, 5, rng):
+            assert len(xb) == len(yb)
+            seen.extend(yb.tolist())
+        assert sorted(seen) == list(range(23))
+
+    def test_drop_last(self, rng):
+        x = np.zeros((10, 1))
+        y = np.zeros(10)
+        batches = list(iterate_batches(x, y, 4, rng, drop_last=True))
+        assert len(batches) == 2
+
+    def test_no_shuffle_preserves_order(self):
+        x = np.arange(6).reshape(6, 1)
+        y = np.arange(6)
+        batches = list(iterate_batches(x, y, 3, shuffle=False))
+        assert np.array_equal(batches[0][1], [0, 1, 2])
+
+    def test_length_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            list(iterate_batches(np.zeros((3, 1)), np.zeros(4), 2, rng))
+
+    def test_bad_batch_size_raises(self, rng):
+        with pytest.raises(ValueError):
+            list(iterate_batches(np.zeros((3, 1)), np.zeros(3), 0, rng))
+
+    def test_sample_batch_without_replacement(self, rng):
+        x = np.arange(10).reshape(10, 1)
+        y = np.arange(10)
+        xb, yb = sample_batch(x, y, 5, rng)
+        assert len(set(yb.tolist())) == 5
+
+    def test_sample_batch_small_data_replaces(self, rng):
+        x = np.arange(3).reshape(3, 1)
+        y = np.arange(3)
+        xb, yb = sample_batch(x, y, 8, rng)
+        assert len(yb) == 8

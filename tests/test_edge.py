@@ -1,0 +1,201 @@
+"""Tests for the edge substrate: devices, clusters, cost model, network."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.edge import (
+    DEVICE_CATALOG,
+    DeviceProfile,
+    EdgeCluster,
+    FIG6_BANDWIDTHS,
+    GB,
+    JETSON_AGX,
+    JETSON_NANO,
+    MB,
+    ModelCostModel,
+    NetworkModel,
+    RASPBERRY_PI_2GB,
+    format_bandwidth,
+    get_device,
+    jetson_cluster,
+    jetson_raspberry_cluster,
+    uniform_cluster,
+)
+from repro.models import build_model
+
+
+class TestDevices:
+    def test_catalog_contains_paper_testbed(self):
+        for name in (
+            "jetson_agx", "jetson_xavier_nx", "jetson_tx2", "jetson_nano",
+            "raspberry_pi_2gb", "raspberry_pi_4gb", "raspberry_pi_8gb",
+        ):
+            assert name in DEVICE_CATALOG
+
+    def test_paper_memory_sizes(self):
+        assert get_device("jetson_agx").memory_bytes == 32 * GB
+        assert get_device("jetson_nano").memory_bytes == 4 * GB
+        assert get_device("raspberry_pi_2gb").memory_bytes == 2 * GB
+
+    def test_jetsons_faster_than_pi(self):
+        assert (
+            JETSON_NANO.flops_per_second
+            > RASPBERRY_PI_2GB.flops_per_second * 5
+        )
+
+    def test_training_seconds(self):
+        device = DeviceProfile("d", 1e9, GB)
+        assert device.training_seconds(2e9) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            device.training_seconds(-1)
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceProfile("bad", 0.0, GB)
+        with pytest.raises(ValueError):
+            DeviceProfile("bad", 1e9, 0)
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError):
+            get_device("tpu_v5")
+
+
+class TestClusters:
+    def test_jetson_cluster_composition(self):
+        cluster = jetson_cluster()
+        assert len(cluster) == 20
+        names = [d.name for d in cluster.devices]
+        assert names.count("jetson_agx") == 2
+        assert names.count("jetson_tx2") == 2
+        assert names.count("jetson_xavier_nx") == 8
+        assert names.count("jetson_nano") == 8
+
+    def test_heterogeneous_cluster_adds_ten_pis(self):
+        cluster = jetson_raspberry_cluster()
+        assert len(cluster) == 30
+        names = [d.name for d in cluster.devices]
+        assert names.count("raspberry_pi_2gb") == 1
+        assert names.count("raspberry_pi_4gb") == 5
+        assert names.count("raspberry_pi_8gb") == 4
+
+    def test_round_robin_placement(self):
+        cluster = uniform_cluster(JETSON_AGX, 3)
+        assert cluster.device_for_client(0) is cluster.devices[0]
+        assert cluster.device_for_client(4) is cluster.devices[1]
+
+    def test_slowest_and_min_memory(self):
+        cluster = jetson_raspberry_cluster()
+        assert cluster.slowest.name.startswith("raspberry_pi")
+        assert cluster.min_memory == 2 * GB
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeCluster([])
+        with pytest.raises(ValueError):
+            uniform_cluster(JETSON_AGX, 0)
+
+
+class TestCostModel:
+    @pytest.fixture(scope="class")
+    def cost(self):
+        model = build_model("resnet18", 10, rng=np.random.default_rng(0), width=4)
+        return ModelCostModel(model, "resnet18", dataset_name="miniimagenet")
+
+    def test_real_model_bytes_match_published_size(self, cost):
+        # ResNet-18: 11.69M params x 4 bytes ~ 46.8 MB
+        assert cost.real_model_bytes == pytest.approx(46.8e6, rel=0.01)
+
+    def test_param_scale_projects_up(self, cost):
+        assert cost.param_scale > 10  # our model is far smaller
+
+    def test_state_byte_projection_linear(self, cost):
+        assert cost.real_state_bytes(2000) == 2 * cost.real_state_bytes(1000)
+
+    def test_sample_scale_uses_dataset_resolution(self):
+        model = build_model("six_cnn", 10, rng=np.random.default_rng(0), width=8)
+        cifar = ModelCostModel(model, "six_cnn", dataset_name="cifar100")
+        core = ModelCostModel(model, "six_cnn", dataset_name="core50")
+        assert core.sample_scale > cifar.sample_scale  # 128^2 vs 32^2 images
+
+    def test_train_flops_formula(self, cost):
+        flops = cost.train_flops(batch_size=16, compute_units=10)
+        assert flops == pytest.approx(3.0 * 1.82e9 * 16 * 10)
+
+    def test_training_memory_fits_jetson_but_not_zero(self, cost):
+        memory = cost.training_memory_bytes(batch_size=16)
+        assert memory > 100e6  # at least weights x3 + overhead
+        assert memory < 16 * GB  # fits a Xavier NX
+
+    def test_unknown_model_raises(self):
+        model = build_model("six_cnn", 10, rng=np.random.default_rng(0))
+        with pytest.raises(KeyError):
+            ModelCostModel(model, "vgg16")
+
+
+class TestNetwork:
+    def test_transfer_time(self):
+        network = NetworkModel(bandwidth_bytes_per_second=1 * MB,
+                               round_latency_seconds=0.0)
+        assert network.transfer_seconds(5 * MB) == pytest.approx(5.0)
+
+    def test_latency_added(self):
+        network = NetworkModel(1 * MB, round_latency_seconds=0.5)
+        assert network.transfer_seconds(0) == pytest.approx(0.5)
+
+    def test_negative_bytes_raise(self):
+        with pytest.raises(ValueError):
+            NetworkModel().transfer_seconds(-1)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_bytes_per_second=0)
+
+    def test_fig6_sweep_range(self):
+        assert FIG6_BANDWIDTHS[0] == 50_000
+        assert FIG6_BANDWIDTHS[-1] == 10_000_000
+        assert len(FIG6_BANDWIDTHS) == 8
+
+    def test_format_bandwidth(self):
+        assert format_bandwidth(50_000) == "50 KB/s"
+        assert format_bandwidth(1_000_000) == "1 MB/s"
+        assert format_bandwidth(2_500_000) == "2.5 MB/s"
+
+
+class TestProfiler:
+    def test_conv_flops_analytic(self):
+        """Profiler count must match 2 * N * Cout * OH * OW * Cin * kh * kw."""
+        from repro import nn
+        from repro.nn import functional as F
+        from repro.nn.profiler import OpProfiler
+
+        x = nn.Tensor(np.zeros((2, 3, 8, 8), dtype=np.float32))
+        w = nn.Tensor(np.zeros((5, 3, 3, 3), dtype=np.float32))
+        with OpProfiler() as profiler:
+            F.conv2d(x, w, padding=1)
+        expected = 2 * 2 * 5 * 8 * 8 * 3 * 3 * 3
+        assert profiler.flops == expected
+
+    def test_matmul_flops(self):
+        from repro import nn
+        from repro.nn.profiler import OpProfiler
+
+        a = nn.Tensor(np.zeros((4, 6), dtype=np.float32))
+        b = nn.Tensor(np.zeros((6, 3), dtype=np.float32))
+        with OpProfiler() as profiler:
+            a @ b
+        assert profiler.flops == 2 * 4 * 6 * 3
+
+    def test_profile_forward_per_sample(self):
+        from repro.nn.profiler import profile_forward
+
+        model = build_model("six_cnn", 10, rng=np.random.default_rng(0), width=8)
+        flops, act = profile_forward(model, model.input_shape, batch=2)
+        assert flops > 1e5
+        assert act > 0
+
+    def test_no_profiling_overhead_when_inactive(self):
+        from repro.nn.profiler import is_profiling
+
+        assert not is_profiling()

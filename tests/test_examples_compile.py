@@ -1,0 +1,47 @@
+"""Sanity checks that every example script parses and exposes a main()."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLE_FILES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3  # the deliverable minimum
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+class TestEveryExample:
+    def test_parses(self, path):
+        tree = ast.parse(path.read_text())
+        assert tree is not None
+
+    def test_has_main_and_guard(self, path):
+        tree = ast.parse(path.read_text())
+        functions = {
+            node.name for node in ast.walk(tree)
+            if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in functions, f"{path.name} lacks a main()"
+        assert "__main__" in path.read_text(), f"{path.name} lacks a guard"
+
+    def test_has_module_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+
+    def test_imports_only_public_api(self, path):
+        """Examples must consume the library's public surface (repro.*)."""
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                root = node.module.split(".")[0]
+                assert root in {"repro", "numpy", "dataclasses", "__future__"}, (
+                    f"{path.name} imports {node.module}"
+                )

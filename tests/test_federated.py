@@ -1,0 +1,431 @@
+"""Tests for servers, method clients, and the simulation trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.client import FedKnowClient
+from repro.core.config import FedKnowConfig
+from repro.data import cifar100_like, build_benchmark
+from repro.edge import (
+    DeviceProfile,
+    EdgeCluster,
+    ModelCostModel,
+    jetson_cluster,
+)
+from repro.federated import (
+    ALL_METHODS,
+    APFLClient,
+    FedAvgServer,
+    FedRepClient,
+    FedWeitClient,
+    FedWeitServer,
+    FLCNServer,
+    SGDClient,
+    TrainConfig,
+    create_trainer,
+)
+from repro.models import build_model
+
+
+@pytest.fixture
+def config():
+    return TrainConfig(batch_size=8, lr=0.02, rounds_per_task=1,
+                       iterations_per_round=3)
+
+
+def model_factory(spec):
+    def factory():
+        return build_model(
+            spec.model_name, spec.num_classes, input_shape=spec.input_shape,
+            rng=np.random.default_rng(5), width=8,
+        )
+
+    return factory
+
+
+class TestFedAvgServer:
+    def test_weighted_mean(self):
+        server = FedAvgServer()
+        states = [{"w": np.array([0.0])}, {"w": np.array([3.0])}]
+        out = server.aggregate(states, weights=[1, 2])
+        assert out["w"][0] == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            FedAvgServer().aggregate([], [])
+
+    def test_mismatched_weights_raise(self):
+        with pytest.raises(ValueError):
+            FedAvgServer().aggregate([{"w": np.zeros(1)}], [1, 2])
+
+    def test_inconsistent_keys_raise(self):
+        with pytest.raises(ValueError):
+            FedAvgServer().aggregate(
+                [{"a": np.zeros(1)}, {"b": np.zeros(1)}], [1, 1]
+            )
+
+    def test_zero_weight_sum_raises(self):
+        with pytest.raises(ValueError):
+            FedAvgServer().aggregate([{"w": np.zeros(1)}], [0])
+
+    def test_round_counter(self):
+        server = FedAvgServer()
+        server.aggregate([{"w": np.zeros(1)}], [1])
+        server.aggregate([{"w": np.zeros(1)}], [1])
+        assert server.round_index == 2
+
+
+class TestFLCNServer:
+    def test_buffer_accumulates_and_bounds(self, tiny_spec, rng):
+        model = model_factory(tiny_spec)()
+        server = FLCNServer(model, max_buffer=20, rng=rng)
+        mask = np.zeros(tiny_spec.num_classes, dtype=bool)
+        mask[:3] = True
+        for _ in range(5):
+            server.receive_samples(
+                np.zeros((8, *tiny_spec.input_shape), dtype=np.float32),
+                np.zeros(8, dtype=np.int64),
+                mask,
+            )
+        assert server.buffer_size <= 28  # oldest dropped once over budget
+
+    def test_aggregate_finetunes_on_buffer(self, tiny_benchmark, rng):
+        spec = tiny_benchmark.spec
+        model = model_factory(spec)()
+        server = FLCNServer(model, finetune_steps=2, rng=rng)
+        task = tiny_benchmark.clients[0].tasks[0]
+        server.receive_samples(task.train_x, task.train_y, task.class_mask())
+        state = model.state_dict()
+        out = server.aggregate([state], [1])
+        # fine-tuning must have changed the weights
+        changed = any(
+            not np.allclose(out[k], state[k]) for k in state
+        )
+        assert changed
+
+
+class TestSGDClientLifecycle:
+    def test_begin_task_bounds(self, tiny_benchmark, tiny_model, config):
+        client = SGDClient(0, tiny_benchmark.clients[0], tiny_model, config)
+        with pytest.raises(IndexError):
+            client.begin_task(99)
+
+    def test_train_before_begin_raises(self, tiny_benchmark, tiny_model, config):
+        client = SGDClient(0, tiny_benchmark.clients[0], tiny_model, config)
+        with pytest.raises(RuntimeError):
+            client.local_train(1)
+
+    def test_training_reduces_loss(self, tiny_benchmark, tiny_model, config):
+        client = SGDClient(0, tiny_benchmark.clients[0], tiny_model, config)
+        client.begin_task(0)
+        first = client.local_train(8)
+        second = client.local_train(8)
+        assert second["mean_loss"] < first["mean_loss"] * 1.2
+
+    def test_compute_units_tracked(self, tiny_benchmark, tiny_model, config):
+        client = SGDClient(0, tiny_benchmark.clients[0], tiny_model, config)
+        client.begin_task(0)
+        client.local_train(5)
+        assert client.take_compute_units() == 5.0
+        assert client.take_compute_units() == 0.0
+
+    def test_evaluate_lengths(self, tiny_benchmark, tiny_model, config):
+        client = SGDClient(0, tiny_benchmark.clients[0], tiny_model, config)
+        client.begin_task(1)
+        accs = client.evaluate()
+        assert len(accs) == 2
+        assert all(0.0 <= a <= 1.0 for a in accs)
+
+    def test_lr_schedule_decays(self, tiny_benchmark, tiny_model, config):
+        client = SGDClient(0, tiny_benchmark.clients[0], tiny_model, config)
+        client.begin_task(0)
+        client.local_train(3)
+        assert client.optimizer.lr < config.lr
+
+
+class TestAPFL:
+    def test_alpha_adapts_within_bounds(self, tiny_benchmark, config):
+        spec = tiny_benchmark.spec
+        factory = model_factory(spec)
+        client = APFLClient(
+            0, tiny_benchmark.clients[0], factory(), config,
+            model_factory=factory, rng=np.random.default_rng(0),
+        )
+        client.begin_task(0)
+        client.local_train(4)
+        assert 0.05 <= client.alpha <= 0.95
+
+    def test_personal_model_diverges_from_shared(self, tiny_benchmark, config):
+        spec = tiny_benchmark.spec
+        factory = model_factory(spec)
+        client = APFLClient(
+            0, tiny_benchmark.clients[0], factory(), config,
+            model_factory=factory, rng=np.random.default_rng(0),
+        )
+        client.begin_task(0)
+        client.local_train(4)
+        shared = client.model.state_dict()
+        personal = client.personal.state_dict()
+        assert any(not np.allclose(shared[k], personal[k]) for k in shared)
+
+    def test_evaluate_uses_mixture(self, tiny_benchmark, config):
+        spec = tiny_benchmark.spec
+        factory = model_factory(spec)
+        client = APFLClient(
+            0, tiny_benchmark.clients[0], factory(), config,
+            model_factory=factory, rng=np.random.default_rng(0),
+        )
+        client.begin_task(0)
+        client.local_train(2)
+        accs = client.evaluate()
+        assert len(accs) == 1
+
+
+class TestFedRep:
+    def test_upload_excludes_head(self, tiny_benchmark, config):
+        spec = tiny_benchmark.spec
+        client = FedRepClient(
+            0, tiny_benchmark.clients[0], model_factory(spec)(), config,
+            rng=np.random.default_rng(0),
+        )
+        uploaded = client.upload_state()
+        assert not any(k.startswith("classifier") for k in uploaded)
+        assert uploaded  # body keys present
+
+    def test_receive_preserves_personal_head(self, tiny_benchmark, config):
+        spec = tiny_benchmark.spec
+        client = FedRepClient(
+            0, tiny_benchmark.clients[0], model_factory(spec)(), config,
+            rng=np.random.default_rng(0),
+        )
+        head_before = client.model.classifier.weight.data.copy()
+        global_state = {
+            k: v + 1.0 for k, v in client.upload_state().items()
+        }
+        client.receive_global(global_state, 0)
+        assert np.allclose(client.model.classifier.weight.data, head_before)
+        assert not np.allclose(
+            client.model.features[0].weight.data,
+            global_state[
+                [k for k in global_state if k.startswith("features.0")][0]
+            ] - 1.0,
+        )
+
+    def test_invalid_head_fraction(self, tiny_benchmark, config):
+        spec = tiny_benchmark.spec
+        with pytest.raises(ValueError):
+            FedRepClient(
+                0, tiny_benchmark.clients[0], model_factory(spec)(), config,
+                head_fraction=0.0,
+            )
+
+
+class TestFedWeit:
+    @pytest.fixture
+    def weit(self, tiny_benchmark, config):
+        spec = tiny_benchmark.spec
+        server = FedWeitServer()
+        clients = [
+            FedWeitClient(
+                i, tiny_benchmark.clients[i], model_factory(spec)(), config,
+                server=server, rng=np.random.default_rng(i),
+            )
+            for i in range(2)
+        ]
+        return server, clients
+
+    def test_adaptive_created_per_task(self, weit):
+        server, clients = weit
+        client = clients[0]
+        client.begin_task(0)
+        assert len(client.adaptives) == 1
+        client.local_train(2)
+        client.end_task()
+        client.begin_task(1)
+        assert len(client.adaptives) == 2
+
+    def test_server_registry_grows(self, weit):
+        server, clients = weit
+        for client in clients:
+            client.begin_task(0)
+            client.local_train(2)
+            client.end_task()
+        assert len(server.adaptive_registry) == 2
+        assert server.registry_bytes() >= 0
+
+    def test_foreign_adaptives_downloaded_on_new_task(self, weit):
+        server, clients = weit
+        for client in clients:
+            client.begin_task(0)
+            client.local_train(2)
+            client.end_task()
+        clients[0].begin_task(1)
+        assert len(clients[0].foreign) == 1  # the other client's adaptive
+
+    def test_upload_bytes_exceed_plain_model(self, weit, tiny_benchmark, config):
+        server, clients = weit
+        client = clients[0]
+        client.begin_task(0)
+        client.local_train(3)
+        from repro.utils.serialization import state_num_bytes
+
+        base_only = state_num_bytes(client.upload_state())
+        assert client.upload_bytes() >= base_only
+
+    def test_per_task_evaluation_restores_composition(self, weit):
+        server, clients = weit
+        client = clients[0]
+        client.begin_task(0)
+        client.local_train(2)
+        client.end_task()
+        client.begin_task(1)
+        client.local_train(2)
+        accs = client.evaluate()
+        assert len(accs) == 2
+
+    def test_state_bytes_grow_with_tasks(self, weit):
+        server, clients = weit
+        client = clients[0]
+        client.begin_task(0)
+        client.local_train(3)
+        client.end_task()
+        first = client.extra_state_bytes()["model"]
+        client.begin_task(1)
+        client.local_train(3)
+        client.end_task()
+        assert client.extra_state_bytes()["model"] >= first
+
+
+class TestFedKnowClient:
+    @pytest.fixture
+    def fedknow(self, tiny_benchmark, config):
+        spec = tiny_benchmark.spec
+        factory = model_factory(spec)
+        return FedKnowClient(
+            0, tiny_benchmark.clients[0], factory(), config,
+            model_factory=factory,
+            fedknow=FedKnowConfig(
+                knowledge_ratio=0.2, num_signature_gradients=2,
+                extraction_finetune_iterations=0,
+                aggregation_finetune_batches=2,
+            ),
+            rng=np.random.default_rng(0),
+        )
+
+    def test_knowledge_stored_per_task(self, fedknow):
+        for position in range(2):
+            fedknow.begin_task(position)
+            fedknow.local_train(3)
+            fedknow.end_task()
+        assert len(fedknow.store) == 2
+        assert fedknow.extra_state_bytes()["model"] > 0
+
+    def test_integration_engages_on_second_task(self, fedknow):
+        fedknow.begin_task(0)
+        fedknow.local_train(3)
+        fedknow.end_task()
+        fedknow.begin_task(1)
+        fedknow.local_train(4)
+        assert fedknow.integration_stats["integrations"] > 0
+
+    def test_receive_global_finetunes(self, fedknow):
+        fedknow.begin_task(0)
+        fedknow.local_train(3)
+        state = {k: v * 0.5 for k, v in fedknow.model.state_dict().items()}
+        before = fedknow.model.state_dict()
+        fedknow.receive_global(state, 0)
+        after = fedknow.model.state_dict()
+        # fine-tuning moved the model off the plain aggregated state
+        assert any(not np.allclose(after[k], state[k]) for k in state)
+
+    def test_receive_global_plain_when_disabled(self, tiny_benchmark, config):
+        spec = tiny_benchmark.spec
+        factory = model_factory(spec)
+        client = FedKnowClient(
+            0, tiny_benchmark.clients[0], factory(), config,
+            model_factory=factory,
+            fedknow=FedKnowConfig(aggregation_integration=False),
+            rng=np.random.default_rng(0),
+        )
+        client.begin_task(0)
+        client.local_train(2)
+        state = {k: v * 0.5 for k, v in client.model.state_dict().items()}
+        client.receive_global(state, 0)
+        after = client.model.state_dict()
+        assert all(np.allclose(after[k], state[k]) for k in state)
+
+
+class TestTrainerAndRegistry:
+    def test_all_methods_constructible(self, tiny_spec, config):
+        bench = build_benchmark(
+            tiny_spec, num_clients=2, rng=np.random.default_rng(0)
+        )
+        for method in ALL_METHODS:
+            trainer = create_trainer(method, bench, config, with_cost_model=False)
+            assert trainer.method_name == method
+
+    def test_unknown_method_raises(self, tiny_spec, config):
+        bench = build_benchmark(
+            tiny_spec, num_clients=2, rng=np.random.default_rng(0)
+        )
+        with pytest.raises(KeyError):
+            create_trainer("fedprox", bench, config)
+
+    def test_run_produces_complete_result(self, tiny_spec, config):
+        bench = build_benchmark(
+            tiny_spec, num_clients=2, rng=np.random.default_rng(0)
+        )
+        trainer = create_trainer(
+            "fedavg", bench, config, cluster=jetson_cluster()
+        )
+        result = trainer.run()
+        assert result.accuracy_matrix.shape == (2, 2)
+        assert len(result.rounds) == 2  # 2 tasks x 1 round
+        assert result.total_comm_bytes > 0
+        assert result.sim_total_seconds > 0
+        assert not np.isnan(result.accuracy_matrix[1, 0])
+
+    def test_identical_initial_weights_across_methods(self, tiny_spec, config):
+        bench = build_benchmark(
+            tiny_spec, num_clients=2, rng=np.random.default_rng(0)
+        )
+        a = create_trainer("fedavg", bench, config, with_cost_model=False)
+        b = create_trainer("gem", bench, config, with_cost_model=False)
+        state_a = a.clients[0].model.state_dict()
+        state_b = b.clients[0].model.state_dict()
+        assert all(np.array_equal(state_a[k], state_b[k]) for k in state_a)
+
+    def test_oom_client_drops_out(self, tiny_spec, config):
+        """A device whose memory cannot hold the method state must drop out."""
+        bench = build_benchmark(
+            tiny_spec, num_clients=2, rng=np.random.default_rng(0)
+        )
+        tiny_device = DeviceProfile("toy", 1e9, memory_bytes=1)
+        big_device = DeviceProfile("big", 1e12, memory_bytes=10**12)
+        cluster = EdgeCluster([tiny_device, big_device])
+        trainer = create_trainer("fedavg", bench, config, cluster=cluster)
+        result = trainer.run()
+        assert all(r.active_clients == 1 for r in result.rounds)
+
+    def test_all_oom_raises(self, tiny_spec, config):
+        bench = build_benchmark(
+            tiny_spec, num_clients=2, rng=np.random.default_rng(0)
+        )
+        tiny_device = DeviceProfile("toy", 1e9, memory_bytes=1)
+        cluster = EdgeCluster([tiny_device])
+        trainer = create_trainer("fedavg", bench, config, cluster=cluster)
+        with pytest.raises(RuntimeError):
+            trainer.run()
+
+    def test_flcn_reports_sample_upload(self, tiny_spec, config):
+        bench = build_benchmark(
+            tiny_spec, num_clients=2, rng=np.random.default_rng(0)
+        )
+        trainer = create_trainer("flcn", bench, config, with_cost_model=False)
+        client = trainer.clients[0]
+        client.begin_task(0)
+        first = client.upload_sample_bytes()
+        assert first > 0
+        assert client.upload_sample_bytes() == 0  # only reported once

@@ -1,0 +1,155 @@
+"""Focused tests for FedKnowClient's signature-selection and compute paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.client import FedKnowClient
+from repro.core.config import FedKnowConfig
+from repro.data import build_benchmark, cifar100_like
+from repro.federated import TrainConfig
+from repro.models import build_model
+
+
+@pytest.fixture
+def four_task_benchmark():
+    spec = cifar100_like(train_per_class=10, test_per_class=4).with_tasks(4)
+    return build_benchmark(spec, num_clients=1, rng=np.random.default_rng(0))
+
+
+def make_client(benchmark, fedknow_config):
+    spec = benchmark.spec
+
+    def factory():
+        return build_model(
+            spec.model_name, spec.num_classes, input_shape=spec.input_shape,
+            rng=np.random.default_rng(3), width=8,
+        )
+
+    config = TrainConfig(batch_size=8, lr=0.02, rounds_per_task=1,
+                         iterations_per_round=3)
+    return FedKnowClient(
+        0, benchmark.clients[0], factory(), config,
+        model_factory=factory, fedknow=fedknow_config,
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestConfigValidation:
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            FedKnowConfig(knowledge_ratio=0.0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            FedKnowConfig(num_signature_gradients=0)
+
+    def test_invalid_refresh(self):
+        with pytest.raises(ValueError):
+            FedKnowConfig(signature_refresh=0)
+
+    def test_updated_copies(self):
+        config = FedKnowConfig()
+        changed = config.updated(knowledge_ratio=0.2)
+        assert changed.knowledge_ratio == 0.2
+        assert config.knowledge_ratio == 0.10
+
+    def test_paper_defaults(self):
+        config = FedKnowConfig()
+        assert config.knowledge_ratio == 0.10  # rho = 10 %
+        assert config.num_signature_gradients == 10  # k = 10
+        assert config.distance_metric == "wasserstein"
+
+
+class TestSignatureSelection:
+    def test_selection_engages_when_store_exceeds_k(self, four_task_benchmark):
+        config = FedKnowConfig(
+            num_signature_gradients=2, signature_refresh=2,
+            extraction_finetune_iterations=0,
+            aggregation_integration=False,
+        )
+        client = make_client(four_task_benchmark, config)
+        for position in range(3):
+            client.begin_task(position)
+            client.local_train(3)
+            client.end_task()
+        # 3 stored tasks > k=2: selection must be active on task 4
+        client.begin_task(3)
+        client.local_train(3)
+        assert client._signature_indices is not None
+        assert len(client._signature_indices) == 2
+
+    def test_selection_skipped_when_store_small(self, four_task_benchmark):
+        config = FedKnowConfig(
+            num_signature_gradients=10, extraction_finetune_iterations=0,
+            aggregation_integration=False,
+        )
+        client = make_client(four_task_benchmark, config)
+        for position in range(2):
+            client.begin_task(position)
+            client.local_train(2)
+            client.end_task()
+        client.begin_task(2)
+        client.local_train(2)
+        assert client._signature_indices is None  # all tasks used directly
+
+    def test_refresh_resets_at_task_boundary(self, four_task_benchmark):
+        config = FedKnowConfig(
+            num_signature_gradients=2, signature_refresh=100,
+            extraction_finetune_iterations=0,
+            aggregation_integration=False,
+        )
+        client = make_client(four_task_benchmark, config)
+        for position in range(4):
+            client.begin_task(position)
+            client.local_train(2)
+            client.end_task()
+            assert client._signature_indices is None  # cleared by end_task
+
+    def test_compute_units_include_restorations(self, four_task_benchmark):
+        config = FedKnowConfig(
+            num_signature_gradients=2, extraction_finetune_iterations=0,
+            aggregation_integration=False,
+        )
+        client = make_client(four_task_benchmark, config)
+        client.begin_task(0)
+        client.local_train(3)
+        base_units = client.take_compute_units()
+        assert base_units == pytest.approx(3.0)  # no knowledge yet
+        client.end_task()
+        client.take_compute_units()
+        client.begin_task(1)
+        client.local_train(3)
+        with_knowledge = client.take_compute_units()
+        assert with_knowledge > base_units  # restorations cost extra passes
+
+
+class TestKnowledgeGrowth:
+    def test_store_bytes_grow_linearly(self, four_task_benchmark):
+        config = FedKnowConfig(extraction_finetune_iterations=0,
+                               aggregation_integration=False)
+        client = make_client(four_task_benchmark, config)
+        sizes = []
+        for position in range(3):
+            client.begin_task(position)
+            client.local_train(2)
+            client.end_task()
+            sizes.append(client.store.nbytes)
+        growth1 = sizes[1] - sizes[0]
+        growth2 = sizes[2] - sizes[1]
+        assert growth1 > 0
+        assert growth2 == pytest.approx(growth1, rel=0.35)
+
+    def test_knowledge_entries_record_task_metadata(self, four_task_benchmark):
+        config = FedKnowConfig(extraction_finetune_iterations=0,
+                               aggregation_integration=False)
+        client = make_client(four_task_benchmark, config)
+        client.begin_task(0)
+        client.local_train(2)
+        client.end_task()
+        entry = client.store[0]
+        task = four_task_benchmark.clients[0].tasks[0]
+        assert entry.task_id == task.task_id
+        assert np.array_equal(entry.classes, task.classes)
+        assert entry.ratio == config.knowledge_ratio

@@ -1,0 +1,148 @@
+"""Detailed FedWEIT behaviour tests (sparsification, attention, accounting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import build_benchmark, cifar100_like
+from repro.federated import (
+    FedWeitClient,
+    FedWeitServer,
+    TrainConfig,
+    sparse_adaptive_bytes,
+)
+from repro.federated.fedweit import SPARSE_BYTES_PER_NNZ, SPARSE_THRESHOLD
+from repro.models import build_model
+
+
+@pytest.fixture
+def setting():
+    spec = cifar100_like(train_per_class=10, test_per_class=4).with_tasks(3)
+    bench = build_benchmark(spec, num_clients=2, rng=np.random.default_rng(0))
+    config = TrainConfig(batch_size=8, lr=0.02, rounds_per_task=1,
+                         iterations_per_round=4)
+
+    def factory():
+        return build_model(
+            spec.model_name, spec.num_classes, input_shape=spec.input_shape,
+            rng=np.random.default_rng(5), width=8,
+        )
+
+    return spec, bench, config, factory
+
+
+def make_client(setting, client_index=0, server=None, **kwargs):
+    spec, bench, config, factory = setting
+    server = server or FedWeitServer()
+    return FedWeitClient(
+        client_index, bench.clients[client_index], factory(), config,
+        server=server, rng=np.random.default_rng(client_index), **kwargs
+    )
+
+
+class TestSparsification:
+    def test_adaptive_density_enforced(self, setting):
+        client = make_client(setting, adaptive_density=0.10)
+        client.begin_task(0)
+        client.local_train(4)
+        adaptive = client._current_adaptive()
+        total = sum(a.size for a in adaptive.values())
+        nonzero = sum(int((a != 0).sum()) for a in adaptive.values())
+        assert nonzero <= 0.12 * total  # 10 % + quantile ties slack
+
+    def test_density_one_keeps_dense(self, setting):
+        client = make_client(setting, adaptive_density=1.0)
+        client.begin_task(0)
+        client.local_train(4)
+        adaptive = client._current_adaptive()
+        nonzero = sum(int((a != 0).sum()) for a in adaptive.values())
+        assert nonzero > 0.5 * sum(a.size for a in adaptive.values())
+
+    def test_invalid_density_rejected(self, setting):
+        with pytest.raises(ValueError):
+            make_client(setting, adaptive_density=0.0)
+
+    def test_sparse_bytes_formula(self):
+        adaptive = {"w": np.array([0.0, 0.5, -2.0, 1e-6])}
+        expected = 2 * SPARSE_BYTES_PER_NNZ  # two entries above threshold
+        assert sparse_adaptive_bytes(adaptive) == expected
+
+    def test_threshold_excludes_tiny_values(self):
+        adaptive = {"w": np.full(100, SPARSE_THRESHOLD / 10)}
+        assert sparse_adaptive_bytes(adaptive) == 0
+
+
+class TestAttention:
+    def test_no_foreign_without_peers(self, setting):
+        client = make_client(setting)
+        client.begin_task(0)
+        assert client.foreign == []
+        assert client.attention.size == 0
+
+    def test_attention_initialised_per_foreign(self, setting):
+        server = FedWeitServer()
+        a = make_client(setting, 0, server)
+        b = make_client(setting, 1, server)
+        for client in (a, b):
+            client.begin_task(0)
+            client.local_train(2)
+            client.end_task()
+        a.begin_task(1)
+        assert len(a.foreign) == 1
+        assert a.attention.shape == (1,)
+        assert np.isfinite(a.attention).all()
+
+    def test_attention_bounded_after_training(self, setting):
+        server = FedWeitServer()
+        a = make_client(setting, 0, server)
+        b = make_client(setting, 1, server)
+        for client in (a, b):
+            client.begin_task(0)
+            client.local_train(2)
+            client.end_task()
+        a.begin_task(1)
+        a.local_train(4)
+        assert (np.abs(a.attention) <= 1.0).all()
+
+    def test_use_foreign_false_skips_downloads(self, setting):
+        server = FedWeitServer()
+        b = make_client(setting, 1, server)
+        b.begin_task(0)
+        b.local_train(2)
+        b.end_task()
+        a = make_client(setting, 0, server, use_foreign=False)
+        a.begin_task(0)
+        assert a.foreign == []
+        state = {k: v for k, v in a.upload_state().items()}
+        assert a.download_bytes(state) == pytest.approx(
+            sum(v.nbytes for v in state.values())
+        )
+
+
+class TestCommunicationAccounting:
+    def test_foreign_bytes_charged_once_per_task(self, setting):
+        server = FedWeitServer()
+        a = make_client(setting, 0, server)
+        b = make_client(setting, 1, server)
+        for client in (a, b):
+            client.begin_task(0)
+            client.local_train(2)
+            client.end_task()
+        a.begin_task(1)
+        state = a.upload_state()
+        first = a.download_bytes(state)
+        second = a.download_bytes(state)
+        assert first >= second  # foreign payload only on the first download
+
+    def test_registry_grows_with_tasks(self, setting):
+        server = FedWeitServer()
+        client = make_client(setting, 0, server)
+        sizes = []
+        for position in range(3):
+            client.begin_task(position)
+            client.local_train(2)
+            client.end_task()
+            sizes.append(server.registry_bytes())
+        assert sizes[2] >= sizes[1] >= sizes[0]
+        assert len(server.adaptive_registry[0]) == 3

@@ -1,0 +1,187 @@
+"""Tests for the gradient integrator (Eqs. 3-5) and the distance metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.distance import (
+    cosine_distance,
+    l2_distance,
+    select_signature_tasks,
+    wasserstein_distance,
+)
+from repro.core.integrator import GradientIntegrator
+
+
+class TestIntegrator:
+    def test_no_constraints_returns_unchanged(self):
+        integrator = GradientIntegrator()
+        g = np.array([1.0, 2.0, 3.0])
+        result = integrator.integrate(g, None)
+        assert not result.rotated
+        assert np.array_equal(result.gradient, g)
+
+    def test_satisfied_constraints_no_rotation(self):
+        integrator = GradientIntegrator()
+        g = np.array([1.0, 0.0])
+        constraints = np.array([[1.0, 0.1], [0.9, -0.1]])
+        result = integrator.integrate(g, constraints)
+        assert not result.rotated
+        assert result.num_violations == 0
+
+    def test_violated_constraint_gets_rotated(self):
+        integrator = GradientIntegrator()
+        g = np.array([1.0, 0.0])
+        constraints = np.array([[-1.0, 1.0]])  # obtuse with g
+        result = integrator.integrate(g, constraints)
+        assert result.rotated
+        assert result.num_violations == 1
+        # acute-angle condition satisfied after integration
+        assert constraints @ result.gradient >= -1e-8
+
+    def test_rotation_angle_reported(self):
+        integrator = GradientIntegrator()
+        g = np.array([1.0, 0.0])
+        constraints = np.array([[-1.0, 2.0]])
+        result = integrator.integrate(g, constraints)
+        assert 0.0 < result.rotation_degrees < 90.0
+
+    def test_opposite_gradient_fully_projected(self):
+        integrator = GradientIntegrator()
+        g = np.array([1.0, 0.0])
+        constraints = np.array([[-1.0, 0.0]])
+        result = integrator.integrate(g, constraints)
+        # g' = g + v*(-g) with v=1: exactly zero along the conflict
+        assert abs(result.gradient @ constraints[0]) < 1e-8
+
+    def test_margin_biases_towards_memory(self):
+        g = np.array([1.0, 0.0])
+        constraints = np.array([[-1.0, 1.0]])
+        plain = GradientIntegrator(margin=0.0).integrate(g, constraints)
+        biased = GradientIntegrator(margin=0.5).integrate(g, constraints)
+        assert (
+            biased.gradient @ constraints[0] > plain.gradient @ constraints[0] - 1e-9
+        )
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            GradientIntegrator(margin=-1.0)
+
+    def test_dimension_mismatch_raises(self):
+        integrator = GradientIntegrator()
+        with pytest.raises(ValueError):
+            integrator.integrate(np.ones(3), np.ones((2, 4)))
+
+    def test_satisfies_constraints_helper(self):
+        integrator = GradientIntegrator()
+        g = np.array([1.0, 0.0])
+        ok = np.array([[1.0, 1.0]])
+        bad = np.array([[-1.0, 0.0]])
+        assert integrator.satisfies_constraints(g, ok)
+        assert not integrator.satisfies_constraints(g, bad)
+        assert integrator.satisfies_constraints(g, np.empty((0, 2)))
+
+    @given(st.integers(0, 300), st.integers(1, 6), st.integers(2, 30))
+    def test_acute_angle_invariant_property(self, seed, k, dim):
+        """After integration every constraint has a non-negative inner product.
+
+        This is THE invariant of the paper's Eq. 3: model updates along g'
+        never increase any signature task's loss (to first order).
+        """
+        rng = np.random.default_rng(seed)
+        g = rng.normal(size=dim)
+        constraints = rng.normal(size=(k, dim))
+        result = GradientIntegrator().integrate(g, constraints)
+        scale = max(np.abs(constraints @ g).max(), 1.0)
+        assert (constraints @ result.gradient >= -1e-6 * scale).all()
+
+    @given(st.integers(0, 200), st.integers(1, 5))
+    def test_projected_gradient_solver_same_invariant(self, seed, k):
+        rng = np.random.default_rng(seed)
+        g = rng.normal(size=12)
+        constraints = rng.normal(size=(k, 12))
+        result = GradientIntegrator(solver="projected_gradient").integrate(
+            g, constraints
+        )
+        scale = max(np.abs(constraints @ g).max(), 1.0)
+        assert (constraints @ result.gradient >= -1e-5 * scale).all()
+
+
+class TestDistances:
+    def test_wasserstein_zero_for_identical(self, rng):
+        g = rng.normal(size=100)
+        assert wasserstein_distance(g, g) == 0.0
+
+    def test_wasserstein_symmetric(self, rng):
+        a, b = rng.normal(size=(2, 64))
+        assert wasserstein_distance(a, b) == pytest.approx(
+            wasserstein_distance(b, a)
+        )
+
+    def test_wasserstein_detects_shift(self, rng):
+        a = rng.normal(size=128)
+        assert wasserstein_distance(a, a + 3.0) == pytest.approx(3.0, rel=1e-5)
+
+    def test_wasserstein_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            wasserstein_distance(np.zeros(4), np.zeros(5))
+
+    def test_wasserstein_subsampling_consistent(self, rng):
+        a = rng.normal(size=10_000)
+        b = rng.normal(1.0, 1.0, size=10_000)
+        full = wasserstein_distance(a, b, max_points=10_000)
+        sampled = wasserstein_distance(a, b, max_points=1000)
+        assert sampled == pytest.approx(full, rel=0.2)
+
+    def test_cosine_distance_range(self, rng):
+        a = rng.normal(size=16)
+        assert cosine_distance(a, a) == pytest.approx(0.0, abs=1e-12)
+        assert cosine_distance(a, -a) == pytest.approx(2.0, abs=1e-12)
+        assert cosine_distance(a, np.zeros(16)) == 0.0
+
+    def test_l2_distance(self):
+        assert l2_distance(np.array([3.0, 0.0]), np.array([0.0, 4.0])) == 5.0
+
+    @given(st.integers(0, 100))
+    def test_distances_nonnegative(self, seed):
+        rng = np.random.default_rng(seed)
+        a, b = rng.normal(size=(2, 32))
+        assert wasserstein_distance(a, b) >= 0
+        assert cosine_distance(a, b) >= 0
+        assert l2_distance(a, b) >= 0
+
+
+class TestSignatureSelection:
+    def test_selects_most_dissimilar(self, rng):
+        g = np.ones(32)
+        similar = np.ones((1, 32)) + rng.normal(0, 0.01, size=(1, 32))
+        dissimilar = -np.ones((1, 32)) * 5
+        past = np.concatenate([similar, dissimilar])
+        chosen = select_signature_tasks(g, past, k=1, metric="l2")
+        assert chosen[0] == 1
+
+    def test_returns_at_most_k(self, rng):
+        past = rng.normal(size=(7, 16))
+        assert len(select_signature_tasks(rng.normal(size=16), past, k=3)) == 3
+        assert len(select_signature_tasks(rng.normal(size=16), past, k=20)) == 7
+
+    def test_sorted_by_dissimilarity(self, rng):
+        g = np.zeros(16)
+        past = np.stack([np.full(16, float(i)) for i in range(5)])
+        order = select_signature_tasks(g, past, k=5, metric="l2")
+        assert list(order) == [4, 3, 2, 1, 0]
+
+    def test_unknown_metric_raises(self, rng):
+        with pytest.raises(KeyError):
+            select_signature_tasks(np.zeros(4), np.zeros((2, 4)), 1, metric="kl")
+
+    def test_invalid_k_raises(self, rng):
+        with pytest.raises(ValueError):
+            select_signature_tasks(np.zeros(4), np.zeros((2, 4)), 0)
+
+    def test_invalid_shape_raises(self):
+        with pytest.raises(ValueError):
+            select_signature_tasks(np.zeros(4), np.zeros(4), 1)

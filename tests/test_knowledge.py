@@ -1,0 +1,201 @@
+"""Tests for the knowledge extractor, store and gradient restorer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.knowledge import KnowledgeExtractor, KnowledgeStore
+from repro.core.restorer import GradientRestorer
+from repro.models import build_model
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def trained(tiny_benchmark, tiny_model):
+    """A model briefly trained on the first client's first task."""
+    from repro.data import iterate_batches
+    from repro.nn.optim import SGD
+
+    task = tiny_benchmark.clients[0].tasks[0]
+    optimizer = SGD(tiny_model.parameters(), lr=0.02)
+    mask = task.class_mask()
+    for epoch in range(6):
+        for xb, yb in iterate_batches(
+            task.train_x, task.train_y, 8, np.random.default_rng(epoch)
+        ):
+            optimizer.zero_grad()
+            F.cross_entropy(tiny_model(Tensor(xb)), yb, class_mask=mask).backward()
+            optimizer.step()
+    return tiny_model, task
+
+
+def scratch_like(model):
+    return build_model(
+        "six_cnn", model.num_classes, input_shape=model.input_shape,
+        rng=np.random.default_rng(1), width=model.width,
+    )
+
+
+class TestExtractor:
+    def test_retention_ratio_respected(self, trained):
+        model, task = trained
+        knowledge = KnowledgeExtractor(ratio=0.10).extract(model, task)
+        total = model.num_parameters()
+        retained = knowledge.num_retained()
+        assert retained == pytest.approx(0.10 * total, rel=0.05)
+
+    def test_ratio_one_keeps_everything(self, trained):
+        model, task = trained
+        knowledge = KnowledgeExtractor(ratio=1.0).extract(model, task)
+        assert knowledge.num_retained() == model.num_parameters()
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            KnowledgeExtractor(ratio=0.0)
+        with pytest.raises(ValueError):
+            KnowledgeExtractor(ratio=1.5)
+
+    def test_retains_largest_magnitudes(self, trained):
+        model, task = trained
+        knowledge = KnowledgeExtractor(ratio=0.2).extract(model, task)
+        all_magnitudes = np.concatenate(
+            [np.abs(p.data).ravel() for p in model.parameters()]
+        )
+        threshold = np.quantile(all_magnitudes, 0.8)
+        for name in knowledge.values:
+            if knowledge.values[name].size:
+                assert (np.abs(knowledge.values[name]) >= threshold - 1e-6).all()
+
+    def test_restore_state_zero_off_support(self, trained):
+        model, task = trained
+        knowledge = KnowledgeExtractor(ratio=0.1).extract(model, task)
+        state = knowledge.restore_state()
+        name = next(iter(knowledge.shapes))
+        flat = state[name].ravel()
+        off_support = np.setdiff1d(
+            np.arange(flat.size), knowledge.indices[name]
+        )
+        assert np.allclose(flat[off_support], 0.0)
+        assert np.allclose(flat[knowledge.indices[name]], knowledge.values[name])
+
+    def test_bn_buffers_captured(self, trained):
+        model, task = trained
+        knowledge = KnowledgeExtractor(ratio=0.1).extract(model, task)
+        # six_cnn has no BN, so buffers may be empty; resnet18 must have them
+        resnet = build_model("resnet18", 8, rng=np.random.default_rng(0), width=4)
+        resnet_knowledge = KnowledgeExtractor(ratio=0.1).extract(resnet, task)
+        assert any("running_mean" in k for k in resnet_knowledge.buffers)
+
+    def test_nbytes_scales_with_ratio(self, trained):
+        model, task = trained
+        small = KnowledgeExtractor(ratio=0.05).extract(model, task)
+        large = KnowledgeExtractor(ratio=0.20).extract(model, task)
+        assert large.nbytes > 2 * small.nbytes
+
+    def test_finetune_improves_pruned_accuracy(self, trained):
+        model, task = trained
+        scratch = scratch_like(model)
+        plain = KnowledgeExtractor(ratio=0.10).extract(model, task)
+        tuned = KnowledgeExtractor(
+            ratio=0.10, finetune_iterations=20, finetune_lr=0.02
+        ).extract(model, task, scratch=scratch, rng=np.random.default_rng(0))
+        mask = task.class_mask()
+
+        def pruned_accuracy(knowledge):
+            scratch.load_state_dict(knowledge.restore_state())
+            scratch.eval()
+            return F.accuracy(scratch.logits(task.test_x), task.test_y, mask)
+
+        assert pruned_accuracy(tuned) >= pruned_accuracy(plain) - 0.05
+
+    def test_finetune_preserves_support(self, trained):
+        model, task = trained
+        scratch = scratch_like(model)
+        tuned = KnowledgeExtractor(
+            ratio=0.10, finetune_iterations=5
+        ).extract(model, task, scratch=scratch, rng=np.random.default_rng(0))
+        state = tuned.restore_state()
+        name = max(tuned.shapes, key=lambda n: int(np.prod(tuned.shapes[n])))
+        flat = state[name].ravel()
+        off_support = np.setdiff1d(np.arange(flat.size), tuned.indices[name])
+        assert np.allclose(flat[off_support], 0.0)
+
+
+class TestStore:
+    def test_accumulates(self, trained):
+        model, task = trained
+        store = KnowledgeStore()
+        extractor = KnowledgeExtractor(ratio=0.1)
+        store.add(extractor.extract(model, task))
+        store.add(extractor.extract(model, task))
+        assert len(store) == 2
+        assert store.nbytes == sum(k.nbytes for k in store)
+
+    def test_indexing(self, trained):
+        model, task = trained
+        store = KnowledgeStore()
+        knowledge = KnowledgeExtractor(ratio=0.1).extract(model, task)
+        store.add(knowledge)
+        assert store[0] is knowledge
+
+
+class TestRestorer:
+    def test_soft_labels_valid_distribution(self, trained):
+        model, task = trained
+        knowledge = KnowledgeExtractor(ratio=0.3).extract(model, task)
+        restorer = GradientRestorer(scratch_like(model))
+        probs = restorer.soft_labels(knowledge, task.train_x[:8])
+        assert probs.shape == (8, model.num_classes)
+        assert np.allclose(probs.sum(axis=1), 1.0, atol=1e-5)
+        # probability mass confined to the task's classes
+        assert probs[:, ~knowledge.class_mask()].max() < 1e-6
+
+    def test_restored_gradient_shape_and_cleanup(self, trained):
+        model, task = trained
+        knowledge = KnowledgeExtractor(ratio=0.3).extract(model, task)
+        restorer = GradientRestorer(scratch_like(model))
+        grad = restorer.restore_gradient(model, knowledge, task.train_x[:8])
+        assert grad.shape == (model.num_parameters(),)
+        assert np.isfinite(grad).all()
+        # gradients must be cleared afterwards
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_restore_gradients_stacked(self, trained):
+        model, task = trained
+        extractor = KnowledgeExtractor(ratio=0.3)
+        entries = [extractor.extract(model, task) for _ in range(3)]
+        restorer = GradientRestorer(scratch_like(model))
+        grads = restorer.restore_gradients(model, entries, task.train_x[:4])
+        assert grads.shape == (3, model.num_parameters())
+
+    def test_restore_empty_list_raises(self, trained):
+        model, _ = trained
+        restorer = GradientRestorer(scratch_like(model))
+        with pytest.raises(ValueError):
+            restorer.restore_gradients(model, [], np.zeros((1, 3, 16, 16)))
+
+    def test_gradient_small_when_model_matches_knowledge(self, trained):
+        """If the model IS the knowledge source, the restored gradient ~ 0.
+
+        With ratio=1.0 the pruned network equals the live model, so its soft
+        labels are the model's own predictions and the cross-entropy gradient
+        at those targets vanishes.
+        """
+        model, task = trained
+        knowledge = KnowledgeExtractor(ratio=1.0).extract(model, task)
+        restorer = GradientRestorer(scratch_like(model))
+        grad = restorer.restore_gradient(model, knowledge, task.train_x[:8])
+        assert np.abs(grad).max() < 1e-4
+
+    def test_training_mode_restored(self, trained):
+        model, task = trained
+        knowledge = KnowledgeExtractor(ratio=0.3).extract(model, task)
+        restorer = GradientRestorer(scratch_like(model))
+        model.train()
+        restorer.restore_gradient(model, knowledge, task.train_x[:4])
+        assert model.training
+        model.eval()
+        restorer.restore_gradient(model, knowledge, task.train_x[:4])
+        assert not model.training

@@ -1,0 +1,104 @@
+"""Tests for the metrics tracker (accuracy matrix, forgetting, accounting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import RoundRecord, RunResult, accuracy_matrix_from_client_evals
+
+
+def make_result(matrix, rounds=()):
+    return RunResult(
+        method="m", dataset="d", num_clients=2, num_tasks=matrix.shape[0],
+        accuracy_matrix=np.asarray(matrix, dtype=float), rounds=list(rounds),
+    )
+
+
+def record(position=0, up=100, down=200, train=1.0, comm=2.0, active=2):
+    return RoundRecord(
+        position=position, round_index=0, upload_bytes=up, download_bytes=down,
+        sim_train_seconds=train, sim_comm_seconds=comm, active_clients=active,
+        mean_loss=0.5,
+    )
+
+
+class TestAccuracyMatrix:
+    def test_builder_averages_clients(self):
+        evals = [
+            [[0.8], [0.6]],           # stage 0: two clients, task 0
+            [[0.7, 0.9], [0.5, 0.7]], # stage 1
+        ]
+        matrix = accuracy_matrix_from_client_evals(evals)
+        assert matrix[0, 0] == pytest.approx(0.7)
+        assert matrix[1, 0] == pytest.approx(0.6)
+        assert matrix[1, 1] == pytest.approx(0.8)
+        assert np.isnan(matrix[0, 1])
+
+    def test_builder_validates_lengths(self):
+        with pytest.raises(ValueError):
+            accuracy_matrix_from_client_evals([[[0.5, 0.5]]])
+
+
+class TestAccuracyMetrics:
+    def test_accuracy_curve_averages_learned_tasks(self):
+        matrix = np.array([[0.9, np.nan], [0.5, 0.7]])
+        result = make_result(matrix)
+        assert result.accuracy_curve[0] == pytest.approx(0.9)
+        assert result.accuracy_curve[1] == pytest.approx(0.6)
+        assert result.final_accuracy == pytest.approx(0.6)
+
+    def test_forgetting_rate_paper_definition(self):
+        # task 0: 0.8 right after learning, 0.4 after task 1
+        matrix = np.array([[0.8, np.nan], [0.4, 0.9]])
+        result = make_result(matrix)
+        assert result.forgetting_rate(0) == 0.0
+        assert result.forgetting_rate(1) == pytest.approx(0.5)
+
+    def test_forgetting_clipped_to_unit_interval(self):
+        # accuracy improved on the old task => no negative forgetting
+        matrix = np.array([[0.5, np.nan], [0.9, 0.9]])
+        result = make_result(matrix)
+        assert result.forgetting_rate(1) == 0.0
+
+    def test_forgetting_curve_length(self):
+        matrix = np.array([[0.5, np.nan], [0.4, 0.6]])
+        assert len(make_result(matrix).forgetting_curve) == 2
+
+
+class TestAccounting:
+    def test_comm_totals(self):
+        result = make_result(
+            np.array([[0.5]]),
+            rounds=[record(up=100, down=200), record(up=50, down=25)],
+        )
+        assert result.total_upload_bytes == 150
+        assert result.total_download_bytes == 225
+        assert result.total_comm_bytes == 375
+
+    def test_sim_time_totals(self):
+        result = make_result(
+            np.array([[0.5]]),
+            rounds=[record(train=1.0, comm=2.0), record(train=3.0, comm=4.0)],
+        )
+        assert result.sim_train_seconds == pytest.approx(4.0)
+        assert result.sim_comm_seconds == pytest.approx(6.0)
+        assert result.sim_total_seconds == pytest.approx(10.0)
+
+    def test_time_curve_cumulative_hours(self):
+        rounds = [
+            record(position=0, train=1800.0, comm=0.0),
+            record(position=1, train=1800.0, comm=1800.0),
+        ]
+        result = make_result(np.array([[0.5, np.nan], [0.4, 0.6]]), rounds)
+        curve = result.time_curve()
+        assert curve[0] == pytest.approx(0.5)
+        assert curve[1] == pytest.approx(1.5)
+
+    def test_summary_keys(self):
+        result = make_result(np.array([[0.5]]), rounds=[record()])
+        summary = result.summary()
+        assert set(summary) == {
+            "method", "dataset", "final_accuracy", "final_forgetting",
+            "comm_gb", "sim_hours",
+        }

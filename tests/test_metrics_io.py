@@ -1,0 +1,69 @@
+"""Tests for RunResult JSON persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    RoundRecord,
+    RunResult,
+    load_result,
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+    save_results,
+)
+
+
+@pytest.fixture
+def result():
+    matrix = np.array([[0.8, np.nan], [0.6, 0.9]])
+    rounds = [
+        RoundRecord(0, 0, 100, 200, 1.5, 2.5, 3, 0.7),
+        RoundRecord(1, 0, 150, 250, 1.0, 2.0, 3, np.nan),
+    ]
+    return RunResult("fedknow", "cifar100", 3, 2, matrix, rounds, 12.5)
+
+
+class TestDictRoundTrip:
+    def test_nan_encoded_as_none(self, result):
+        payload = result_to_dict(result)
+        assert payload["accuracy_matrix"][0][1] is None
+        assert payload["rounds"][1]["mean_loss"] is None
+
+    def test_round_trip_preserves_metrics(self, result):
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.method == result.method
+        assert restored.dataset == result.dataset
+        assert np.allclose(
+            restored.accuracy_matrix, result.accuracy_matrix, equal_nan=True
+        )
+        assert restored.total_comm_bytes == result.total_comm_bytes
+        assert restored.sim_total_seconds == pytest.approx(
+            result.sim_total_seconds
+        )
+        assert np.allclose(restored.accuracy_curve, result.accuracy_curve)
+        assert np.allclose(restored.forgetting_curve, result.forgetting_curve)
+
+
+class TestFileRoundTrip:
+    def test_single_result(self, result, tmp_path):
+        path = tmp_path / "run.json"
+        save_result(result, path)
+        restored = load_result(path)
+        assert restored.final_accuracy == pytest.approx(result.final_accuracy)
+        assert len(restored.rounds) == 2
+
+    def test_many_results(self, result, tmp_path):
+        path = tmp_path / "runs.json"
+        save_results([result, result], path)
+        restored = load_results(path)
+        assert len(restored) == 2
+        assert restored[0].method == "fedknow"
+
+    def test_empty_collection(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_results([], path)
+        assert load_results(path) == []

@@ -1,0 +1,159 @@
+"""Tests for the model zoo: all architectures, registry, body/head split."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import (
+    FIG9_MODELS,
+    available_models,
+    build_model,
+    model_family,
+    register_model,
+)
+from repro.nn import functional as F
+
+
+@pytest.fixture(scope="module")
+def batch():
+    rng = np.random.default_rng(0)
+    return nn.Tensor(rng.normal(size=(4, 3, 16, 16)).astype(np.float32))
+
+
+class TestRegistry:
+    def test_all_models_registered(self):
+        names = available_models()
+        for expected in (
+            "six_cnn", "resnet18", "resnet152", "wide_resnet", "resnext",
+            "inception", "densenet", "senet18", "mobilenet_v2",
+            "mobilenet_v2_x2", "shufflenet_v2",
+        ):
+            assert expected in names
+
+    def test_fig9_models_are_registered(self):
+        for name in FIG9_MODELS:
+            assert name in available_models()
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet", 10)
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError):
+            model_family("nope")
+
+    def test_families_cover_six_categories(self):
+        families = {model_family(name) for name in FIG9_MODELS}
+        assert {"depth", "width", "multi-path", "feature-map", "lightweight"} <= families
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_model("six_cnn", "baseline")(lambda *a, **k: None)
+
+
+@pytest.mark.parametrize("name", available_models())
+class TestEveryModel:
+    def test_forward_shape(self, name, batch):
+        model = build_model(name, num_classes=7, rng=np.random.default_rng(0))
+        out = model(batch)
+        assert out.shape == (4, 7)
+
+    def test_backward_produces_grads(self, name, batch):
+        model = build_model(name, num_classes=7, rng=np.random.default_rng(0))
+        loss = F.cross_entropy(model(batch), np.array([0, 1, 2, 3]))
+        loss.backward()
+        grads = [p.grad for p in model.parameters()]
+        assert all(g is not None for g in grads)
+        assert any(np.abs(g).max() > 0 for g in grads)
+
+    def test_deterministic_init(self, name):
+        a = build_model(name, num_classes=5, rng=np.random.default_rng(7))
+        b = build_model(name, num_classes=5, rng=np.random.default_rng(7))
+        for (na, pa), (nb, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert na == nb
+            assert np.array_equal(pa.data, pb.data)
+
+    def test_head_split(self, name):
+        model = build_model(name, num_classes=5, rng=np.random.default_rng(0))
+        head = model.head_parameter_names()
+        body = model.body_parameter_names()
+        assert head, f"{name} has no head parameters"
+        assert body, f"{name} has no body parameters"
+        assert set(head).isdisjoint(body)
+        assert len(head) + len(body) == len(list(model.named_parameters()))
+
+    def test_eval_mode_deterministic(self, name, batch):
+        model = build_model(name, num_classes=5, rng=np.random.default_rng(0))
+        model.eval()
+        out1 = model.logits(batch.data)
+        out2 = model.logits(batch.data)
+        assert np.array_equal(out1, out2)
+
+
+class TestArchitectureSpecifics:
+    def test_six_cnn_has_six_weight_layers(self):
+        model = build_model("six_cnn", num_classes=10, rng=np.random.default_rng(0))
+        weights = [n for n, p in model.named_parameters() if p.data.ndim > 1]
+        assert len(weights) == 6  # 4 conv + 2 fc
+
+    def test_resnet152_depth(self):
+        model = build_model("resnet152", num_classes=5, rng=np.random.default_rng(0))
+        convs = [n for n, p in model.named_parameters() if p.data.ndim == 4]
+        # 3+8+36+3 bottlenecks x 3 convs + stem + downsamples > 150
+        assert len(convs) >= 150
+
+    def test_wide_resnet_wider_than_resnet18(self):
+        narrow = build_model("resnet18", num_classes=5, rng=np.random.default_rng(0))
+        wide = build_model("wide_resnet", num_classes=5, rng=np.random.default_rng(0))
+        assert wide.num_parameters() > 2 * narrow.num_parameters()
+
+    def test_mobilenet_width_multiplier(self):
+        x1 = build_model("mobilenet_v2", num_classes=5, rng=np.random.default_rng(0))
+        x2 = build_model("mobilenet_v2_x2", num_classes=5, rng=np.random.default_rng(0))
+        assert x2.num_parameters() > 2 * x1.num_parameters()
+
+    def test_resnext_uses_groups(self):
+        from repro.models.resnet import Bottleneck
+
+        model = build_model("resnext", num_classes=5, rng=np.random.default_rng(0))
+        grouped = [
+            m for m in model.modules()
+            if isinstance(m, nn.Conv2d) and m.groups > 1
+        ]
+        assert grouped
+
+    def test_senet_has_se_modules(self):
+        from repro.models.senet import SEModule
+
+        model = build_model("senet18", num_classes=5, rng=np.random.default_rng(0))
+        assert any(isinstance(m, SEModule) for m in model.modules())
+
+    def test_densenet_concatenates(self, batch):
+        model = build_model("densenet", num_classes=5, rng=np.random.default_rng(0))
+        # channel growth means feature_dim exceeds stem width
+        assert model.feature_dim > 12
+
+    def test_channel_shuffle_is_permutation(self):
+        shuffle = nn.ChannelShuffle(2)
+        x = nn.Tensor(np.arange(8.0).reshape(1, 8, 1, 1))
+        out = shuffle(x)
+        assert sorted(out.data.ravel()) == sorted(x.data.ravel())
+        assert not np.array_equal(out.data, x.data)
+
+    def test_channel_shuffle_invalid_groups(self):
+        shuffle = nn.ChannelShuffle(3)
+        x = nn.Tensor(np.zeros((1, 8, 1, 1)))
+        with pytest.raises(ValueError):
+            shuffle(x)
+
+    def test_num_classes_validation(self):
+        with pytest.raises(ValueError):
+            build_model("six_cnn", num_classes=1)
+
+    def test_input_shape_validation(self):
+        from repro.models.base import ImageClassifier
+
+        with pytest.raises(ValueError):
+            ImageClassifier(10, (3, 16))

@@ -1,0 +1,142 @@
+"""Tests for the Module / Parameter system."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class Small(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        self.bn = nn.BatchNorm1d(3)
+        self.fc2 = nn.Linear(3, 2, rng=np.random.default_rng(1))
+
+    def forward(self, x):
+        return self.fc2(self.bn(self.fc1(x)).relu())
+
+
+class TestRegistration:
+    def test_parameters_found(self):
+        model = Small()
+        names = [n for n, _ in model.named_parameters()]
+        assert "fc1.weight" in names
+        assert "fc1.bias" in names
+        assert "bn.weight" in names
+        assert "fc2.weight" in names
+
+    def test_buffers_found(self):
+        model = Small()
+        names = [n for n, _ in model.named_buffers()]
+        assert "bn.running_mean" in names
+        assert "bn.running_var" in names
+
+    def test_num_parameters(self):
+        model = Small()
+        expected = 4 * 3 + 3 + 3 + 3 + 3 * 2 + 2
+        assert model.num_parameters() == expected
+
+    def test_reassignment_replaces_parameter(self):
+        model = Small()
+        model.fc1 = nn.Linear(4, 3, rng=np.random.default_rng(2))
+        assert len([n for n, _ in model.named_parameters() if n.startswith("fc1")]) == 2
+
+    def test_assigning_non_module_clears_registration(self):
+        model = Small()
+        model.fc2 = None
+        names = [n for n, _ in model.named_parameters()]
+        assert not any(n.startswith("fc2") for n in names)
+
+
+class TestTrainEval:
+    def test_train_eval_propagates(self):
+        model = Small()
+        model.eval()
+        assert not model.bn.training
+        model.train()
+        assert model.bn.training
+
+    def test_zero_grad(self):
+        model = Small()
+        x = nn.Tensor(np.ones((2, 4)))
+        loss = (model(x) ** 2).sum()
+        loss.backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        model_a = Small()
+        model_b = Small()
+        # perturb model_b so loading must overwrite
+        for p in model_b.parameters():
+            p.data += 1.0
+        model_b.load_state_dict(model_a.state_dict())
+        for (na, pa), (nb, pb) in zip(
+            model_a.named_parameters(), model_b.named_parameters()
+        ):
+            assert na == nb
+            assert np.allclose(pa.data, pb.data)
+
+    def test_state_dict_is_copy(self):
+        model = Small()
+        state = model.state_dict()
+        state["fc1.weight"][...] = 99.0
+        assert not np.allclose(model.fc1.weight.data, 99.0)
+
+    def test_buffers_round_trip(self):
+        model_a = Small()
+        model_a.bn.running_mean[...] = 5.0
+        model_b = Small()
+        model_b.load_state_dict(model_a.state_dict())
+        assert np.allclose(model_b.bn.running_mean, 5.0)
+
+    def test_missing_key_raises(self):
+        model = Small()
+        state = model.state_dict()
+        del state["fc1.weight"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        model = Small()
+        state = model.state_dict()
+        state["fc1.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestContainers:
+    def test_sequential_order_and_indexing(self):
+        seq = nn.Sequential(nn.ReLU(), nn.Tanh(), nn.Identity())
+        assert len(seq) == 3
+        assert isinstance(seq[1], nn.Tanh)
+        modules = list(seq)
+        assert isinstance(modules[0], nn.ReLU)
+
+    def test_sequential_forward_chains(self):
+        seq = nn.Sequential(
+            nn.Linear(3, 3, rng=np.random.default_rng(0)), nn.ReLU()
+        )
+        out = seq(nn.Tensor(np.ones((1, 3))))
+        assert (out.data >= 0).all()
+
+    def test_module_list_registration(self):
+        ml = nn.ModuleList([nn.Linear(2, 2, rng=np.random.default_rng(0))])
+        ml.append(nn.Linear(2, 2, rng=np.random.default_rng(1)))
+        assert len(ml) == 2
+        owner = nn.Module()
+        owner.layers = ml
+        assert len(list(owner.named_parameters())) == 4
+
+    def test_apply_visits_all(self):
+        visited = []
+        seq = nn.Sequential(nn.ReLU(), nn.Sequential(nn.Tanh()))
+        seq.apply(lambda m: visited.append(type(m).__name__))
+        assert "Tanh" in visited
+        assert "ReLU" in visited

@@ -1,0 +1,141 @@
+"""Tests for SGD, gradient clipping and LR schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BoundedInverseDecay,
+    ConstantLR,
+    InverseSqrtDecay,
+    InverseTimeDecay,
+    Parameter,
+    SGD,
+    clip_grad_norm,
+    make_convergent_schedules,
+)
+
+
+def make_param(value=1.0, grad=0.5):
+    p = Parameter(np.array([value], dtype=np.float32))
+    p.grad = np.array([grad], dtype=np.float32)
+    return p
+
+
+class TestSGD:
+    def test_vanilla_step(self):
+        p = make_param(1.0, 0.5)
+        SGD([p], lr=0.1).step()
+        assert p.data[0] == pytest.approx(0.95)
+
+    def test_skips_none_grad(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()
+        assert p.data[0] == 1.0
+
+    def test_weight_decay(self):
+        p = make_param(1.0, 0.0)
+        SGD([p], lr=0.1, weight_decay=0.1).step()
+        assert p.data[0] == pytest.approx(1.0 - 0.1 * 0.1)
+
+    def test_momentum_accumulates(self):
+        p = make_param(0.0, 1.0)
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        opt.step()  # v=1, x=-1
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()  # v=1.9, x=-2.9
+        assert p.data[0] == pytest.approx(-2.9)
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=0.1, nesterov=True)
+
+    def test_empty_params_raise(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=0.0)
+        opt = SGD([make_param()], lr=0.1)
+        with pytest.raises(ValueError):
+            opt.set_lr(-1.0)
+
+    def test_zero_grad_clears(self):
+        p = make_param()
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_state_dict_round_trip(self):
+        p = make_param(0.0, 1.0)
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        opt.step()
+        state = opt.state_dict()
+        opt2 = SGD([p], lr=1.0, momentum=0.9)
+        opt2.load_state_dict(state)
+        assert np.allclose(opt2._velocity[0], opt._velocity[0])
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = make_param(grad=0.3)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(0.3)
+        assert p.grad[0] == pytest.approx(0.3)
+
+    def test_clips_above_threshold(self):
+        p = make_param(grad=3.0)
+        q = make_param(grad=4.0)
+        norm = clip_grad_norm([p, q], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        total = np.sqrt(p.grad[0] ** 2 + q.grad[0] ** 2)
+        assert total == pytest.approx(1.0, rel=1e-5)
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantLR(0.01)
+        assert schedule(1) == schedule(1000) == 0.01
+
+    def test_inverse_time(self):
+        schedule = InverseTimeDecay(0.01, 1e-2)
+        assert schedule(1) == pytest.approx(0.01 / 1.01)
+        assert schedule(100) == pytest.approx(0.01 / 2.0)
+
+    def test_inverse_sqrt_rate(self):
+        """The O(r^-1/2) decay of Theorem 1's local constraint."""
+        schedule = InverseSqrtDecay(0.1)
+        # lr(4r) must be exactly half of lr(r)
+        assert schedule(400) == pytest.approx(schedule(100) / 2)
+
+    def test_bounded_inverse_rate_and_cap(self):
+        """The O(r^-1) decay with the 2/(mu(gamma+r)) admissibility cap."""
+        schedule = BoundedInverseDecay(10.0, mu=1.0, gamma=8.0)
+        # large base lr is capped by the bound
+        assert schedule(1) == pytest.approx(2.0 / 9.0)
+        # asymptotically halves when r doubles (O(r^-1))
+        assert schedule(10000) == pytest.approx(schedule(5000) / 2, rel=1e-2)
+
+    def test_bound_respected_everywhere(self):
+        schedule = BoundedInverseDecay(1.0, mu=2.0, gamma=4.0)
+        for r in (1, 10, 100, 1000):
+            assert schedule(r) <= 2.0 / (2.0 * (4.0 + r)) + 1e-12
+
+    def test_make_convergent_schedules(self):
+        local, global_ = make_convergent_schedules(0.1, 0.05)
+        assert isinstance(local, InverseSqrtDecay)
+        assert isinstance(global_, BoundedInverseDecay)
+
+    def test_iteration_index_validation(self):
+        with pytest.raises(ValueError):
+            ConstantLR(0.1)(0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            InverseTimeDecay(-1.0, 0.1)
+        with pytest.raises(ValueError):
+            InverseSqrtDecay(0.0)
+        with pytest.raises(ValueError):
+            BoundedInverseDecay(0.1, mu=0.0)

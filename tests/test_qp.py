@@ -1,0 +1,147 @@
+"""Tests for the NNQP solvers (the gradient integrator's dual problem)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from scipy import optimize
+
+from repro.core.qp import (
+    nnqp_objective,
+    solve_nnqp,
+    solve_nnqp_active_set,
+    solve_nnqp_projected_gradient,
+)
+
+
+def random_psd(k: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    g = rng.normal(size=(k, max(k, 3)))
+    return g @ g.T
+
+
+def scipy_reference(p_matrix: np.ndarray, q: np.ndarray) -> np.ndarray:
+    result = optimize.minimize(
+        lambda v: 0.5 * v @ p_matrix @ v + q @ v,
+        x0=np.zeros(len(q)),
+        jac=lambda v: p_matrix @ v + q,
+        bounds=[(0, None)] * len(q),
+        method="L-BFGS-B",
+        options={"maxiter": 2000, "ftol": 1e-14},
+    )
+    return result.x
+
+
+def assert_kkt(p_matrix, q, v, tol=1e-6):
+    gradient = p_matrix @ v + q
+    scale = max(np.abs(q).max(), 1.0)
+    assert (v >= -tol).all(), "primal feasibility violated"
+    assert (gradient >= -tol * scale).all(), "dual feasibility violated"
+    assert abs(v @ gradient) <= tol * scale * max(np.abs(v).max(), 1.0), \
+        "complementary slackness violated"
+
+
+class TestActiveSet:
+    def test_unconstrained_optimum_inside(self):
+        # q <= 0 everywhere: solution is the unconstrained one
+        p = np.eye(2)
+        q = np.array([-1.0, -2.0])
+        v = solve_nnqp_active_set(p, q)
+        assert np.allclose(v, [1.0, 2.0], atol=1e-8)
+
+    def test_fully_clipped(self):
+        # q >= 0: v = 0 is optimal
+        p = np.eye(3)
+        q = np.array([1.0, 2.0, 0.5])
+        v = solve_nnqp_active_set(p, q)
+        assert np.allclose(v, 0.0)
+
+    def test_mixed_active_set(self):
+        p = np.array([[2.0, 0.0], [0.0, 2.0]])
+        q = np.array([-2.0, 3.0])
+        v = solve_nnqp_active_set(p, q)
+        assert np.allclose(v, [1.0, 0.0], atol=1e-8)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_scipy(self, seed):
+        k = 2 + seed % 5
+        p = random_psd(k, seed)
+        q = np.random.default_rng(seed + 100).normal(size=k) * 3
+        ours = solve_nnqp_active_set(p, q)
+        reference = scipy_reference(p, q)
+        assert nnqp_objective(p, q, ours) <= nnqp_objective(p, q, reference) + 1e-6
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_kkt_conditions(self, seed):
+        k = 3 + seed % 4
+        p = random_psd(k, seed * 7)
+        q = np.random.default_rng(seed).normal(size=k) * 2
+        v = solve_nnqp_active_set(p, q)
+        assert_kkt(p, q, v)
+
+    def test_singular_gram_matrix(self):
+        # duplicated constraint gradients make P singular
+        g = np.array([[1.0, 0.0], [1.0, 0.0]])
+        p = g @ g.T
+        q = np.array([-1.0, -1.0])
+        v = solve_nnqp_active_set(p, q)
+        assert_kkt(p, q, v, tol=1e-5)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            solve_nnqp_active_set(np.zeros((2, 3)), np.zeros(2))
+        with pytest.raises(ValueError):
+            solve_nnqp_active_set(np.eye(2), np.zeros(3))
+        with pytest.raises(ValueError):
+            solve_nnqp_active_set(np.array([[1.0, 2.0], [0.0, 1.0]]), np.zeros(2))
+
+
+class TestProjectedGradient:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agrees_with_active_set(self, seed):
+        k = 2 + seed
+        p = random_psd(k, seed * 13)
+        q = np.random.default_rng(seed).normal(size=k)
+        v_pg = solve_nnqp_projected_gradient(p, q)
+        v_as = solve_nnqp_active_set(p, q)
+        assert nnqp_objective(p, q, v_pg) == pytest.approx(
+            nnqp_objective(p, q, v_as), abs=1e-6
+        )
+
+    def test_feasible(self):
+        p = random_psd(4, 1)
+        q = np.random.default_rng(2).normal(size=4)
+        v = solve_nnqp_projected_gradient(p, q)
+        assert (v >= 0).all()
+
+
+class TestDispatch:
+    def test_known_solvers(self):
+        p = np.eye(2)
+        q = np.array([-1.0, 1.0])
+        for method in ("active_set", "projected_gradient"):
+            v = solve_nnqp(p, q, method=method)
+            assert_kkt(p, q, v, tol=1e-5)
+
+    def test_unknown_solver_raises(self):
+        with pytest.raises(KeyError):
+            solve_nnqp(np.eye(2), np.zeros(2), method="ipm")
+
+
+class TestPropertyBased:
+    @given(st.integers(0, 1000), st.integers(1, 8))
+    def test_active_set_kkt_on_random_instances(self, seed, k):
+        p = random_psd(k, seed)
+        q = np.random.default_rng(seed + 1).normal(size=k) * 5
+        v = solve_nnqp_active_set(p, q)
+        assert_kkt(p, q, v, tol=1e-5)
+
+    @given(st.integers(0, 500), st.integers(1, 6))
+    def test_objective_no_worse_than_zero(self, seed, k):
+        # v=0 is always feasible, so the optimum is <= f(0) = 0
+        p = random_psd(k, seed)
+        q = np.random.default_rng(seed + 2).normal(size=k)
+        v = solve_nnqp_active_set(p, q)
+        assert nnqp_objective(p, q, v) <= 1e-9

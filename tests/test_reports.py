@@ -1,0 +1,112 @@
+"""Tests for the figure-report classes using synthetic RunResults (no training)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import AblationReport
+from repro.experiments.fig4_accuracy import Fig4Report
+from repro.experiments.fig5_comm_volume import Fig5Report
+from repro.experiments.fig6_bandwidth import Fig6Report
+from repro.experiments.fig7_tasks import Fig7Report
+from repro.experiments.fig8_clients import Fig8Report
+from repro.experiments.fig9_dnns import Fig9Report
+from repro.experiments.fig10_params import Fig10Report
+from repro.experiments.table1_improvement import Table1Report
+from repro.metrics import RoundRecord, RunResult
+
+
+def fake_result(method="m", final=0.5, first=0.8, comm=1000, train_s=10.0):
+    matrix = np.array([[first, np.nan], [first - 0.1, 2 * final - first + 0.1]])
+    rounds = [
+        RoundRecord(0, 0, comm // 2, comm // 2, train_s / 2, 1.0, 2, 0.5),
+        RoundRecord(1, 0, comm // 2, comm // 2, train_s / 2, 1.0, 2, 0.4),
+    ]
+    return RunResult(method, "d", 2, 2, matrix, rounds)
+
+
+class TestFig4Report:
+    def test_rows_sorted_by_accuracy(self):
+        report = Fig4Report("cifar100", False)
+        report.results = {"a": fake_result(final=0.3), "b": fake_result(final=0.9)}
+        rows = report.rows
+        assert rows[0][0] == "b"
+        assert report.best_method() == "b"
+
+    def test_str_mentions_cluster(self):
+        report = Fig4Report("fc100", True, {"a": fake_result()})
+        assert "Raspberry Pi" in str(report)
+
+
+class TestTable1Report:
+    def test_rows_padded_for_uneven_task_counts(self):
+        report = Table1Report(datasets=["d1", "d2"])
+        report.improvements = {"d1": np.array([10.0, 20.0]),
+                               "d2": np.array([5.0])}
+        rows = report.rows
+        assert rows[1][2] == "-"
+        assert report.mean_improvement("d1") == pytest.approx(15.0)
+
+
+class TestFig5Report:
+    def test_saving_percent(self):
+        report = Fig5Report(datasets=["d"])
+        report.volumes = {"d": {"fedknow": 1.0, "fedweit": 2.0}}
+        assert report.mean_saving_percent() == pytest.approx(50.0)
+        assert "50.0%" in str(report)
+
+
+class TestFig6Report:
+    def test_rows_per_model_method(self):
+        report = Fig6Report(bandwidths=(50_000, 1_000_000))
+        report.times = {"6cnn": {"fedknow": [2.0, 0.1], "fedweit": [3.0, 0.2]}}
+        assert len(report.rows) == 2
+        assert "50 KB/s" in str(report)
+
+
+class TestFig7Report:
+    def test_curves_exposed(self):
+        report = Fig7Report(num_tasks=2, results={"fedknow": fake_result()})
+        assert "fedknow" in report.accuracy_curves()
+        assert len(report.forgetting_curves()["fedknow"]) == 2
+        assert "accuracy" in str(report)
+
+
+class TestFig8Report:
+    def test_rows_grouped_by_count(self):
+        report = Fig8Report(client_counts=(2, 4))
+        report.results = {
+            2: {"fedknow": fake_result()},
+            4: {"fedknow": fake_result(final=0.4)},
+        }
+        rows = report.rows
+        assert rows[0][0] == 2
+        assert rows[1][0] == 4
+
+
+class TestFig9Report:
+    def test_best_method_per_model(self):
+        report = Fig9Report(models=("densenet",))
+        report.results = {
+            "densenet": {"gem": fake_result(final=0.2),
+                         "fedknow": fake_result(final=0.7)},
+        }
+        assert report.best_method_per_model()["densenet"] == "fedknow"
+        assert "multi-path" in str(report)
+
+
+class TestFig10Report:
+    def test_rows_have_time_column(self):
+        report = Fig10Report(results={"gem_10%": fake_result(train_s=360.0)})
+        row = report.rows[0]
+        assert row[0] == "gem_10%"
+        assert row[2] == pytest.approx(0.1, abs=1e-6)  # hours
+
+
+class TestAblationReport:
+    def test_str_contains_axis(self):
+        report = AblationReport(axis="distance metric",
+                                results={"cosine": fake_result()})
+        assert "distance metric" in str(report)
+        assert report.rows[0][0] == "cosine"

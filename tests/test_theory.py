@@ -1,0 +1,97 @@
+"""Tests for the executable convergence bounds (Section IV)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.theory import (
+    ConvergenceConstants,
+    gap_curve,
+    global_weight_bound,
+    local_weight_bound,
+    theorem1_gap,
+)
+from repro.nn.schedules import InverseSqrtDecay
+
+
+class TestConstants:
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            ConvergenceConstants(client_weights=(0.5, 0.6))
+
+    def test_variance_length_checked(self):
+        with pytest.raises(ValueError):
+            ConvergenceConstants(client_weights=(1.0,), grad_variances=(1.0, 1.0))
+
+    def test_positive_constants_required(self):
+        with pytest.raises(ValueError):
+            ConvergenceConstants(mu=0.0)
+
+
+class TestLemma1:
+    def test_bound_positive(self):
+        constants = ConvergenceConstants()
+        schedule = InverseSqrtDecay(0.1)
+        assert local_weight_bound(10, constants, schedule) > 0
+
+    def test_bound_vanishes_with_sqrt_schedule(self):
+        """Lemma 1 + the O(r^-1/2) constraint: the gap goes to 0."""
+        constants = ConvergenceConstants()
+        schedule = InverseSqrtDecay(0.1)
+        early = local_weight_bound(10, constants, schedule)
+        late = local_weight_bound(100_000, constants, schedule)
+        assert late < early / 10
+
+    def test_constant_lr_does_not_vanish(self):
+        """Without decay the lambda^2 eta / 2 term persists (why Theorem 1
+        requires the schedule)."""
+        constants = ConvergenceConstants(grad_bound=2.0)
+        eta = 0.1
+        floor = constants.grad_bound**2 * eta / 2
+        gap = constants.update_bound**2 / (2 * eta * 10**9) + floor
+        assert gap > floor * 0.99
+
+    def test_invalid_iteration(self):
+        with pytest.raises(ValueError):
+            local_weight_bound(0, ConvergenceConstants(), InverseSqrtDecay(0.1))
+
+
+class TestLemma2:
+    def test_bound_positive_and_finite(self):
+        constants = ConvergenceConstants()
+        for r in (1, 10, 1000):
+            bound = global_weight_bound(r, constants)
+            assert np.isfinite(bound)
+            assert bound >= 0
+
+    def test_bound_vanishes(self):
+        constants = ConvergenceConstants()
+        assert global_weight_bound(100_000, constants) < \
+            global_weight_bound(10, constants)
+
+    def test_heterogeneity_increases_bound(self):
+        """More non-IID data (larger Omega) worsens the global bound."""
+        iid = ConvergenceConstants(heterogeneity=0.0)
+        noniid = ConvergenceConstants(heterogeneity=5.0)
+        assert global_weight_bound(100, noniid) > global_weight_bound(100, iid)
+
+    def test_integrated_norm_bound_used(self):
+        constants = ConvergenceConstants()
+        small = global_weight_bound(100, constants, integrated_norm=0.1)
+        large = global_weight_bound(100, constants, integrated_norm=10.0)
+        assert large > small
+
+
+class TestTheorem1:
+    def test_gap_decreases_monotonically_in_tail(self):
+        rs = np.array([10, 100, 1000, 10_000, 100_000])
+        curve = gap_curve(rs)
+        assert (np.diff(curve) < 0).all()
+
+    def test_gap_approaches_zero(self):
+        assert theorem1_gap(10**7) < 1e-2
+        assert theorem1_gap(10**7) < theorem1_gap(10) / 100
+
+    def test_defaults_used(self):
+        assert theorem1_gap(100) > 0

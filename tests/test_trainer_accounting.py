@@ -1,0 +1,100 @@
+"""Tests for the trainer's per-round accounting (bytes, time, losses)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import build_benchmark, cifar100_like
+from repro.edge import (
+    EdgeCluster,
+    JETSON_AGX,
+    JETSON_NANO,
+    NetworkModel,
+    jetson_cluster,
+    uniform_cluster,
+)
+from repro.federated import TrainConfig, create_trainer
+
+
+@pytest.fixture
+def spec():
+    return cifar100_like(train_per_class=8, test_per_class=4).with_tasks(2)
+
+
+@pytest.fixture
+def config():
+    return TrainConfig(batch_size=8, lr=0.02, rounds_per_task=2,
+                       iterations_per_round=3)
+
+
+def build(spec, config, method="fedavg", **kwargs):
+    bench = build_benchmark(spec, num_clients=2, rng=np.random.default_rng(0))
+    return create_trainer(method, bench, config, **kwargs)
+
+
+class TestRoundRecords:
+    def test_record_count(self, spec, config):
+        result = build(spec, config, cluster=jetson_cluster()).run()
+        assert len(result.rounds) == spec.num_tasks * config.rounds_per_task
+        positions = {r.position for r in result.rounds}
+        assert positions == {0, 1}
+
+    def test_upload_equals_download_for_fedavg(self, spec, config):
+        """Plain FedAvg is symmetric: the model goes up and comes down."""
+        result = build(spec, config, cluster=jetson_cluster()).run()
+        for record in result.rounds:
+            assert record.upload_bytes == record.download_bytes
+
+    def test_mean_loss_finite(self, spec, config):
+        result = build(spec, config, cluster=jetson_cluster()).run()
+        assert all(np.isfinite(r.mean_loss) for r in result.rounds)
+
+    def test_slower_device_longer_round(self, spec, config):
+        fast = build(spec, config, cluster=uniform_cluster(JETSON_AGX, 2)).run()
+        slow = build(spec, config, cluster=uniform_cluster(JETSON_NANO, 2)).run()
+        assert slow.sim_train_seconds > 5 * fast.sim_train_seconds
+
+    def test_sync_round_waits_for_slowest(self, spec, config):
+        mixed = build(
+            spec, config, cluster=EdgeCluster([JETSON_AGX, JETSON_NANO])
+        ).run()
+        nano_only = build(
+            spec, config, cluster=uniform_cluster(JETSON_NANO, 2)
+        ).run()
+        # synchronous rounds: the mixed cluster is as slow as its Nano
+        assert mixed.sim_train_seconds == pytest.approx(
+            nano_only.sim_train_seconds, rel=0.05
+        )
+
+    def test_bandwidth_scales_comm_time(self, spec, config):
+        slow_net = build(
+            spec, config, cluster=jetson_cluster(),
+            network=NetworkModel(bandwidth_bytes_per_second=100_000),
+        ).run()
+        fast_net = build(
+            spec, config, cluster=jetson_cluster(),
+            network=NetworkModel(bandwidth_bytes_per_second=10_000_000),
+        ).run()
+        assert slow_net.sim_comm_seconds > 20 * fast_net.sim_comm_seconds
+
+    def test_no_cost_model_zero_time(self, spec, config):
+        result = build(spec, config, with_cost_model=False).run()
+        assert result.sim_train_seconds == 0.0
+        assert result.total_comm_bytes > 0  # raw bytes still counted
+
+
+class TestCommScaling:
+    def test_comm_grows_with_rounds(self, spec, config):
+        one = build(spec, config.updated(rounds_per_task=1),
+                    cluster=jetson_cluster()).run()
+        two = build(spec, config.updated(rounds_per_task=2),
+                    cluster=jetson_cluster()).run()
+        assert two.total_comm_bytes == pytest.approx(
+            2 * one.total_comm_bytes, rel=0.01
+        )
+
+    def test_fedrep_uploads_less_than_fedavg(self, spec, config):
+        fedavg = build(spec, config, "fedavg", cluster=jetson_cluster()).run()
+        fedrep = build(spec, config, "fedrep", cluster=jetson_cluster()).run()
+        assert fedrep.total_upload_bytes < fedavg.total_upload_bytes

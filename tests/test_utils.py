@@ -1,0 +1,82 @@
+"""Tests for utils: RNG handling, serialisation, weight init."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+from repro.utils import get_rng, load_state, save_state, seed_all, spawn, state_num_bytes
+
+
+class TestRng:
+    def test_get_rng_passthrough(self, rng):
+        assert get_rng(rng) is rng
+
+    def test_seed_all_resets_default(self):
+        seed_all(123)
+        a = get_rng().random()
+        seed_all(123)
+        b = get_rng().random()
+        assert a == b
+
+    def test_spawn_children_independent(self, rng):
+        children = spawn(rng, 3)
+        assert len(children) == 3
+        values = [c.random() for c in children]
+        assert len(set(values)) == 3
+
+    def test_spawn_deterministic(self):
+        a = spawn(np.random.default_rng(5), 2)
+        b = spawn(np.random.default_rng(5), 2)
+        assert a[0].random() == b[0].random()
+
+
+class TestSerialization:
+    def test_state_num_bytes(self):
+        state = {"a": np.zeros(10, dtype=np.float32), "b": np.zeros(5, np.float64)}
+        assert state_num_bytes(state) == 10 * 4 + 5 * 8
+
+    def test_save_load_round_trip(self, tmp_path, rng):
+        state = {"w": rng.normal(size=(3, 4)).astype(np.float32),
+                 "b": rng.normal(size=4).astype(np.float32)}
+        path = tmp_path / "state.npz"
+        save_state(state, path)
+        loaded = load_state(path)
+        assert set(loaded) == {"w", "b"}
+        assert np.array_equal(loaded["w"], state["w"])
+
+
+class TestInit:
+    def test_kaiming_normal_std(self, rng):
+        weights = init.kaiming_normal((1000, 100), rng)
+        expected_std = np.sqrt(2.0) / np.sqrt(1000)
+        assert weights.std() == pytest.approx(expected_std, rel=0.1)
+
+    def test_kaiming_uniform_bound(self, rng):
+        weights = init.kaiming_uniform((100, 50), rng)
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / 100)
+        assert np.abs(weights).max() <= bound + 1e-6
+
+    def test_conv_fan_in(self, rng):
+        weights = init.kaiming_normal((8, 4, 3, 3), rng)
+        expected_std = np.sqrt(2.0) / np.sqrt(4 * 9)
+        assert weights.std() == pytest.approx(expected_std, rel=0.2)
+
+    def test_xavier_bound(self, rng):
+        weights = init.xavier_uniform((60, 40), rng)
+        bound = np.sqrt(6.0 / 100)
+        assert np.abs(weights).max() <= bound + 1e-6
+
+    def test_unsupported_shape_raises(self, rng):
+        with pytest.raises(ValueError):
+            init.kaiming_normal((3, 3, 3), rng)
+
+    def test_zeros_ones(self):
+        assert (init.zeros((3,)) == 0).all()
+        assert (init.ones((3,)) == 1).all()
+        assert init.zeros((3,)).dtype == np.float32
+
+    def test_dtype_float32(self, rng):
+        assert init.kaiming_normal((4, 4), rng).dtype == np.float32
+        assert init.xavier_uniform((4, 4), rng).dtype == np.float32

@@ -1,0 +1,80 @@
+"""Tests for parameter/gradient vector flattening."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import (
+    gradients_to_vector,
+    model_gradient,
+    model_vector,
+    parameters_to_vector,
+    vector_to_gradients,
+    vector_to_parameters,
+)
+
+
+@pytest.fixture
+def model():
+    return nn.Sequential(
+        nn.Linear(3, 4, rng=np.random.default_rng(0)),
+        nn.ReLU(),
+        nn.Linear(4, 2, rng=np.random.default_rng(1)),
+    )
+
+
+class TestParameterVector:
+    def test_round_trip(self, model):
+        vector = parameters_to_vector(model.parameters())
+        assert vector.dtype == np.float64
+        assert vector.size == sum(p.size for p in model.parameters())
+        vector_to_parameters(vector * 2.0, model.parameters())
+        assert np.allclose(
+            parameters_to_vector(model.parameters()), vector * 2.0, atol=1e-6
+        )
+
+    def test_size_mismatch_raises(self, model):
+        with pytest.raises(ValueError):
+            vector_to_parameters(np.zeros(3), model.parameters())
+
+    def test_model_vector_helper(self, model):
+        assert np.allclose(
+            model_vector(model), parameters_to_vector(model.parameters())
+        )
+
+
+class TestGradientVector:
+    def test_none_grads_become_zeros(self, model):
+        vector = gradients_to_vector(model.parameters())
+        assert np.allclose(vector, 0.0)
+
+    def test_round_trip(self, model):
+        x = nn.Tensor(np.ones((2, 3)))
+        (model(x) ** 2).sum().backward()
+        vector = gradients_to_vector(model.parameters())
+        assert not np.allclose(vector, 0.0)
+        vector_to_gradients(vector * -1.0, model.parameters())
+        assert np.allclose(
+            gradients_to_vector(model.parameters()), -vector, atol=1e-6
+        )
+
+    def test_model_gradient_helper(self, model):
+        x = nn.Tensor(np.ones((2, 3)))
+        (model(x) ** 2).sum().backward()
+        assert np.allclose(
+            model_gradient(model), gradients_to_vector(model.parameters())
+        )
+
+    def test_ordering_is_stable(self, model):
+        # flattening twice gives the same layout
+        x = nn.Tensor(np.ones((2, 3)))
+        (model(x) ** 2).sum().backward()
+        v1 = gradients_to_vector(model.parameters())
+        v2 = gradients_to_vector(model.parameters())
+        assert np.array_equal(v1, v2)
+
+    def test_size_mismatch_raises(self, model):
+        with pytest.raises(ValueError):
+            vector_to_gradients(np.zeros(5), model.parameters())
