@@ -83,6 +83,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--clients", type=int, default=None)
     run_p.add_argument("--tasks", type=int, default=None)
     run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--engine", default="serial", choices=("serial", "thread"),
+                       help="round engine: serial or concurrent client "
+                            "execution (identical metrics, faster wall clock)")
     run_p.add_argument("--with-raspberry-pi", action="store_true",
                        help="use the 30-device heterogeneous cluster")
 
@@ -110,7 +113,7 @@ def _cmd_run(args) -> int:
     )
     result = run_single(
         args.method, get_spec(args.dataset), preset,
-        cluster=cluster, seed=args.seed, use_cache=False,
+        cluster=cluster, seed=args.seed, use_cache=False, engine=args.engine,
     )
     stages = np.arange(1, len(result.accuracy_curve) + 1)
     print(format_series(

@@ -23,6 +23,12 @@ from ..models.base import ImageClassifier
 from ..nn import functional as F
 from ..nn.optim import SGD
 from ..nn.tensor import Tensor
+from ..utils.serialization import (
+    SparseTensor,
+    WireValue,
+    encoded_num_bytes,
+    topk_magnitude_indices,
+)
 
 
 @dataclass
@@ -33,7 +39,7 @@ class TaskKnowledge:
     position: int
     classes: np.ndarray
     num_total_classes: int
-    indices: dict[str, np.ndarray]  # flat positions of retained weights, per param
+    indices: dict[str, np.ndarray]  # flat int32 positions of retained weights
     values: dict[str, np.ndarray]  # retained weight values, per param
     shapes: dict[str, tuple[int, ...]]
     buffers: dict[str, np.ndarray]  # BN running statistics
@@ -44,19 +50,25 @@ class TaskKnowledge:
         mask[self.classes] = True
         return mask
 
+    def wire_state(self) -> dict[str, WireValue]:
+        """This entry as a wire state: sparse params plus dense BN buffers."""
+        state: dict[str, WireValue] = {
+            name: SparseTensor(self.indices[name], self.values[name],
+                               self.shapes[name])
+            for name in self.values
+        }
+        state.update(self.buffers)
+        return state
+
     @property
     def nbytes(self) -> int:
-        """Memory footprint of this knowledge entry.
+        """Size of this entry as an encoded sparse payload, byte-exact.
 
-        Values are stored in float32; positions are counted at 4 bytes
-        (int32 indices suffice for the model sizes involved).
+        Values travel as float32 and positions as int32; the figure is the
+        codec's ``encoded_num_bytes`` of :meth:`wire_state`, so stored and
+        billed bytes always agree.
         """
-        total = 0
-        for name in self.values:
-            total += self.values[name].size * 4  # float32 values
-            total += self.indices[name].size * 4  # int32 positions
-        total += sum(b.size * 4 for b in self.buffers.values())
-        return int(total)
+        return encoded_num_bytes(self.wire_state())
 
     def num_retained(self) -> int:
         return int(sum(v.size for v in self.values.values()))
@@ -105,23 +117,34 @@ class KnowledgeExtractor:
         network's label fidelity without touching the live model.
         """
         params = {name: p.data for name, p in model.named_parameters()}
-        # global magnitude threshold across all parameters (Eq. 1)
+        for name, value in params.items():
+            if value.size > np.iinfo(np.int32).max:
+                raise ValueError(
+                    f"parameter {name!r} has {value.size} elements; flat "
+                    "positions would overflow the wire format's int32 indices"
+                )
+        # global top-rho magnitude selection across all parameters (Eq. 1);
+        # tie-aware: exactly round(rho * d) weights are retained even when
+        # magnitudes tie at the selection boundary
         all_magnitudes = np.concatenate(
             [np.abs(v).ravel() for v in params.values()]
         )
-        threshold = float(
-            np.quantile(all_magnitudes, 1.0 - self.ratio)
-        ) if self.ratio < 1.0 else -np.inf
+        d = all_magnitudes.size
+        retained = d if self.ratio >= 1.0 else max(1, int(round(self.ratio * d)))
+        keep_global = topk_magnitude_indices(all_magnitudes, retained)
 
+        sizes = np.array([v.size for v in params.values()])
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
         indices: dict[str, np.ndarray] = {}
         values: dict[str, np.ndarray] = {}
         shapes: dict[str, tuple[int, ...]] = {}
-        for name, value in params.items():
-            flat = value.ravel()
+        for position, (name, value) in enumerate(params.items()):
+            lo = np.searchsorted(keep_global, offsets[position])
+            hi = np.searchsorted(keep_global, offsets[position + 1])
             # a parameter may retain nothing — its restored values are zeros
-            keep = np.flatnonzero(np.abs(flat) >= threshold).astype(np.int64)
+            keep = (keep_global[lo:hi] - offsets[position]).astype(np.int32)
             indices[name] = keep
-            values[name] = flat[keep].astype(np.float32).copy()
+            values[name] = value.ravel()[keep].astype(np.float32).copy()
             shapes[name] = value.shape
         buffers = {
             name: np.array(buffer, copy=True)

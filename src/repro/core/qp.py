@@ -47,7 +47,11 @@ def solve_nnqp_active_set(
     Maintains a free set F; solves the unconstrained problem restricted to F
     (``P_FF v_F = -q_F``); clips negative entries out of F; admits the most
     violated KKT multiplier back in.  Terminates at a KKT point: ``v >= 0``,
-    ``Pv + q >= 0``, ``v^T (Pv + q) = 0``.
+    ``Pv + q >= 0``, ``v^T (Pv + q) = 0``.  If the outer loop exhausts
+    ``max_iter`` without reaching a KKT point (which can happen on
+    ill-conditioned Gram matrices), the solve falls back to
+    :func:`solve_nnqp_projected_gradient` rather than silently returning a
+    non-optimal iterate.
     """
     p_matrix, q = _check_inputs(p_matrix, q)
     k = len(q)
@@ -56,11 +60,13 @@ def solve_nnqp_active_set(
     free = np.zeros(k, dtype=bool)
     v = np.zeros(k, dtype=np.float64)
     identity = np.eye(k)
+    converged = False
     for _ in range(max_iter):
         gradient = p_matrix @ v + q
         # KKT check: at bound, gradient must be >= 0 (within tolerance)
         violated = (~free) & (gradient < -1e-12)
         if not violated.any():
+            converged = True
             break
         free[np.argmin(np.where(violated, gradient, np.inf))] = True
         # inner loop: solve on free set, clip until feasible
@@ -81,6 +87,8 @@ def solve_nnqp_active_set(
             if not free.any():
                 v[:] = 0.0
                 break
+    if not converged:
+        return solve_nnqp_projected_gradient(p_matrix, q)
     return v
 
 

@@ -5,6 +5,12 @@ FedWEIT additionally uploads sparse adaptive weights every round and
 broadcasts every other client's adaptives at each task start, so its volume
 grows with clients and tasks.  The paper reports a 34.28 % average reduction
 for FedKNOW.
+
+Volumes are accumulated from the per-round ``upload_bytes`` /
+``download_bytes`` records, which the clients measure as the wire codec's
+exact encoded payload sizes (:func:`repro.utils.serialization.encoded_num_bytes`)
+— dense records for model states, ``{indices: int32, values: float32}``
+records for sparse adaptives — not from ``nbytes`` arithmetic.
 """
 
 from __future__ import annotations

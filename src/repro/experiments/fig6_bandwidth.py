@@ -3,7 +3,10 @@
 Eight bandwidth settings from 50 KB/s to 10 MB/s, two DNNs (the 6-layer CNN
 and ResNet-18), FedKNOW vs FedWEIT.  Transfer volumes are measured from one
 training run per (method, model); times are the measured per-round payloads
-replayed through each bandwidth setting.
+replayed through each bandwidth setting.  Per-round payloads are the wire
+codec's exact encoded byte counts
+(:func:`repro.utils.serialization.encoded_num_bytes`), so the replayed hours
+reflect what the sparse/dense wire format actually transfers.
 """
 
 from __future__ import annotations

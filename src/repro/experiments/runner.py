@@ -71,8 +71,13 @@ def run_single(
     model_kwargs: dict | None = None,
     method_kwargs: dict | None = None,
     use_cache: bool = True,
+    engine: str = "serial",
 ) -> RunResult:
-    """Train ``method`` on ``spec`` at ``preset`` scale and return its metrics."""
+    """Train ``method`` on ``spec`` at ``preset`` scale and return its metrics.
+
+    ``engine`` selects the round engine ("serial" or "thread"); both produce
+    identical metrics, so it does not participate in the result cache key.
+    """
     seed = preset.seed if seed is None else seed
     scaled = preset.apply_to_spec(spec)
     key = _cache_key(
@@ -93,8 +98,12 @@ def run_single(
         network=network,
         model_kwargs=model_kwargs,
         method_kwargs=method_kwargs,
+        engine=engine,
     )
-    result = trainer.run()
+    try:
+        result = trainer.run()
+    finally:
+        trainer.engine.close()
     if use_cache:
         _CACHE[key] = result
     return result

@@ -3,6 +3,13 @@
 from .apfl import APFLClient
 from .base import FederatedClient, SGDClient
 from .config import TrainConfig
+from .engine import (
+    ENGINES,
+    RoundEngine,
+    SerialRoundEngine,
+    ThreadedRoundEngine,
+    create_engine,
+)
 from .fedrep import FedRepClient
 from .fedweit import FedWeitClient, FedWeitServer, sparse_adaptive_bytes
 from .flcn import FLCNClient
@@ -20,6 +27,11 @@ __all__ = [
     "ALL_METHODS",
     "APFLClient",
     "CONTINUAL_STRATEGIES",
+    "ENGINES",
+    "RoundEngine",
+    "SerialRoundEngine",
+    "ThreadedRoundEngine",
+    "create_engine",
     "FCL_METHODS",
     "FEDERATED_METHODS",
     "FedAvgServer",

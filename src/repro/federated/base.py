@@ -24,7 +24,7 @@ from ..nn.optim import SGD
 from ..nn.schedules import InverseTimeDecay
 from ..nn.tensor import Tensor
 from ..utils.rng import get_rng
-from ..utils.serialization import state_num_bytes
+from ..utils.serialization import encoded_num_bytes
 from .config import TrainConfig
 
 
@@ -94,12 +94,16 @@ class FederatedClient:
     # accounting (communication / memory simulation)
     # ------------------------------------------------------------------
     def upload_bytes(self) -> int:
-        """Bytes uploaded this round (at this reproduction's model scale)."""
-        return state_num_bytes(self.upload_state())
+        """Bytes uploaded this round (at this reproduction's model scale).
+
+        The figure is the wire codec's exact encoded payload size of the
+        uploaded state, not an arithmetic estimate.
+        """
+        return encoded_num_bytes(self.upload_state())
 
     def download_bytes(self, global_state: Mapping[str, np.ndarray]) -> int:
-        """Bytes downloaded this round."""
-        return state_num_bytes(global_state)
+        """Bytes downloaded this round (exact encoded payload size)."""
+        return encoded_num_bytes(global_state)
 
     def extra_state_bytes(self) -> dict[str, int]:
         """Method-specific retained state, split by kind for cost projection.

@@ -1,0 +1,93 @@
+"""Round execution engines: how a round's per-client work is scheduled.
+
+The trainer expresses each phase of a round (local training + upload,
+global-state download) as an order-preserving map of a function over the
+active clients.  Engines decide how that map executes:
+
+* :class:`SerialRoundEngine` — one client after another (the reference
+  semantics);
+* :class:`ThreadedRoundEngine` — clients run concurrently on a thread pool.
+
+Clients are fully independent during a round (each owns its model, optimiser,
+RNG and method state; servers are only touched between phases), so the
+threaded engine produces **bit-identical** results to the serial one — the
+per-client float operations and their within-client order are unchanged, and
+outputs are reassembled in client order.  Only wall-clock time differs.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class RoundEngine:
+    """Order-preserving executor of per-client round work."""
+
+    name = "base"
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every item; results follow the input order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any execution resources (idempotent)."""
+
+
+class SerialRoundEngine(RoundEngine):
+    """Clients run one after another — the reference execution order."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+
+class ThreadedRoundEngine(RoundEngine):
+    """Clients of a round run concurrently on a shared thread pool."""
+
+    name = "thread"
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = max_workers
+        self._executor: ThreadPoolExecutor | None = None
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="round-engine"
+            )
+        return self._executor
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        items = list(items)
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        return list(self._pool().map(fn, items))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+ENGINES: dict[str, type[RoundEngine]] = {
+    "serial": SerialRoundEngine,
+    "thread": ThreadedRoundEngine,
+}
+
+
+def create_engine(
+    engine: str | RoundEngine, max_workers: int | None = None
+) -> RoundEngine:
+    """Resolve an engine instance from a name or pass one through."""
+    if isinstance(engine, RoundEngine):
+        return engine
+    if engine not in ENGINES:
+        raise KeyError(f"unknown round engine {engine!r}; known: {sorted(ENGINES)}")
+    if engine == "thread":
+        return ThreadedRoundEngine(max_workers=max_workers)
+    return ENGINES[engine]()

@@ -28,19 +28,35 @@ from ..models.base import ImageClassifier
 from ..nn import functional as F
 from ..nn.schedules import InverseTimeDecay
 from ..nn.tensor import Tensor
-from ..utils.serialization import state_num_bytes
+from ..utils.serialization import SparseTensor, encoded_num_bytes
 from .base import FederatedClient
 from .config import TrainConfig
 from .server import FedAvgServer
 
 SPARSE_THRESHOLD = 1e-3
-SPARSE_BYTES_PER_NNZ = 8  # float32 value + int32 position
+
+
+def sparse_adaptive_state(
+    adaptive: Mapping[str, np.ndarray],
+) -> dict[str, SparseTensor]:
+    """The wire form of an adaptive-weight set: above-threshold entries only."""
+    sparse: dict[str, SparseTensor] = {}
+    for name, value in adaptive.items():
+        flat = np.asarray(value).ravel()
+        keep = np.flatnonzero(np.abs(flat) > SPARSE_THRESHOLD).astype(np.int32)
+        sparse[name] = SparseTensor(
+            keep, flat[keep].astype(np.float32), np.asarray(value).shape
+        )
+    return sparse
 
 
 def sparse_adaptive_bytes(adaptive: Mapping[str, np.ndarray]) -> int:
-    """Transfer/storage size of a sparse adaptive-weight set."""
-    nnz = sum(int((np.abs(a) > SPARSE_THRESHOLD).sum()) for a in adaptive.values())
-    return nnz * SPARSE_BYTES_PER_NNZ
+    """Transfer/storage size of a sparse adaptive-weight set.
+
+    Measured as the wire codec's exact encoded payload size (int32 positions
+    plus float32 values plus record framing), not an arithmetic estimate.
+    """
+    return encoded_num_bytes(sparse_adaptive_state(adaptive))
 
 
 class FedWeitServer(FedAvgServer):
@@ -240,14 +256,14 @@ class FedWeitClient(FederatedClient):
         self._compose()
 
     def upload_bytes(self) -> int:
-        return state_num_bytes(self.upload_state()) + sparse_adaptive_bytes(
+        return encoded_num_bytes(self.upload_state()) + sparse_adaptive_bytes(
             self._current_adaptive()
         )
 
     def download_bytes(self, global_state: Mapping[str, np.ndarray]) -> int:
         extra = self._downloaded_foreign_bytes
         self._downloaded_foreign_bytes = 0
-        return state_num_bytes(global_state) + extra
+        return encoded_num_bytes(global_state) + extra
 
     def extra_state_bytes(self) -> dict[str, int]:
         own = sum(sparse_adaptive_bytes(a) for a in self.adaptives)

@@ -41,6 +41,7 @@ from ..utils.rng import spawn
 from .apfl import APFLClient
 from .base import SGDClient
 from .config import TrainConfig
+from .engine import RoundEngine
 from .fedrep import FedRepClient
 from .fedweit import FedWeitClient, FedWeitServer
 from .flcn import FLCNClient
@@ -78,6 +79,7 @@ def create_trainer(
     with_cost_model: bool = True,
     model_kwargs: dict | None = None,
     method_kwargs: dict | None = None,
+    engine: str | RoundEngine = "serial",
 ) -> FederatedTrainer:
     """Build a :class:`FederatedTrainer` running ``method`` on ``benchmark``."""
     # imported here to avoid a circular import (core.client uses federated.base)
@@ -168,4 +170,5 @@ def create_trainer(
         network=network,
         dataset_name=spec.name,
         method_name=method,
+        engine=engine,
     )

@@ -2,12 +2,18 @@
 
 The server aggregates whatever keys the clients upload (FedRep clients upload
 only representation-layer keys, so personal heads are untouched), weighted by
-client sample counts, following McMahan et al.'s FedAvg.
+client sample counts, following McMahan et al.'s FedAvg.  Aggregation runs as
+a streaming weighted sum — one client state is resident at a time, so peak
+memory does not scale with the number of clients — and accepts three upload
+forms interchangeably: plain ``name -> array`` mappings, mappings containing
+:class:`~repro.utils.serialization.SparseTensor` records (interpreted as
+top-k deltas from the current global state), and raw payload bytes produced
+by :func:`~repro.utils.serialization.encode_state`.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping, Sequence, Union
 
 import numpy as np
 
@@ -16,6 +22,11 @@ from ..nn import functional as F
 from ..nn.optim import SGD
 from ..nn.tensor import Tensor
 from ..utils.rng import get_rng
+from ..utils.serialization import SparseTensor, WireValue, decode_state
+
+#: One client's upload: a state mapping (dense and/or sparse entries) or an
+#: encoded wire payload.
+ClientUpload = Union[Mapping[str, WireValue], bytes, bytearray, memoryview]
 
 
 class FedAvgServer:
@@ -25,9 +36,24 @@ class FedAvgServer:
         self.global_state: dict[str, np.ndarray] | None = None
         self.round_index = 0
 
+    def _materialise(self, key: str, value: WireValue) -> np.ndarray:
+        """Densify one uploaded entry; sparse records are deltas from global."""
+        if not isinstance(value, SparseTensor):
+            return np.asarray(value)
+        dense = value.to_dense()
+        if self.global_state is not None and key in self.global_state:
+            base = np.asarray(self.global_state[key])
+            if base.shape != dense.shape:
+                raise ValueError(
+                    f"sparse upload for {key!r} has shape {dense.shape}, "
+                    f"global state has {base.shape}"
+                )
+            dense = dense + base
+        return dense
+
     def aggregate(
         self,
-        states: Sequence[Mapping[str, np.ndarray]],
+        states: Sequence[ClientUpload],
         weights: Sequence[float],
     ) -> dict[str, np.ndarray]:
         """Aggregate client states; returns the new global state."""
@@ -40,19 +66,39 @@ class FedAvgServer:
         total = float(sum(weights))
         if total <= 0:
             raise ValueError("aggregation weights must sum to a positive value")
-        keys = states[0].keys()
-        for state in states[1:]:
-            if state.keys() != keys:
+        # streaming weighted sum: one decoded client state resident at a time
+        key_order: list[str] | None = None
+        key_set: set[str] = set()
+        accum: dict[str, np.ndarray] = {}  # float keys: running float64 sums
+        fixed: dict[str, np.ndarray] = {}  # integer/bool keys: first client
+        dtypes: dict[str, np.dtype] = {}
+        for state, weight in zip(states, weights):
+            if isinstance(state, (bytes, bytearray, memoryview)):
+                state = decode_state(state)
+            if key_order is None:
+                key_order = list(state.keys())
+                key_set = set(key_order)
+            elif set(state.keys()) != key_set:
                 raise ValueError("clients uploaded inconsistent state keys")
-        aggregated: dict[str, np.ndarray] = {}
-        for key in keys:
-            stacked = np.stack(
-                [np.asarray(state[key], dtype=np.float64) for state in states]
-            )
-            coeffs = np.asarray(weights, dtype=np.float64) / total
-            aggregated[key] = np.tensordot(coeffs, stacked, axes=1).astype(
-                states[0][key].dtype
-            )
+            coeff = weight / total
+            for key in key_order:
+                value = self._materialise(key, state[key])
+                if key not in dtypes:
+                    dtypes[key] = value.dtype
+                    if not np.issubdtype(value.dtype, np.floating):
+                        # averaging integer-typed buffers (e.g. BN step
+                        # counters) through a float->int cast truncates;
+                        # keep the first client's value instead
+                        fixed[key] = np.array(value, copy=True)
+                        continue
+                    accum[key] = np.zeros(value.shape, dtype=np.float64)
+                if key in fixed:
+                    continue
+                accum[key] += coeff * np.asarray(value, dtype=np.float64)
+        aggregated = {
+            key: fixed[key] if key in fixed else accum[key].astype(dtypes[key])
+            for key in key_order
+        }
         self.global_state = aggregated
         self.round_index += 1
         return aggregated
@@ -102,6 +148,12 @@ class FLCNServer(FedAvgServer):
             self._buffer_x.pop(0)
             self._buffer_y.pop(0)
             self._buffer_mask.pop(0)
+        if total > self.max_buffer:
+            # a single contribution larger than the cap: truncate it so the
+            # buffer can never exceed max_buffer
+            self._buffer_x[0] = self._buffer_x[0][: self.max_buffer]
+            self._buffer_y[0] = self._buffer_y[0][: self.max_buffer]
+            self._buffer_mask[0] = self._buffer_mask[0][: self.max_buffer]
 
     @property
     def buffer_size(self) -> int:

@@ -8,6 +8,13 @@ training time (device FLOP throughput x measured compute units), per-round
 communication time (payload / bandwidth), and device out-of-memory dropout —
 and assembles the :class:`~repro.metrics.tracker.RunResult` that the
 experiment harness reports.
+
+Per-client round work is scheduled by a pluggable
+:class:`~repro.federated.engine.RoundEngine`: the serial engine preserves the
+reference execution order, while the threaded engine runs the clients of a
+round concurrently with bit-identical results (clients are independent within
+a round and the edge-time simulation reads per-client accounting after the
+fact).
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from ..edge.network import NetworkModel
 from ..metrics.tracker import RoundRecord, RunResult, accuracy_matrix_from_client_evals
 from .base import FederatedClient
 from .config import TrainConfig
+from .engine import RoundEngine, create_engine
 from .server import FedAvgServer
 
 
@@ -39,6 +47,7 @@ class FederatedTrainer:
         network: NetworkModel | None = None,
         dataset_name: str = "unknown",
         method_name: str | None = None,
+        engine: str | RoundEngine = "serial",
     ):
         if not clients:
             raise ValueError("trainer needs at least one client")
@@ -50,6 +59,7 @@ class FederatedTrainer:
         self.network = network or NetworkModel()
         self.dataset_name = dataset_name
         self.method_name = method_name or clients[0].method_name
+        self.engine = create_engine(engine)
         self._oom: set[int] = set()
 
     # ------------------------------------------------------------------
@@ -120,24 +130,35 @@ class FederatedTrainer:
                 up_total, down_total = 0, 0
                 train_seconds = 0.0
                 comm_seconds = 0.0
-                for client in active:
+
+                def train_phase(client: FederatedClient):
                     stats = client.local_train(self.config.iterations_per_round)
-                    losses.append(stats.get("mean_loss", np.nan))
-                    states.append(client.upload_state())
-                    weights.append(client.num_train_samples)
+                    state = client.upload_state()
                     up = self._real_bytes(client.upload_bytes())
                     up += self._real_sample_bytes(client.upload_sample_bytes())
+                    return stats, state, up, client.take_compute_units()
+
+                for client, (stats, state, up, units) in zip(
+                    active, self.engine.map(train_phase, active)
+                ):
+                    losses.append(stats.get("mean_loss", np.nan))
+                    states.append(state)
+                    weights.append(client.num_train_samples)
                     up_total += up
-                    units = client.take_compute_units()
                     train_seconds = max(
                         train_seconds, self._train_seconds(client, units)
                     )
                 global_state = self.server.aggregate(states, weights)
-                for client in active:
+
+                def receive_phase(client: FederatedClient):
                     down = self._real_bytes(client.download_bytes(global_state))
-                    down_total += down
                     client.receive_global(global_state, round_index)
-                    units = client.take_compute_units()
+                    return down, client.take_compute_units()
+
+                for client, (down, units) in zip(
+                    active, self.engine.map(receive_phase, active)
+                ):
+                    down_total += down
                     train_seconds = max(
                         train_seconds, self._train_seconds(client, units)
                     )

@@ -15,6 +15,7 @@ convolution, pooling and the fused losses live in :mod:`repro.nn.functional`.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -23,24 +24,31 @@ from . import profiler
 
 DEFAULT_DTYPE = np.float32
 
-_grad_enabled = True
+
+class _GradMode(threading.local):
+    """Per-thread grad mode, so concurrent round-engine clients can
+    enter/leave ``no_grad`` without clobbering each other's tape."""
+
+    enabled = True
+
+
+_grad_mode = _GradMode()
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager that disables graph construction (used for eval)."""
-    global _grad_enabled
-    previous = _grad_enabled
-    _grad_enabled = False
+    previous = _grad_mode.enabled
+    _grad_mode.enabled = False
     try:
         yield
     finally:
-        _grad_enabled = previous
+        _grad_mode.enabled = previous
 
 
 def is_grad_enabled() -> bool:
     """Return whether new operations will be recorded on the autograd tape."""
-    return _grad_enabled
+    return _grad_mode.enabled
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -160,7 +168,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Create an op result, wiring the backward closure if grads flow."""
-        needs = _grad_enabled and any(p.requires_grad for p in parents)
+        needs = _grad_mode.enabled and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=needs, dtype=data.dtype)
         if needs:
             out._parents = tuple(p for p in parents if p.requires_grad)

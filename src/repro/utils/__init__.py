@@ -1,6 +1,31 @@
-"""Shared utilities: deterministic RNG handling, serialisation helpers."""
+"""Shared utilities: deterministic RNG handling, serialisation, wire codec."""
 
 from .rng import get_rng, seed_all, spawn
-from .serialization import load_state, save_state, state_num_bytes
+from .serialization import (
+    SparseTensor,
+    decode_state,
+    encode_state,
+    encoded_num_bytes,
+    load_state,
+    save_state,
+    sparse_delta_state,
+    sparse_topk,
+    state_num_bytes,
+    topk_magnitude_indices,
+)
 
-__all__ = ["get_rng", "seed_all", "spawn", "load_state", "save_state", "state_num_bytes"]
+__all__ = [
+    "SparseTensor",
+    "decode_state",
+    "encode_state",
+    "encoded_num_bytes",
+    "get_rng",
+    "load_state",
+    "save_state",
+    "seed_all",
+    "sparse_delta_state",
+    "sparse_topk",
+    "spawn",
+    "state_num_bytes",
+    "topk_magnitude_indices",
+]

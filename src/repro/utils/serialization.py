@@ -1,23 +1,263 @@
-"""State-dict serialisation and size accounting.
+"""State-dict serialisation, the sparse wire codec, and size accounting.
 
-``state_num_bytes`` is the canonical measure of message size used by the
-communication-cost experiments (Figures 5 and 6): a state dict transmitted
-between a client and the server costs the sum of its arrays' byte sizes.
+Wire format (version 1, little-endian)
+--------------------------------------
+A payload is a fixed header followed by one record per state entry::
+
+    header:  magic ``b"FKSC"`` | version u8 | entry count u32
+    record:  name length u16 | name (utf-8)
+             kind u8 (0 = dense, 1 = sparse)
+             dtype length u8 | dtype string (numpy ``dtype.str``, e.g. ``<f4``)
+             ndim u8 | shape dims (u32 each)
+             dense  -> C-order array bytes
+             sparse -> nnz u32 | indices (int32) | values (dtype above)
+
+Dense records carry full arrays (model state dicts, BN buffers).  Sparse
+records carry ``{indices: int32, values: float32, shape}`` triples — the
+top-``rho`` signature weights of a
+:class:`~repro.core.knowledge.TaskKnowledge` or a top-k state delta.  Flat
+positions are int32 on the wire, so no array may exceed ``2**31 - 1``
+elements (:func:`sparse_topk` and the knowledge extractor guard this).
+
+:func:`encoded_num_bytes` computes the exact payload size without
+materialising it (tests assert it equals ``len(encode_state(...))``) and is
+the canonical measure of message size used by the communication-cost
+experiments (Figures 5 and 6).  :func:`state_num_bytes` remains the raw
+sum-of-array-bytes measure for in-memory accounting.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Mapping
+import struct
+from dataclasses import dataclass
+from typing import Mapping, Union
 
 import numpy as np
 
+WIRE_MAGIC = b"FKSC"
+WIRE_VERSION = 1
+
+_HEADER = struct.Struct("<4sBI")
+_MAX_INDEX = np.iinfo(np.int32).max
+
+
+@dataclass
+class SparseTensor:
+    """A sparse view of a dense array: flat int32 positions plus values."""
+
+    indices: np.ndarray  # flat C-order positions, int32
+    values: np.ndarray
+    shape: tuple[int, ...]
+
+    def __post_init__(self):
+        self.indices = np.ascontiguousarray(self.indices, dtype=np.int32)
+        self.values = np.ascontiguousarray(self.values)
+        self.shape = tuple(int(dim) for dim in self.shape)
+        if self.indices.ndim != 1 or self.values.ndim != 1:
+            raise ValueError("indices and values must be one-dimensional")
+        if self.indices.size != self.values.size:
+            raise ValueError(
+                f"{self.indices.size} indices but {self.values.size} values"
+            )
+        size = int(np.prod(self.shape))
+        if size > _MAX_INDEX + 1:
+            raise ValueError(
+                f"shape {self.shape} exceeds int32-addressable elements"
+            )
+        if self.indices.size and not (
+            0 <= int(self.indices.min()) and int(self.indices.max()) < size
+        ):
+            # guards against corrupt payloads: a negative index would
+            # otherwise scatter silently via Python wrap-around indexing
+            raise ValueError(
+                f"sparse indices out of range for {size} elements"
+            )
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the dense array (zeros off-support)."""
+        flat = np.zeros(int(np.prod(self.shape)), dtype=self.values.dtype)
+        flat[self.indices] = self.values
+        return flat.reshape(self.shape)
+
+
+#: A state entry on the wire: a dense array or a sparse record.
+WireValue = Union[np.ndarray, SparseTensor]
+
 
 def state_num_bytes(state: Mapping[str, np.ndarray]) -> int:
-    """Total payload size, in bytes, of a ``name -> array`` state mapping."""
+    """Raw payload size, in bytes, of a ``name -> array`` state mapping."""
     return int(sum(np.asarray(v).nbytes for v in state.values()))
 
 
+# ----------------------------------------------------------------------
+# top-k magnitude selection (shared by the codec and the knowledge extractor)
+# ----------------------------------------------------------------------
+def topk_magnitude_indices(magnitudes: np.ndarray, count: int) -> np.ndarray:
+    """Positions of the ``count`` largest magnitudes, deterministically.
+
+    Tie-aware: when magnitudes tie at the selection boundary, the lowest flat
+    positions win, so exactly ``count`` positions are returned regardless of
+    duplicated values.  Returned sorted ascending.
+    """
+    magnitudes = np.asarray(magnitudes).ravel()
+    d = magnitudes.size
+    if count >= d:
+        return np.arange(d, dtype=np.int64)
+    if count <= 0:
+        return np.empty(0, dtype=np.int64)
+    boundary = np.partition(magnitudes, d - count)[d - count]
+    above = np.flatnonzero(magnitudes > boundary)
+    need = count - above.size
+    ties = np.flatnonzero(magnitudes == boundary)[:need]
+    return np.sort(np.concatenate([above, ties]))
+
+
+def sparse_topk(array: np.ndarray, count: int) -> SparseTensor:
+    """Sparsify ``array`` to its ``count`` largest-magnitude entries."""
+    array = np.asarray(array)
+    if array.size > _MAX_INDEX + 1:
+        raise ValueError(
+            f"array with {array.size} elements overflows int32 positions"
+        )
+    flat = array.ravel()
+    keep = topk_magnitude_indices(np.abs(flat), count).astype(np.int32)
+    return SparseTensor(keep, flat[keep].copy(), array.shape)
+
+
+def sparse_delta_state(
+    state: Mapping[str, np.ndarray],
+    base: Mapping[str, np.ndarray],
+    ratio: float,
+) -> dict[str, WireValue]:
+    """Encode ``state`` as top-``ratio`` sparse deltas from ``base``.
+
+    Float entries become :class:`SparseTensor` deltas keeping the largest
+    ``round(ratio * size)`` magnitude differences; non-float entries (integer
+    BN counters and the like) pass through dense.  The receiver reconstructs
+    ``base[key] + delta`` — exact whenever the true delta has at most the
+    retained number of nonzeros.
+    """
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+    encoded: dict[str, WireValue] = {}
+    for name, value in state.items():
+        value = np.asarray(value)
+        if not np.issubdtype(value.dtype, np.floating):
+            encoded[name] = value.copy()
+            continue
+        delta = value - np.asarray(base[name])
+        count = max(1, int(round(ratio * delta.size)))
+        encoded[name] = sparse_topk(delta, count)
+    return encoded
+
+
+# ----------------------------------------------------------------------
+# wire codec
+# ----------------------------------------------------------------------
+def _record_meta(name: str, value: WireValue) -> tuple[bytes, bytes, tuple[int, ...]]:
+    raw_name = name.encode("utf-8")
+    if len(raw_name) > 0xFFFF:
+        raise ValueError(f"entry name too long for the wire format: {name!r}")
+    dtype = value.values.dtype if isinstance(value, SparseTensor) else value.dtype
+    raw_dtype = dtype.str.encode("ascii")
+    shape = value.shape
+    if len(shape) > 0xFF:
+        raise ValueError(f"too many dimensions for the wire format: {shape}")
+    return raw_name, raw_dtype, shape
+
+
+def encode_state(state: Mapping[str, WireValue]) -> bytes:
+    """Pack a state mapping (dense arrays and/or sparse records) to bytes."""
+    chunks = [_HEADER.pack(WIRE_MAGIC, WIRE_VERSION, len(state))]
+    for name, value in state.items():
+        if not isinstance(value, SparseTensor):
+            # note: ascontiguousarray would promote 0-d arrays to 1-d and
+            # desynchronise the size arithmetic in encoded_num_bytes
+            value = np.asarray(value)
+            if not value.flags.c_contiguous:
+                value = np.ascontiguousarray(value)
+        raw_name, raw_dtype, shape = _record_meta(name, value)
+        sparse = isinstance(value, SparseTensor)
+        chunks.append(struct.pack("<H", len(raw_name)))
+        chunks.append(raw_name)
+        chunks.append(struct.pack("<BB", int(sparse), len(raw_dtype)))
+        chunks.append(raw_dtype)
+        chunks.append(struct.pack(f"<B{len(shape)}I", len(shape), *shape))
+        if sparse:
+            chunks.append(struct.pack("<I", value.nnz))
+            chunks.append(value.indices.tobytes())
+            chunks.append(value.values.tobytes())
+        else:
+            chunks.append(value.tobytes())
+    return b"".join(chunks)
+
+
+def decode_state(payload: bytes | bytearray | memoryview) -> dict[str, WireValue]:
+    """Unpack a payload produced by :func:`encode_state` (lossless)."""
+    view = memoryview(payload)
+    magic, version, count = _HEADER.unpack_from(view, 0)
+    if magic != WIRE_MAGIC:
+        raise ValueError(f"bad wire magic {magic!r}")
+    if version != WIRE_VERSION:
+        raise ValueError(f"unsupported wire version {version}")
+    offset = _HEADER.size
+    state: dict[str, WireValue] = {}
+    for _ in range(count):
+        (name_len,) = struct.unpack_from("<H", view, offset)
+        offset += 2
+        name = bytes(view[offset:offset + name_len]).decode("utf-8")
+        offset += name_len
+        sparse, dtype_len = struct.unpack_from("<BB", view, offset)
+        offset += 2
+        dtype = np.dtype(bytes(view[offset:offset + dtype_len]).decode("ascii"))
+        offset += dtype_len
+        (ndim,) = struct.unpack_from("<B", view, offset)
+        offset += 1
+        shape = struct.unpack_from(f"<{ndim}I", view, offset)
+        offset += 4 * ndim
+        if sparse:
+            (nnz,) = struct.unpack_from("<I", view, offset)
+            offset += 4
+            indices = np.frombuffer(view, np.int32, nnz, offset).copy()
+            offset += nnz * 4
+            values = np.frombuffer(view, dtype, nnz, offset).copy()
+            offset += nnz * dtype.itemsize
+            state[name] = SparseTensor(indices, values, shape)
+        else:
+            size = int(np.prod(shape)) if shape else 1
+            array = np.frombuffer(view, dtype, size, offset).copy()
+            offset += size * dtype.itemsize
+            state[name] = array.reshape(shape)
+    if offset != len(view):
+        raise ValueError(
+            f"trailing bytes in payload: read {offset} of {len(view)}"
+        )
+    return state
+
+
+def encoded_num_bytes(state: Mapping[str, WireValue]) -> int:
+    """Exact :func:`encode_state` payload size, computed without encoding."""
+    total = _HEADER.size
+    for name, value in state.items():
+        if not isinstance(value, SparseTensor):
+            value = np.asarray(value)
+        raw_name, raw_dtype, shape = _record_meta(name, value)
+        total += 2 + len(raw_name) + 2 + len(raw_dtype) + 1 + 4 * len(shape)
+        if isinstance(value, SparseTensor):
+            total += 4 + value.nnz * (4 + value.values.dtype.itemsize)
+        else:
+            total += value.size * value.dtype.itemsize
+    return int(total)
+
+
+# ----------------------------------------------------------------------
+# on-disk persistence
+# ----------------------------------------------------------------------
 def save_state(state: Mapping[str, np.ndarray], path: str | os.PathLike) -> None:
     """Persist a state dict as a compressed ``.npz`` archive."""
     np.savez_compressed(path, **{k: np.asarray(v) for k, v in state.items()})

@@ -76,6 +76,72 @@ class TestFedAvgServer:
         server.aggregate([{"w": np.zeros(1)}], [1])
         assert server.round_index == 2
 
+    def test_integer_buffers_not_truncated(self):
+        """Regression: float->int casting truncated averaged BN counters."""
+        server = FedAvgServer()
+        states = [
+            {"w": np.array([1.0], np.float32),
+             "bn.num_batches_tracked": np.array(9, dtype=np.int64)},
+            {"w": np.array([3.0], np.float32),
+             "bn.num_batches_tracked": np.array(10, dtype=np.int64)},
+        ]
+        out = server.aggregate(states, weights=[1, 1])
+        assert out["w"][0] == pytest.approx(2.0)
+        # integer keys keep the first client's value, not int(mean) = 9 by cast
+        assert out["bn.num_batches_tracked"] == 9
+        assert out["bn.num_batches_tracked"].dtype == np.int64
+
+    def test_streaming_matches_stacked_mean(self, rng):
+        """The running-sum accumulator reproduces the weighted mean exactly."""
+        server = FedAvgServer()
+        states = [
+            {"w": rng.normal(size=(4, 3)).astype(np.float32)} for _ in range(7)
+        ]
+        weights = rng.integers(1, 20, size=7).tolist()
+        out = server.aggregate(states, weights)
+        coeffs = np.asarray(weights, np.float64) / sum(weights)
+        expected = np.tensordot(
+            coeffs, np.stack([s["w"].astype(np.float64) for s in states]), axes=1
+        ).astype(np.float32)
+        assert np.array_equal(out["w"], expected)
+
+    def test_sparse_uploads_match_dense(self, rng):
+        """Sparse-delta and encoded-bytes uploads aggregate like dense ones."""
+        from repro.utils.serialization import encode_state, sparse_delta_state
+
+        base = {"w": rng.normal(size=(6, 4)).astype(np.float32),
+                "steps": np.array(4, dtype=np.int64)}
+        dense_server = FedAvgServer()
+        sparse_server = FedAvgServer()
+        for server in (dense_server, sparse_server):
+            server.aggregate([base], [1])  # establish the global state
+        clients = []
+        for _ in range(3):
+            state = {"w": base["w"].copy(), "steps": base["steps"].copy()}
+            state["w"][rng.integers(6), rng.integers(4)] += rng.normal()
+            clients.append(state)
+        dense_out = dense_server.aggregate(clients, [2, 1, 1])
+        uploads = [
+            clients[0],  # plain mapping
+            sparse_delta_state(clients[1], base, ratio=0.10),  # sparse records
+            encode_state(sparse_delta_state(clients[2], base, ratio=0.10)),
+        ]
+        sparse_out = sparse_server.aggregate(uploads, [2, 1, 1])
+        assert set(dense_out) == set(sparse_out)
+        # delta extraction rounds once in float32, so allow 1-ulp slack
+        assert np.allclose(dense_out["w"], sparse_out["w"], atol=1e-6)
+        assert dense_out["steps"] == sparse_out["steps"]
+
+    def test_sparse_upload_shape_mismatch_raises(self):
+        from repro.utils.serialization import SparseTensor
+
+        server = FedAvgServer()
+        server.aggregate([{"w": np.zeros((2, 2), np.float32)}], [1])
+        bad = {"w": SparseTensor(np.zeros(1, np.int32),
+                                 np.ones(1, np.float32), (3,))}
+        with pytest.raises(ValueError):
+            server.aggregate([bad], [1])
+
 
 class TestFLCNServer:
     def test_buffer_accumulates_and_bounds(self, tiny_spec, rng):
@@ -89,7 +155,27 @@ class TestFLCNServer:
                 np.zeros(8, dtype=np.int64),
                 mask,
             )
-        assert server.buffer_size <= 28  # oldest dropped once over budget
+        assert server.buffer_size <= server.max_buffer
+
+    def test_oversize_contribution_truncated(self, tiny_spec, rng):
+        """Regression: one contribution above the cap stuck permanently."""
+        model = model_factory(tiny_spec)()
+        server = FLCNServer(model, max_buffer=20, rng=rng)
+        mask = np.zeros(tiny_spec.num_classes, dtype=bool)
+        mask[:3] = True
+        server.receive_samples(
+            np.zeros((64, *tiny_spec.input_shape), dtype=np.float32),
+            np.zeros(64, dtype=np.int64),
+            mask,
+        )
+        assert server.buffer_size == 20
+        # a later small contribution evicts the truncated chunk as usual
+        server.receive_samples(
+            np.zeros((8, *tiny_spec.input_shape), dtype=np.float32),
+            np.zeros(8, dtype=np.int64),
+            mask,
+        )
+        assert server.buffer_size <= 20
 
     def test_aggregate_finetunes_on_buffer(self, tiny_benchmark, rng):
         spec = tiny_benchmark.spec

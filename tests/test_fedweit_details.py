@@ -12,8 +12,9 @@ from repro.federated import (
     TrainConfig,
     sparse_adaptive_bytes,
 )
-from repro.federated.fedweit import SPARSE_BYTES_PER_NNZ, SPARSE_THRESHOLD
+from repro.federated.fedweit import SPARSE_THRESHOLD, sparse_adaptive_state
 from repro.models import build_model
+from repro.utils.serialization import encode_state, encoded_num_bytes
 
 
 @pytest.fixture
@@ -63,14 +64,23 @@ class TestSparsification:
         with pytest.raises(ValueError):
             make_client(setting, adaptive_density=0.0)
 
-    def test_sparse_bytes_formula(self):
+    def test_sparse_bytes_are_exact_encoded_size(self):
         adaptive = {"w": np.array([0.0, 0.5, -2.0, 1e-6])}
-        expected = 2 * SPARSE_BYTES_PER_NNZ  # two entries above threshold
-        assert sparse_adaptive_bytes(adaptive) == expected
+        sparse = sparse_adaptive_state(adaptive)
+        assert sparse["w"].nnz == 2  # two entries above threshold
+        assert sparse_adaptive_bytes(adaptive) == len(encode_state(sparse))
+
+    def test_bytes_grow_with_nonzeros(self):
+        few = {"w": np.array([0.0, 0.5, -2.0, 1e-6])}
+        many = {"w": np.array([0.5, 0.5, -2.0, 1.0])}
+        # 8 bytes per extra nonzero: int32 position + float32 value
+        assert sparse_adaptive_bytes(many) == sparse_adaptive_bytes(few) + 2 * 8
 
     def test_threshold_excludes_tiny_values(self):
         adaptive = {"w": np.full(100, SPARSE_THRESHOLD / 10)}
-        assert sparse_adaptive_bytes(adaptive) == 0
+        empty = {"w": np.zeros(100)}
+        assert sparse_adaptive_bytes(adaptive) == sparse_adaptive_bytes(empty)
+        assert sparse_adaptive_state(adaptive)["w"].nnz == 0
 
 
 class TestAttention:
@@ -115,9 +125,7 @@ class TestAttention:
         a.begin_task(0)
         assert a.foreign == []
         state = {k: v for k, v in a.upload_state().items()}
-        assert a.download_bytes(state) == pytest.approx(
-            sum(v.nbytes for v in state.values())
-        )
+        assert a.download_bytes(state) == encoded_num_bytes(state)
 
 
 class TestCommunicationAccounting:

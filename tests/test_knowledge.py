@@ -10,6 +10,7 @@ from repro.core.restorer import GradientRestorer
 from repro.models import build_model
 from repro.nn import functional as F
 from repro.nn.tensor import Tensor
+from repro.utils.serialization import encode_state, encoded_num_bytes
 
 
 @pytest.fixture
@@ -87,6 +88,38 @@ class TestExtractor:
         resnet = build_model("resnet18", 8, rng=np.random.default_rng(0), width=4)
         resnet_knowledge = KnowledgeExtractor(ratio=0.1).extract(resnet, task)
         assert any("running_mean" in k for k in resnet_knowledge.buffers)
+
+    def test_tied_magnitudes_respect_ratio(self, trained):
+        """Regression: quantile thresholding over-retained on tied weights.
+
+        With every weight at the same magnitude, ``abs >= threshold`` kept
+        all of them; the tie-aware selection must cap retention at
+        ``round(ratio * d)``, breaking ties deterministically by position.
+        """
+        model, task = trained
+        for param in model.parameters():
+            sign = np.sign(param.data)
+            sign[sign == 0] = 1.0
+            param.data[...] = 0.5 * sign
+        knowledge = KnowledgeExtractor(ratio=0.10).extract(model, task)
+        total = model.num_parameters()
+        assert knowledge.num_retained() == int(round(0.10 * total))
+        again = KnowledgeExtractor(ratio=0.10).extract(model, task)
+        for name in knowledge.indices:
+            assert np.array_equal(knowledge.indices[name], again.indices[name])
+
+    def test_indices_stored_as_int32(self, trained):
+        model, task = trained
+        knowledge = KnowledgeExtractor(ratio=0.10).extract(model, task)
+        assert all(idx.dtype == np.int32 for idx in knowledge.indices.values())
+
+    def test_nbytes_matches_encoded_payload(self, trained):
+        """Stored-byte accounting equals the codec's actual encoded size."""
+        model, task = trained
+        knowledge = KnowledgeExtractor(ratio=0.10).extract(model, task)
+        wire = knowledge.wire_state()
+        assert knowledge.nbytes == encoded_num_bytes(wire)
+        assert knowledge.nbytes == len(encode_state(wire))
 
     def test_nbytes_scales_with_ratio(self, trained):
         model, task = trained

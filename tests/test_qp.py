@@ -117,6 +117,37 @@ class TestProjectedGradient:
         assert (v >= 0).all()
 
 
+class TestNonConvergenceFallback:
+    def ill_conditioned(self, k=6):
+        # scaled Hilbert matrix: PSD with condition number ~ 1e7
+        i = np.arange(k)
+        return 100.0 / (1.0 + i[:, None] + i[None, :])
+
+    def test_exhausted_iterations_fall_back_to_kkt_point(self):
+        """Regression: exhausting max_iter silently returned a non-KKT point."""
+        p = self.ill_conditioned()
+        q = -np.ones(len(p))
+        v = solve_nnqp_active_set(p, q, max_iter=1)
+        # with one outer iteration the active-set loop cannot converge; the
+        # fallback must still deliver a KKT point
+        assert_kkt(p, q, v, tol=1e-4)
+
+    def test_fallback_matches_converged_objective(self):
+        p = self.ill_conditioned()
+        q = -np.ones(len(p))
+        full = solve_nnqp_active_set(p, q)
+        truncated = solve_nnqp_active_set(p, q, max_iter=1)
+        assert nnqp_objective(p, q, truncated) == pytest.approx(
+            nnqp_objective(p, q, full), abs=1e-6
+        )
+
+    def test_converged_path_unchanged(self):
+        p = np.eye(3)
+        q = np.array([-1.0, 2.0, -0.5])
+        assert np.allclose(solve_nnqp_active_set(p, q, max_iter=50),
+                           [1.0, 0.0, 0.5], atol=1e-8)
+
+
 class TestDispatch:
     def test_known_solvers(self):
         p = np.eye(2)

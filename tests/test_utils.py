@@ -6,7 +6,21 @@ import numpy as np
 import pytest
 
 from repro.nn import init
-from repro.utils import get_rng, load_state, save_state, seed_all, spawn, state_num_bytes
+from repro.utils import (
+    SparseTensor,
+    decode_state,
+    encode_state,
+    encoded_num_bytes,
+    get_rng,
+    load_state,
+    save_state,
+    seed_all,
+    sparse_delta_state,
+    sparse_topk,
+    spawn,
+    state_num_bytes,
+    topk_magnitude_indices,
+)
 
 
 class TestRng:
@@ -45,6 +59,105 @@ class TestSerialization:
         loaded = load_state(path)
         assert set(loaded) == {"w", "b"}
         assert np.array_equal(loaded["w"], state["w"])
+
+
+class TestWireCodec:
+    def mixed_state(self, rng):
+        return {
+            "features.0.weight": rng.normal(size=(8, 3, 3, 3)).astype(np.float32),
+            "bn.num_batches_tracked": np.array(17, dtype=np.int64),
+            "bn.running_mean": rng.normal(size=8).astype(np.float32),
+            "delta": sparse_topk(rng.normal(size=(4, 5)).astype(np.float32), 6),
+        }
+
+    def test_round_trip_lossless(self, rng):
+        state = self.mixed_state(rng)
+        decoded = decode_state(encode_state(state))
+        assert set(decoded) == set(state)
+        for key in ("features.0.weight", "bn.running_mean"):
+            assert np.array_equal(decoded[key], state[key])
+            assert decoded[key].dtype == state[key].dtype
+        assert decoded["bn.num_batches_tracked"] == 17
+        assert decoded["bn.num_batches_tracked"].dtype == np.int64
+        assert decoded["bn.num_batches_tracked"].shape == ()
+        sparse = decoded["delta"]
+        assert isinstance(sparse, SparseTensor)
+        assert np.array_equal(sparse.indices, state["delta"].indices)
+        assert np.array_equal(sparse.values, state["delta"].values)
+        assert sparse.shape == (4, 5)
+        assert sparse.indices.dtype == np.int32
+
+    def test_encoded_num_bytes_is_exact(self, rng):
+        for state in (
+            self.mixed_state(rng),
+            {},
+            {"scalar": np.float64(0.5) * np.ones(())},
+            {"empty": SparseTensor(np.empty(0, np.int32),
+                                   np.empty(0, np.float32), (7,))},
+            {"noncontig": rng.normal(size=(6, 4)).T},
+        ):
+            assert encoded_num_bytes(state) == len(encode_state(state))
+
+    def test_sparse_record_cost(self):
+        """A sparse record costs 8 bytes per nonzero beyond its framing."""
+        a = {"w": sparse_topk(np.arange(100, dtype=np.float32), 10)}
+        b = {"w": sparse_topk(np.arange(100, dtype=np.float32), 11)}
+        assert encoded_num_bytes(b) - encoded_num_bytes(a) == 4 + 4
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            decode_state(b"NOPE" + bytes(8))
+        payload = encode_state({"w": np.zeros(3, np.float32)})
+        with pytest.raises(ValueError):
+            decode_state(payload + b"\x00")
+
+    def test_sparse_dense_agree(self, rng):
+        dense = rng.normal(size=(5, 5)).astype(np.float32)
+        sparse = sparse_topk(dense, dense.size)
+        assert np.array_equal(sparse.to_dense(), dense)
+
+    def test_sparse_tensor_validation(self):
+        with pytest.raises(ValueError):
+            SparseTensor(np.zeros(2, np.int32), np.zeros(3, np.float32), (4,))
+
+    def test_sparse_indices_bounds_checked(self):
+        # corrupt payloads must fail at construction, not scatter silently
+        with pytest.raises(ValueError):
+            SparseTensor(np.array([-1], np.int32), np.ones(1, np.float32), (4,))
+        with pytest.raises(ValueError):
+            SparseTensor(np.array([4], np.int32), np.ones(1, np.float32), (4,))
+
+    def test_topk_tie_break_is_deterministic(self):
+        magnitudes = np.ones(10)
+        keep = topk_magnitude_indices(magnitudes, 4)
+        assert keep.tolist() == [0, 1, 2, 3]
+
+    def test_topk_boundary_counts(self):
+        magnitudes = np.array([3.0, 1.0, 2.0, 2.0, 2.0])
+        keep = topk_magnitude_indices(magnitudes, 3)
+        # the two lowest-position ties at magnitude 2 fill the quota
+        assert keep.tolist() == [0, 2, 3]
+        assert topk_magnitude_indices(magnitudes, 0).size == 0
+        assert topk_magnitude_indices(magnitudes, 99).tolist() == list(range(5))
+
+    def test_sparse_delta_round_trip(self, rng):
+        base = {"w": rng.normal(size=(6, 6)).astype(np.float32),
+                "steps": np.array(3, dtype=np.int64)}
+        state = {"w": base["w"].copy(), "steps": np.array(5, dtype=np.int64)}
+        state["w"][0, :3] += 1.0  # 3 changed entries out of 36
+        delta = sparse_delta_state(state, base, ratio=0.10)
+        rebuilt = {
+            key: base[key] + value.to_dense()
+            if isinstance(value, SparseTensor) else value
+            for key, value in delta.items()
+        }
+        assert np.allclose(rebuilt["w"], state["w"])
+        assert rebuilt["steps"] == 5
+
+    def test_sparse_delta_ratio_validated(self, rng):
+        base = {"w": np.zeros(4, np.float32)}
+        with pytest.raises(ValueError):
+            sparse_delta_state(base, base, ratio=0.0)
 
 
 class TestInit:
