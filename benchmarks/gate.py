@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Regression gate for the codec and aggregator hot paths.
+
+``pytest benchmarks/`` measures; this script *gates*: it times the wire
+codec (encode / decode / top-k sparsification) and the streaming FedAvg
+aggregator on a model-sized state dict, normalizes each timing by a
+machine-calibration workload (so the recorded baselines transfer across CI
+runners of different speeds), and fails when any hot path regresses more
+than ``THRESHOLD`` x against ``baselines.json``.
+
+Usage::
+
+    python benchmarks/gate.py            # check against recorded baselines
+    python benchmarks/gate.py --record   # re-record baselines (after a
+                                         # deliberate perf change, commit the
+                                         # updated baselines.json)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.federated import ClientUpdate, FedAvgServer
+from repro.utils.serialization import decode_state, encode_state, sparse_topk
+
+BASELINE_PATH = Path(__file__).resolve().parent / "baselines.json"
+
+#: A hot path may be at most this many times slower than its baseline ratio.
+THRESHOLD = 1.5
+
+
+def best_seconds(fn, repeats: int = 7, min_seconds: float = 0.1) -> float:
+    """Best per-call time over ``repeats`` batches (timeit's methodology)."""
+    # size each batch to run for at least min_seconds
+    calls = 1
+    while True:
+        start = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_seconds:
+            break
+        calls *= 4
+    best = elapsed / calls
+    for _ in range(repeats - 1):
+        start = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        best = min(best, (time.perf_counter() - start) / calls)
+    return best
+
+
+def calibration_seconds() -> float:
+    """Time a fixed numpy workload proportional to this machine's speed.
+
+    Mixes a large array copy (the codec is memory-bound) with float64
+    multiply-accumulate (the aggregator's inner loop), so hot-path /
+    calibration ratios stay comparable across differently-sized runners.
+    """
+    rng = np.random.default_rng(0)
+    array = rng.normal(size=2**20).astype(np.float32)
+    accum = np.zeros(2**20, dtype=np.float64)
+
+    def workload():
+        copied = array.copy()
+        np.add(accum, 0.25 * copied.astype(np.float64), out=accum)
+
+    return best_seconds(workload)
+
+
+def model_state() -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(0)
+    state = {
+        f"features.{i}.weight": rng.normal(size=(64, 64, 3, 3)).astype(np.float32)
+        for i in range(4)
+    }
+    state["classifier.weight"] = rng.normal(size=(100, 256)).astype(np.float32)
+    state["bn.num_batches_tracked"] = np.array(100, dtype=np.int64)
+    return state
+
+
+def hot_path_cases() -> dict[str, float]:
+    """Measure each gated hot path; returns name -> best seconds."""
+    state = model_state()
+    payload = encode_state(state)
+    dense = state["features.0.weight"]
+    rng = np.random.default_rng(2)
+    client_states = [
+        {k: v + np.float32(rng.normal(scale=0.01))
+         if np.issubdtype(v.dtype, np.floating) else v
+         for k, v in state.items()}
+        for _ in range(16)
+    ]
+    updates = [
+        ClientUpdate(client_id=i, state=s, num_samples=int(w))
+        for i, (s, w) in enumerate(
+            zip(client_states, rng.integers(10, 100, size=16))
+        )
+    ]
+    return {
+        "encode_state": best_seconds(lambda: encode_state(state)),
+        "decode_state": best_seconds(lambda: decode_state(payload)),
+        "sparse_topk": best_seconds(lambda: sparse_topk(dense, dense.size // 10)),
+        "aggregate_16_clients": best_seconds(
+            lambda: FedAvgServer().aggregate_updates(updates)
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--record", action="store_true",
+                        help="write baselines.json instead of checking")
+    args = parser.parse_args(argv)
+
+    unit = calibration_seconds()
+    ratios = {
+        name: seconds / unit for name, seconds in hot_path_cases().items()
+    }
+
+    if args.record:
+        BASELINE_PATH.write_text(json.dumps(
+            {"unit": "hot-path seconds / calibration seconds",
+             "threshold": THRESHOLD,
+             "ratios": {k: round(v, 3) for k, v in ratios.items()}},
+            indent=1,
+        ) + "\n")
+        print(f"recorded {len(ratios)} baselines to {BASELINE_PATH}")
+        return 0
+
+    baselines = json.loads(BASELINE_PATH.read_text())["ratios"]
+    failed = []
+    print(f"{'hot path':<24}{'baseline':>10}{'now':>10}{'x':>8}")
+    for name, ratio in ratios.items():
+        base = baselines.get(name)
+        factor = ratio / base if base else float("nan")
+        print(f"{name:<24}{base or float('nan'):>10.3f}{ratio:>10.3f}"
+              f"{factor:>8.2f}")
+        if base is None or factor > THRESHOLD:
+            failed.append(name)
+    if failed:
+        print(f"\nFAIL: {', '.join(failed)} regressed more than "
+              f"{THRESHOLD}x (or lack a baseline); if intentional, rerun "
+              f"with --record and commit baselines.json")
+        return 1
+    print("\nall hot paths within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -71,7 +71,8 @@ def main() -> None:
     for method in ("fedavg", "gem", "fedknow"):
         benchmark = build_benchmark(spec, num_clients=3,
                                     rng=np.random.default_rng(11))
-        result = create_trainer(method, benchmark, config).run()
+        with create_trainer(method, benchmark, config) as trainer:
+            result = trainer.run()
         rows.append([
             method,
             round(result.final_accuracy, 3),

@@ -39,7 +39,8 @@ def run(method: str, cluster, seed: int = 7):
                          iterations_per_round=6)
     benchmark = build_benchmark(spec, num_clients=6,
                                 rng=np.random.default_rng(seed))
-    return create_trainer(method, benchmark, config, cluster=cluster).run()
+    with create_trainer(method, benchmark, config, cluster=cluster) as trainer:
+        return trainer.run()
 
 
 def heterogeneity_slowdown() -> None:
@@ -88,8 +89,8 @@ def memory_exhaustion() -> None:
                                     rng=np.random.default_rng(7))
         config = TrainConfig(batch_size=16, rounds_per_task=1,
                              iterations_per_round=4)
-        trainer = create_trainer(method, benchmark, config)
-        trainer.run()
+        with create_trainer(method, benchmark, config) as trainer:
+            trainer.run()
         client = trainer.clients[0]
         extra = client.extra_state_bytes()
         projected = cost.real_state_bytes(extra["model"])

@@ -33,10 +33,10 @@ def main() -> None:
         benchmark = build_benchmark(
             spec, num_clients=3, rng=np.random.default_rng(7)
         )
-        trainer = create_trainer(
+        with create_trainer(
             method, benchmark, config, cluster=jetson_cluster()
-        )
-        result = trainer.run()
+        ) as trainer:
+            result = trainer.run()
         for stage, (accuracy, forgetting) in enumerate(
             zip(result.accuracy_curve, result.forgetting_curve)
         ):

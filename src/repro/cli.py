@@ -54,6 +54,9 @@ FIGURES = {
     "fig6": lambda preset: str(run_fig6(preset=preset)),
     "fig7": lambda preset: str(run_fig7(preset=preset, num_tasks=6)),
     "fig8": lambda preset: str(run_fig8(preset=preset)),
+    "fig8-sampled": lambda preset: str(
+        run_fig8(preset=preset, participation="sampled:0.5")
+    ),
     "fig9": lambda preset: str(run_fig9(preset=preset)),
     "fig10": lambda preset: str(run_fig10(preset=preset)),
     "ablations": lambda preset: "\n\n".join(
@@ -86,6 +89,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--engine", default="serial", choices=("serial", "thread"),
                        help="round engine: serial or concurrent client "
                             "execution (identical metrics, faster wall clock)")
+    run_p.add_argument("--participation", default="full",
+                       help="participation policy: 'full', "
+                            "'sampled:<fraction>' (a random fraction of "
+                            "clients trains each round), or "
+                            "'deadline:<seconds>' (stragglers aggregate next "
+                            "round at staleness-discounted weight)")
+    run_p.add_argument("--deadline", type=float, default=None,
+                       help="shorthand for --participation deadline:<seconds>")
     run_p.add_argument("--with-raspberry-pi", action="store_true",
                        help="use the 30-device heterogeneous cluster")
 
@@ -111,9 +122,19 @@ def _cmd_run(args) -> int:
     cluster = (
         jetson_raspberry_cluster() if args.with_raspberry_pi else jetson_cluster()
     )
+    if args.deadline is not None and args.participation != "full":
+        print("error: --deadline conflicts with --participation "
+              f"{args.participation!r}; pass one or the other",
+              file=sys.stderr)
+        return 2
+    participation = (
+        f"deadline:{args.deadline:g}" if args.deadline is not None
+        else args.participation
+    )
     result = run_single(
         args.method, get_spec(args.dataset), preset,
         cluster=cluster, seed=args.seed, use_cache=False, engine=args.engine,
+        participation=participation,
     )
     stages = np.arange(1, len(result.accuracy_curve) + 1)
     print(format_series(
@@ -127,6 +148,17 @@ def _cmd_run(args) -> int:
     ))
     summary = result.summary()
     print(format_table(list(summary), [list(summary.values())]))
+    if result.participation != "full":
+        print(format_table(
+            ["rounds", "planned", "reported", "stale"],
+            [[
+                len(result.rounds),
+                result.total_planned_clients,
+                result.total_reported_clients,
+                result.total_stale_clients,
+            ]],
+            title="participation (client-rounds)",
+        ))
     return 0
 
 

@@ -32,6 +32,9 @@ class ScalePreset:
     lr: float = 0.01
     lr_decay: float = 1e-4
     seed: int = 0
+    #: Participation policy spec ("full", "sampled:<fraction>",
+    #: "deadline:<seconds>") applied to every run at this preset.
+    participation: str = "full"
 
     def apply_to_spec(self, spec: DatasetSpec) -> DatasetSpec:
         """Scale a dataset spec's sample counts / task count to this preset."""
@@ -49,6 +52,7 @@ class ScalePreset:
             rounds_per_task=self.rounds_per_task,
             iterations_per_round=self.iterations_per_round,
             seed=self.seed,
+            participation=self.participation,
         )
         return config.updated(**overrides) if overrides else config
 

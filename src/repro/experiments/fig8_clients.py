@@ -31,6 +31,7 @@ class Fig8Report:
     client_counts: tuple[int, ...]
     # results[num_clients][method]
     results: dict[int, dict[str, RunResult]] = field(default_factory=dict)
+    participation: str = "full"
 
     @property
     def rows(self) -> list[list]:
@@ -48,10 +49,13 @@ class Fig8Report:
         return rows
 
     def __str__(self) -> str:
+        title = "Fig.8: accuracy / forgetting vs number of clients"
+        if self.participation != "full":
+            title += f" ({self.participation} participation)"
         return format_table(
             ["clients", "method", "final_acc", "forgetting"],
             self.rows,
-            title="Fig.8: accuracy / forgetting vs number of clients",
+            title=title,
         )
 
 
@@ -60,24 +64,31 @@ def run_fig8(
     client_counts: tuple[int, ...] | None = None,
     methods: tuple[str, ...] = TOP3_METHODS,
     seed: int = 0,
+    participation: str = "full",
 ) -> Fig8Report:
     """Run the client-scaling comparison.
 
     Default counts scale the paper's 50/100 down proportionally to the
     preset (bench: 6/10; paper preset uses the real 50/100).
+    ``participation`` reruns the sweep under partial participation — e.g.
+    ``"sampled:0.5"`` trains half the population per round, the regime real
+    50+-client federations operate in.
     """
     if client_counts is None:
         client_counts = (
             PAPER_CLIENT_COUNTS if preset.name == "paper" else (6, 10)
         )
     spec = miniimagenet_like()
-    report = Fig8Report(client_counts=tuple(client_counts))
+    report = Fig8Report(
+        client_counts=tuple(client_counts), participation=participation
+    )
     cluster = jetson_cluster()
     for count in client_counts:
         sized = preset.updated(num_clients=count)
         report.results[count] = {}
         for method in methods:
             report.results[count][method] = run_single(
-                method, spec, sized, cluster=cluster, seed=seed
+                method, spec, sized, cluster=cluster, seed=seed,
+                participation=participation,
             )
     return report

@@ -8,12 +8,15 @@ execute in one pytest session therefore pay for each training run once.
 
 from __future__ import annotations
 
+from typing import Mapping
+
 import numpy as np
 
 from ..data.federated import build_benchmark
 from ..data.specs import DatasetSpec
 from ..edge.cluster import EdgeCluster
 from ..edge.network import NetworkModel
+from ..federated.participation import ParticipationPolicy
 from ..federated.registry import create_trainer
 from ..metrics.tracker import RunResult
 from .config import ScalePreset
@@ -26,6 +29,24 @@ def clear_cache() -> None:
     _CACHE.clear()
 
 
+def _freeze(value):
+    """Recursively canonicalize a kwargs value for use in a cache key.
+
+    Mappings become key-sorted tuples at *every* nesting level (two dicts
+    with different insertion orders hash identically); sequences become
+    tuples; everything else is keyed by its repr.
+    """
+    if isinstance(value, Mapping):
+        return tuple(
+            (repr(k), _freeze(v)) for k, v in sorted(value.items(), key=lambda kv: repr(kv[0]))
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted((_freeze(v) for v in value), key=repr))
+    return repr(value)
+
+
 def _cache_key(
     method: str,
     spec: DatasetSpec,
@@ -35,6 +56,7 @@ def _cache_key(
     network: NetworkModel | None,
     model_kwargs: dict | None,
     method_kwargs: dict | None,
+    participation: str,
 ) -> tuple:
     cluster_key = (
         tuple(d.name for d in cluster.devices) if cluster is not None else None
@@ -56,8 +78,9 @@ def _cache_key(
         seed,
         cluster_key,
         network_key,
-        repr(sorted((model_kwargs or {}).items())),
-        repr(sorted((method_kwargs or {}).items(), key=lambda kv: kv[0])),
+        _freeze(model_kwargs or {}),
+        _freeze(method_kwargs or {}),
+        participation,
     )
 
 
@@ -72,26 +95,41 @@ def run_single(
     method_kwargs: dict | None = None,
     use_cache: bool = True,
     engine: str = "serial",
+    participation: str | ParticipationPolicy | None = None,
 ) -> RunResult:
     """Train ``method`` on ``spec`` at ``preset`` scale and return its metrics.
 
     ``engine`` selects the round engine ("serial" or "thread"); both produce
     identical metrics, so it does not participate in the result cache key.
+    ``participation`` selects who trains/reports each round ("full",
+    "sampled:<fraction>", "deadline:<seconds>"); it changes the metrics, so
+    it *is* part of the cache key.  ``None`` defers to the preset.  Passing
+    a :class:`ParticipationPolicy` *instance* bypasses the cache entirely —
+    instances are stateful (sampling RNG, pending stragglers), so two runs
+    with the same instance are not interchangeable.
     """
     seed = preset.seed if seed is None else seed
     scaled = preset.apply_to_spec(spec)
+    if participation is None:
+        participation = preset.participation
+    if isinstance(participation, ParticipationPolicy):
+        use_cache = False
+    participation_key = str(participation)
     key = _cache_key(
-        method, scaled, preset, seed, cluster, network, model_kwargs, method_kwargs
+        method, scaled, preset, seed, cluster, network,
+        model_kwargs, method_kwargs, participation_key,
     )
     if use_cache and key in _CACHE:
         return _CACHE[key]
     benchmark = build_benchmark(
         scaled, num_clients=preset.num_clients, rng=np.random.default_rng(seed)
     )
-    trainer = create_trainer(
+    with create_trainer(
         method,
         benchmark,
-        preset.train_config(),
+        # thread the resolved seed into the config so seed sweeps also vary
+        # the participation policy's sampling RNG
+        preset.train_config(seed=seed),
         model_seed=1000 + seed,
         rng=np.random.default_rng(seed + 1),
         cluster=cluster,
@@ -99,11 +137,9 @@ def run_single(
         model_kwargs=model_kwargs,
         method_kwargs=method_kwargs,
         engine=engine,
-    )
-    try:
+        participation=participation,
+    ) as trainer:
         result = trainer.run()
-    finally:
-        trainer.engine.close()
     if use_cache:
         _CACHE[key] = result
     return result

@@ -13,6 +13,15 @@ from .engine import (
 from .fedrep import FedRepClient
 from .fedweit import FedWeitClient, FedWeitServer, sparse_adaptive_bytes
 from .flcn import FLCNClient
+from .participation import (
+    POLICIES,
+    DeadlineParticipation,
+    FullParticipation,
+    ParticipationPolicy,
+    SampledParticipation,
+    create_policy,
+)
+from .protocol import ClientUpdate, ClientUpload, RoundOutcome, RoundPlan
 from .registry import (
     ALL_METHODS,
     CONTINUAL_STRATEGIES,
@@ -27,11 +36,21 @@ __all__ = [
     "ALL_METHODS",
     "APFLClient",
     "CONTINUAL_STRATEGIES",
+    "ClientUpdate",
+    "ClientUpload",
+    "DeadlineParticipation",
     "ENGINES",
+    "FullParticipation",
+    "POLICIES",
+    "ParticipationPolicy",
     "RoundEngine",
+    "RoundOutcome",
+    "RoundPlan",
+    "SampledParticipation",
     "SerialRoundEngine",
     "ThreadedRoundEngine",
     "create_engine",
+    "create_policy",
     "FCL_METHODS",
     "FEDERATED_METHODS",
     "FedAvgServer",

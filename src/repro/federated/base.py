@@ -26,6 +26,7 @@ from ..nn.tensor import Tensor
 from ..utils.rng import get_rng
 from ..utils.serialization import encoded_num_bytes
 from .config import TrainConfig
+from .protocol import ClientUpdate
 
 
 class FederatedClient:
@@ -89,6 +90,30 @@ class FederatedClient:
 
     def end_task(self) -> None:
         """Called after the final aggregation round of the current task."""
+
+    def build_update(
+        self,
+        stats: Mapping[str, float],
+        upload_bytes: int = 0,
+        sim_seconds: float = 0.0,
+    ) -> ClientUpdate:
+        """Package this round's contribution as a typed wire message.
+
+        ``stats`` is the dict :meth:`local_train` returned; ``upload_bytes``
+        and ``sim_seconds`` carry the trainer's edge-simulation figures
+        (projected payload size, simulated train + upload seconds).  Consumes
+        the accumulated compute units.
+        """
+        return ClientUpdate(
+            client_id=self.client_id,
+            state=self.upload_state(),
+            num_samples=self.num_train_samples,
+            mean_loss=float(stats.get("mean_loss", np.nan)),
+            iterations=int(stats.get("iterations", 0)),
+            upload_bytes=upload_bytes,
+            compute_units=self.take_compute_units(),
+            sim_seconds=sim_seconds,
+        )
 
     # ------------------------------------------------------------------
     # accounting (communication / memory simulation)

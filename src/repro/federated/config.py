@@ -23,6 +23,9 @@ class TrainConfig:
     iterations_per_round: int = 10
     eval_batch_size: int = 512
     seed: int = 0
+    #: Participation policy spec — ``"full"``, ``"sampled:<fraction>"`` or
+    #: ``"deadline:<seconds>"`` (see :mod:`repro.federated.participation`).
+    participation: str = "full"
 
     def __post_init__(self):
         if self.batch_size < 1:
@@ -31,6 +34,12 @@ class TrainConfig:
             raise ValueError(f"lr must be positive, got {self.lr}")
         if self.rounds_per_task < 1 or self.iterations_per_round < 1:
             raise ValueError("rounds_per_task and iterations_per_round must be >= 1")
+        from .participation import create_policy
+
+        try:  # full spec validation: name, argument presence, and range
+            create_policy(self.participation)
+        except KeyError as exc:
+            raise ValueError(exc.args[0]) from None
 
     def updated(self, **overrides) -> "TrainConfig":
         """Copy with the given fields replaced."""

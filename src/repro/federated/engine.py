@@ -36,6 +36,13 @@ class RoundEngine:
     def close(self) -> None:
         """Release any execution resources (idempotent)."""
 
+    def __enter__(self) -> "RoundEngine":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        self.close()
+        return False
+
 
 class SerialRoundEngine(RoundEngine):
     """Clients run one after another — the reference execution order."""

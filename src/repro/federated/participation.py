@@ -1,0 +1,251 @@
+"""Participation policies: which clients train, report, and sync each round.
+
+The reproduction's reference loop is fully synchronous — every active client
+trains every round and the server waits for all of them.  Real edge
+federations sample a fraction of clients per round (FedAvg's ``C``
+parameter) and tolerate stragglers by aggregating whoever reports within a
+deadline, folding late updates in later at a staleness-discounted weight.
+
+A :class:`ParticipationPolicy` owns those decisions; the trainer stays a
+pure executor.  Three policies ship:
+
+* :class:`FullParticipation` — the reference semantics, bit-identical to the
+  pre-policy trainer;
+* :class:`SampledParticipation` — a random fraction trains each round, the
+  aggregate is broadcast to everyone (or, optionally, to participants only);
+* :class:`DeadlineParticipation` — everyone not already straggling trains;
+  updates whose simulated train + upload time misses the deadline are
+  carried to the next round and aggregated there at weight
+  ``num_samples * staleness_discount ** staleness``.
+
+Policies are addressed by compact specs — ``"full"``, ``"sampled:0.5"``,
+``"deadline:30"`` — resolved by :func:`create_policy` (the CLI's
+``--participation`` flag passes these through verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .protocol import ClientUpdate, RoundOutcome, RoundPlan
+
+
+class ParticipationPolicy:
+    """Decides per round who trains, whose updates aggregate, who syncs."""
+
+    name = "base"
+    #: Weight multiplier per round of staleness (see
+    #: :meth:`ClientUpdate.effective_weight`).
+    staleness_discount = 0.5
+
+    def describe(self) -> str:
+        """Canonical spec string (stable across runs; used in cache keys)."""
+        return self.name
+
+    def begin_task(self, position: int) -> None:
+        """Reset per-task state (pending stragglers do not cross tasks)."""
+
+    def plan_round(
+        self, position: int, round_index: int, active_ids: Sequence[int]
+    ) -> RoundPlan:
+        """Schedule the round: who trains, under what deadline."""
+        raise NotImplementedError
+
+    def collect(
+        self,
+        plan: RoundPlan,
+        fresh: Sequence[ClientUpdate],
+        active_ids: Sequence[int],
+    ) -> RoundOutcome:
+        """Sort the round's fresh updates into the round's outcome."""
+        raise NotImplementedError
+
+
+class FullParticipation(ParticipationPolicy):
+    """Every active client trains, reports, and syncs every round."""
+
+    name = "full"
+
+    def plan_round(
+        self, position: int, round_index: int, active_ids: Sequence[int]
+    ) -> RoundPlan:
+        return RoundPlan(position, round_index, tuple(active_ids))
+
+    def collect(
+        self,
+        plan: RoundPlan,
+        fresh: Sequence[ClientUpdate],
+        active_ids: Sequence[int],
+    ) -> RoundOutcome:
+        return RoundOutcome(
+            plan=plan,
+            updates=list(fresh),
+            reported=tuple(u.client_id for u in fresh),
+            receivers=tuple(active_ids),
+        )
+
+
+class SampledParticipation(ParticipationPolicy):
+    """A random ``fraction`` of the active clients trains each round.
+
+    McMahan et al.'s client sampling: each round ``max(1, round(C * n))``
+    clients are drawn without replacement.  By default the aggregated model
+    is still broadcast to every active client at round end (so evaluation
+    reflects the current global model); ``broadcast=False`` restricts the
+    download to the round's participants.
+    """
+
+    name = "sampled"
+
+    def __init__(
+        self,
+        fraction: float,
+        rng: np.random.Generator | None = None,
+        broadcast: bool = True,
+    ):
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = fraction
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.broadcast = broadcast
+
+    def describe(self) -> str:
+        base = f"sampled:{self.fraction:g}"
+        return base if self.broadcast else base + ",participants-only"
+
+    def plan_round(
+        self, position: int, round_index: int, active_ids: Sequence[int]
+    ) -> RoundPlan:
+        active_ids = list(active_ids)
+        count = max(1, int(round(self.fraction * len(active_ids))))
+        chosen = self.rng.choice(len(active_ids), size=count, replace=False)
+        participants = tuple(active_ids[i] for i in sorted(chosen))
+        return RoundPlan(position, round_index, participants)
+
+    def collect(
+        self,
+        plan: RoundPlan,
+        fresh: Sequence[ClientUpdate],
+        active_ids: Sequence[int],
+    ) -> RoundOutcome:
+        receivers = tuple(active_ids) if self.broadcast else plan.participants
+        return RoundOutcome(
+            plan=plan,
+            updates=list(fresh),
+            reported=tuple(u.client_id for u in fresh),
+            receivers=receivers,
+        )
+
+
+class DeadlineParticipation(ParticipationPolicy):
+    """Aggregate whoever reports within ``deadline_seconds``; carry the rest.
+
+    Every client without an in-flight straggler update trains each round.
+    Updates whose simulated train + upload time fits the deadline aggregate
+    immediately; the rest become stragglers — their update is consumed the
+    *next* round at ``staleness = 1`` (weight discounted by
+    ``staleness_discount``), after which the straggler downloads the fresh
+    global state and rejoins training.  Pending straggler work is dropped at
+    task boundaries (it was computed against a finished task).
+    """
+
+    name = "deadline"
+
+    def __init__(self, deadline_seconds: float, staleness_discount: float = 0.5):
+        if deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds must be positive, got {deadline_seconds}"
+            )
+        if not 0.0 <= staleness_discount <= 1.0:
+            raise ValueError(
+                f"staleness_discount must be in [0, 1], got {staleness_discount}"
+            )
+        self.deadline_seconds = deadline_seconds
+        self.staleness_discount = staleness_discount
+        self._pending: dict[int, ClientUpdate] = {}
+
+    def describe(self) -> str:
+        base = f"deadline:{self.deadline_seconds:g}"
+        if self.staleness_discount != 0.5:
+            base += f",discount={self.staleness_discount:g}"
+        return base
+
+    def begin_task(self, position: int) -> None:
+        self._pending.clear()
+
+    def plan_round(
+        self, position: int, round_index: int, active_ids: Sequence[int]
+    ) -> RoundPlan:
+        participants = tuple(i for i in active_ids if i not in self._pending)
+        return RoundPlan(
+            position, round_index, participants,
+            deadline_seconds=self.deadline_seconds,
+        )
+
+    def collect(
+        self,
+        plan: RoundPlan,
+        fresh: Sequence[ClientUpdate],
+        active_ids: Sequence[int],
+    ) -> RoundOutcome:
+        stale_now = [self._pending.pop(i) for i in sorted(self._pending)]
+        reported: list[ClientUpdate] = []
+        for update in fresh:
+            if update.sim_seconds <= self.deadline_seconds:
+                reported.append(update)
+            else:
+                update.staleness = 1
+                self._pending[update.client_id] = update
+        return RoundOutcome(
+            plan=plan,
+            updates=reported + stale_now,
+            reported=tuple(u.client_id for u in reported),
+            stale=tuple(u.client_id for u in stale_now),
+            receivers=tuple(
+                u.client_id for u in reported + stale_now
+            ),
+        )
+
+
+POLICIES: dict[str, type[ParticipationPolicy]] = {
+    "full": FullParticipation,
+    "sampled": SampledParticipation,
+    "deadline": DeadlineParticipation,
+}
+
+
+def create_policy(
+    policy: str | ParticipationPolicy, seed: int = 0
+) -> ParticipationPolicy:
+    """Resolve a policy instance from a spec string, or pass one through.
+
+    Specs: ``"full"``, ``"sampled:<fraction>"``, ``"deadline:<seconds>"``.
+    ``seed`` feeds the sampled policy's RNG so runs are reproducible.
+    """
+    if isinstance(policy, ParticipationPolicy):
+        return policy
+    name, _, arg = policy.partition(":")
+    if name not in POLICIES:
+        raise KeyError(
+            f"unknown participation policy {policy!r}; known: {sorted(POLICIES)}"
+        )
+    if name == "full":
+        if arg:
+            raise ValueError("the full policy takes no argument")
+        return FullParticipation()
+    if not arg:
+        raise ValueError(
+            f"policy {name!r} needs an argument, e.g. "
+            f"'sampled:0.5' or 'deadline:30'"
+        )
+    try:
+        value = float(arg)
+    except ValueError:
+        raise ValueError(
+            f"policy spec {policy!r} has a non-numeric argument {arg!r}"
+        ) from None
+    if name == "sampled":
+        return SampledParticipation(value, rng=np.random.default_rng(seed))
+    return DeadlineParticipation(value)

@@ -1,0 +1,90 @@
+"""Typed messages of the round lifecycle.
+
+The trainer, the round engine, and the server exchange three message types
+instead of parallel ``states`` / ``weights`` / ``losses`` lists:
+
+* :class:`ClientUpdate` — everything one client reports for one round: the
+  state payload (dense mapping, sparse records, or encoded wire bytes), its
+  sample weight, loss statistics, exact upload/download byte counts, compute
+  units for the edge-time simulation, and a ``staleness`` counter for
+  updates that arrive after their round's deadline;
+* :class:`RoundPlan` — who a participation policy schedules for a round
+  (and under what reporting deadline);
+* :class:`RoundOutcome` — how the round actually went: which updates are
+  aggregated now, which reported fresh vs. stale, and who receives the new
+  global state.
+
+Keeping the types here (below both the server and the clients) lets every
+layer share them without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Union
+
+from ..utils.serialization import WireValue
+
+#: One client's state payload: a ``name -> array`` mapping (dense and/or
+#: :class:`~repro.utils.serialization.SparseTensor` entries) or the raw wire
+#: bytes produced by :func:`~repro.utils.serialization.encode_state`.
+ClientUpload = Union[Mapping[str, WireValue], bytes, bytearray, memoryview]
+
+
+@dataclass
+class ClientUpdate:
+    """One client's contribution to one aggregation round."""
+
+    client_id: int
+    state: ClientUpload
+    num_samples: int
+    mean_loss: float = float("nan")
+    iterations: int = 0
+    upload_bytes: int = 0
+    download_bytes: int = 0
+    compute_units: float = 0.0
+    #: Simulated seconds until this update reaches the server (local training
+    #: plus upload transfer) — what deadline policies compare against.
+    sim_seconds: float = 0.0
+    #: Rounds elapsed between computing this update and aggregating it.
+    staleness: int = 0
+
+    def effective_weight(self, staleness_discount: float = 0.5) -> float:
+        """Aggregation weight: sample count, discounted when stale.
+
+        A fresh update keeps its integer sample count exactly (so full
+        synchronous participation is bit-identical to undiscounted FedAvg);
+        an update consumed ``s`` rounds late is scaled by
+        ``staleness_discount ** s``.
+        """
+        if self.staleness == 0:
+            return self.num_samples
+        return self.num_samples * staleness_discount**self.staleness
+
+
+@dataclass(frozen=True)
+class RoundPlan:
+    """A participation policy's schedule for one aggregation round."""
+
+    position: int
+    round_index: int
+    #: Client ids asked to train this round (id order of the active set).
+    participants: tuple[int, ...]
+    #: Reporting deadline in simulated seconds; ``None`` = wait for everyone.
+    deadline_seconds: float | None = None
+
+
+@dataclass
+class RoundOutcome:
+    """What one aggregation round actually consumed and produced."""
+
+    plan: RoundPlan
+    #: Updates the server aggregates this round (fresh reports followed by
+    #: stale carry-overs, in stable client-id order within each group).
+    updates: list[ClientUpdate] = field(default_factory=list)
+    #: Ids whose fresh update made this round's deadline.
+    reported: tuple[int, ...] = ()
+    #: Ids whose straggler update from an earlier round is consumed now.
+    stale: tuple[int, ...] = ()
+    #: Ids that download the aggregated global state at round end.
+    receivers: tuple[int, ...] = ()

@@ -45,6 +45,7 @@ from .engine import RoundEngine
 from .fedrep import FedRepClient
 from .fedweit import FedWeitClient, FedWeitServer
 from .flcn import FLCNClient
+from .participation import ParticipationPolicy
 from .server import FedAvgServer, FLCNServer
 from .trainer import FederatedTrainer
 
@@ -80,6 +81,7 @@ def create_trainer(
     model_kwargs: dict | None = None,
     method_kwargs: dict | None = None,
     engine: str | RoundEngine = "serial",
+    participation: str | ParticipationPolicy | None = None,
 ) -> FederatedTrainer:
     """Build a :class:`FederatedTrainer` running ``method`` on ``benchmark``."""
     # imported here to avoid a circular import (core.client uses federated.base)
@@ -171,4 +173,5 @@ def create_trainer(
         dataset_name=spec.name,
         method_name=method,
         engine=engine,
+        participation=participation,
     )

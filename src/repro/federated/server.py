@@ -13,7 +13,7 @@ by :func:`~repro.utils.serialization.encode_state`.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence, Union
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -23,10 +23,7 @@ from ..nn.optim import SGD
 from ..nn.tensor import Tensor
 from ..utils.rng import get_rng
 from ..utils.serialization import SparseTensor, WireValue, decode_state
-
-#: One client's upload: a state mapping (dense and/or sparse entries) or an
-#: encoded wire payload.
-ClientUpload = Union[Mapping[str, WireValue], bytes, bytearray, memoryview]
+from .protocol import ClientUpdate, ClientUpload
 
 
 class FedAvgServer:
@@ -102,6 +99,26 @@ class FedAvgServer:
         self.global_state = aggregated
         self.round_index += 1
         return aggregated
+
+    def aggregate_updates(
+        self,
+        updates: Sequence[ClientUpdate],
+        staleness_discount: float = 0.5,
+    ) -> dict[str, np.ndarray]:
+        """Aggregate typed :class:`ClientUpdate` messages.
+
+        Each update is weighted by its sample count, discounted by
+        ``staleness_discount ** staleness`` when it arrives late (deadline
+        policies carry straggler updates into later rounds).  Fresh updates
+        keep their integer sample weights, so full synchronous participation
+        matches plain :meth:`aggregate` bit for bit.  Routes through
+        :meth:`aggregate`, so subclass behaviour (FLCN's rehearsal
+        fine-tuning) applies unchanged.
+        """
+        return self.aggregate(
+            [update.state for update in updates],
+            [update.effective_weight(staleness_discount) for update in updates],
+        )
 
 
 class FLCNServer(FedAvgServer):

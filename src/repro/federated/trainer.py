@@ -1,20 +1,32 @@
 """The federated continual-learning simulation loop.
 
 Drives the task-stage / aggregation-round / local-iteration structure of
-Section III-A: every client trains its current task for ``r`` rounds of ``v``
-local iterations; each round ends with FedAvg aggregation and global-state
-download.  The trainer also runs the edge simulation — per-round simulated
-training time (device FLOP throughput x measured compute units), per-round
-communication time (payload / bandwidth), and device out-of-memory dropout —
-and assembles the :class:`~repro.metrics.tracker.RunResult` that the
-experiment harness reports.
+Section III-A: every scheduled client trains its current task for ``r``
+rounds of ``v`` local iterations; each round ends with staleness-aware
+FedAvg aggregation and global-state download.  The trainer also runs the
+edge simulation — per-round simulated training time (device FLOP throughput
+x measured compute units), per-round communication time (payload /
+bandwidth), and device out-of-memory dropout — and assembles the
+:class:`~repro.metrics.tracker.RunResult` that the experiment harness
+reports.
 
-Per-client round work is scheduled by a pluggable
-:class:`~repro.federated.engine.RoundEngine`: the serial engine preserves the
-reference execution order, while the threaded engine runs the clients of a
-round concurrently with bit-identical results (clients are independent within
-a round and the edge-time simulation reads per-client accounting after the
-fact).
+The round lifecycle is expressed through typed messages and two pluggable
+policies:
+
+* a :class:`~repro.federated.participation.ParticipationPolicy` plans each
+  round (who trains, under what reporting deadline), sorts the resulting
+  :class:`~repro.federated.protocol.ClientUpdate` messages into a
+  :class:`~repro.federated.protocol.RoundOutcome` (fresh reports, straggler
+  carry-overs aggregated late at a staleness-discounted weight), and names
+  who downloads the new global state;
+* a :class:`~repro.federated.engine.RoundEngine` schedules the per-client
+  work of a phase: the serial engine preserves the reference execution
+  order, while the threaded engine runs the clients of a round concurrently
+  with bit-identical results (clients are independent within a round and the
+  edge-time simulation reads per-client accounting after the fact).
+
+The trainer is a context manager; it owns its engine and closes it on exit,
+so threaded engines cannot leak thread pools.
 """
 
 from __future__ import annotations
@@ -31,6 +43,8 @@ from ..metrics.tracker import RoundRecord, RunResult, accuracy_matrix_from_clien
 from .base import FederatedClient
 from .config import TrainConfig
 from .engine import RoundEngine, create_engine
+from .participation import ParticipationPolicy, create_policy
+from .protocol import ClientUpdate
 from .server import FedAvgServer
 
 
@@ -48,6 +62,7 @@ class FederatedTrainer:
         dataset_name: str = "unknown",
         method_name: str | None = None,
         engine: str | RoundEngine = "serial",
+        participation: str | ParticipationPolicy | None = None,
     ):
         if not clients:
             raise ValueError("trainer needs at least one client")
@@ -60,7 +75,25 @@ class FederatedTrainer:
         self.dataset_name = dataset_name
         self.method_name = method_name or clients[0].method_name
         self.engine = create_engine(engine)
+        self.policy = create_policy(
+            participation if participation is not None else config.participation,
+            seed=config.seed,
+        )
         self._oom: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # resource ownership
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the round engine's execution resources (idempotent)."""
+        self.engine.close()
+
+    def __enter__(self) -> "FederatedTrainer":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------
     # edge simulation helpers
@@ -104,6 +137,94 @@ class FederatedTrainer:
     def active_clients(self) -> list[FederatedClient]:
         return [c for c in self.clients if c.client_id not in self._oom]
 
+    def _run_round(
+        self,
+        position: int,
+        round_index: int,
+        active: list[FederatedClient],
+    ) -> RoundRecord:
+        """Execute one aggregation round under the participation policy."""
+        by_id = {client.client_id: client for client in active}
+        active_ids = [client.client_id for client in active]
+        plan = self.policy.plan_round(position, round_index, active_ids)
+        participants = [by_id[cid] for cid in plan.participants if cid in by_id]
+
+        def train_phase(client: FederatedClient) -> ClientUpdate:
+            stats = client.local_train(self.config.iterations_per_round)
+            up = self._real_bytes(client.upload_bytes())
+            up += self._real_sample_bytes(client.upload_sample_bytes())
+            update = client.build_update(stats, upload_bytes=up)
+            update.sim_seconds = self._train_seconds(
+                client, update.compute_units
+            ) + self.network.transfer_seconds(up)
+            return update
+
+        fresh = self.engine.map(train_phase, participants)
+        outcome = self.policy.collect(plan, fresh, active_ids)
+
+        # synchronous barrier: the round waits for its slowest trainer, but a
+        # reporting deadline caps that wait (stragglers finish off-round)
+        train_seconds = 0.0
+        for client, update in zip(participants, fresh):
+            train_seconds = max(
+                train_seconds, self._train_seconds(client, update.compute_units)
+            )
+        if plan.deadline_seconds is not None:
+            train_seconds = min(train_seconds, plan.deadline_seconds)
+
+        if outcome.updates:
+            global_state = self.server.aggregate_updates(
+                outcome.updates, staleness_discount=self.policy.staleness_discount
+            )
+        else:
+            # nobody reported in time and nothing was pending: the global
+            # model is unchanged this round
+            global_state = self.server.global_state
+
+        up_total = sum(update.upload_bytes for update in outcome.updates)
+        down_total = 0
+        receivers = [by_id[cid] for cid in outcome.receivers if cid in by_id]
+        if global_state is not None and receivers:
+            updates_by_id = {u.client_id: u for u in outcome.updates}
+
+            def receive_phase(client: FederatedClient):
+                down = self._real_bytes(client.download_bytes(global_state))
+                client.receive_global(global_state, round_index)
+                return down, client.take_compute_units()
+
+            for client, (down, units) in zip(
+                receivers, self.engine.map(receive_phase, receivers)
+            ):
+                down_total += down
+                if client.client_id in updates_by_id:
+                    updates_by_id[client.client_id].download_bytes = down
+                train_seconds = max(
+                    train_seconds, self._train_seconds(client, units)
+                )
+
+        per_client_up = up_total / max(len(outcome.updates), 1)
+        per_client_down = down_total / max(len(receivers), 1)
+        losses = [update.mean_loss for update in fresh]
+        if losses and not all(np.isnan(loss) for loss in losses):
+            mean_loss = float(np.nanmean(losses))
+        else:
+            # an empty round (or one whose clients report no loss) records
+            # NaN explicitly rather than through np.nanmean's RuntimeWarning
+            mean_loss = float("nan")
+        return RoundRecord(
+            position=position,
+            round_index=round_index,
+            upload_bytes=up_total,
+            download_bytes=down_total,
+            sim_train_seconds=train_seconds,
+            sim_comm_seconds=self._comm_seconds(per_client_up, per_client_down),
+            active_clients=len(active),
+            mean_loss=mean_loss,
+            planned_clients=len(plan.participants),
+            reported_clients=len(outcome.reported),
+            stale_clients=len(outcome.stale),
+        )
+
     def run(self, num_positions: int | None = None) -> RunResult:
         """Run the full task sequence; returns the collected metrics."""
         started = time.time()
@@ -124,59 +245,10 @@ class FederatedTrainer:
                 raise RuntimeError(
                     f"all clients ran out of memory before task stage {position}"
                 )
+            self.policy.begin_task(position)
 
             for round_index in range(self.config.rounds_per_task):
-                states, weights, losses = [], [], []
-                up_total, down_total = 0, 0
-                train_seconds = 0.0
-                comm_seconds = 0.0
-
-                def train_phase(client: FederatedClient):
-                    stats = client.local_train(self.config.iterations_per_round)
-                    state = client.upload_state()
-                    up = self._real_bytes(client.upload_bytes())
-                    up += self._real_sample_bytes(client.upload_sample_bytes())
-                    return stats, state, up, client.take_compute_units()
-
-                for client, (stats, state, up, units) in zip(
-                    active, self.engine.map(train_phase, active)
-                ):
-                    losses.append(stats.get("mean_loss", np.nan))
-                    states.append(state)
-                    weights.append(client.num_train_samples)
-                    up_total += up
-                    train_seconds = max(
-                        train_seconds, self._train_seconds(client, units)
-                    )
-                global_state = self.server.aggregate(states, weights)
-
-                def receive_phase(client: FederatedClient):
-                    down = self._real_bytes(client.download_bytes(global_state))
-                    client.receive_global(global_state, round_index)
-                    return down, client.take_compute_units()
-
-                for client, (down, units) in zip(
-                    active, self.engine.map(receive_phase, active)
-                ):
-                    down_total += down
-                    train_seconds = max(
-                        train_seconds, self._train_seconds(client, units)
-                    )
-                per_client_up = up_total / max(len(active), 1)
-                per_client_down = down_total / max(len(active), 1)
-                comm_seconds = self._comm_seconds(per_client_up, per_client_down)
-                rounds.append(
-                    RoundRecord(
-                        position=position,
-                        round_index=round_index,
-                        upload_bytes=up_total,
-                        download_bytes=down_total,
-                        sim_train_seconds=train_seconds,
-                        sim_comm_seconds=comm_seconds,
-                        active_clients=len(active),
-                        mean_loss=float(np.nanmean(losses)),
-                    )
-                )
+                rounds.append(self._run_round(position, round_index, active))
             for client in active:
                 client.end_task()
                 client.take_compute_units()
@@ -194,4 +266,5 @@ class FederatedTrainer:
             accuracy_matrix=matrix,
             rounds=rounds,
             wall_seconds=time.time() - started,
+            participation=self.policy.describe(),
         )

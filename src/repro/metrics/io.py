@@ -21,6 +21,7 @@ def result_to_dict(result: RunResult) -> dict:
     return {
         "method": result.method,
         "dataset": result.dataset,
+        "participation": result.participation,
         "num_clients": result.num_clients,
         "num_tasks": result.num_tasks,
         "accuracy_matrix": [
@@ -38,6 +39,9 @@ def result_to_dict(result: RunResult) -> dict:
                 "sim_comm_seconds": r.sim_comm_seconds,
                 "active_clients": r.active_clients,
                 "mean_loss": None if np.isnan(r.mean_loss) else r.mean_loss,
+                "planned_clients": r.planned_clients,
+                "reported_clients": r.reported_clients,
+                "stale_clients": r.stale_clients,
             }
             for r in result.rounds
         ],
@@ -65,6 +69,10 @@ def result_from_dict(payload: dict) -> RunResult:
             sim_comm_seconds=r["sim_comm_seconds"],
             active_clients=r["active_clients"],
             mean_loss=np.nan if r["mean_loss"] is None else r["mean_loss"],
+            # absent in payloads written before participation policies
+            planned_clients=r.get("planned_clients", -1),
+            reported_clients=r.get("reported_clients", -1),
+            stale_clients=r.get("stale_clients", 0),
         )
         for r in payload["rounds"]
     ]
@@ -76,6 +84,7 @@ def result_from_dict(payload: dict) -> RunResult:
         accuracy_matrix=matrix,
         rounds=rounds,
         wall_seconds=payload["wall_seconds"],
+        participation=payload.get("participation", "full"),
     )
 
 

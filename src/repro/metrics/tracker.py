@@ -28,6 +28,17 @@ class RoundRecord:
     sim_comm_seconds: float
     active_clients: int
     mean_loss: float
+    # participation accounting (defaults describe full synchronous rounds,
+    # the pre-policy behaviour: everyone planned, everyone reported in time)
+    planned_clients: int = -1
+    reported_clients: int = -1
+    stale_clients: int = 0
+
+    def __post_init__(self):
+        if self.planned_clients < 0:
+            self.planned_clients = self.active_clients
+        if self.reported_clients < 0:
+            self.reported_clients = self.planned_clients
 
 
 @dataclass
@@ -42,6 +53,9 @@ class RunResult:
     accuracy_matrix: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
     rounds: list[RoundRecord] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: Participation policy spec the run executed under (``"full"``,
+    #: ``"sampled:0.5"``, ``"deadline:30"``, ...).
+    participation: str = "full"
 
     # ------------------------------------------------------------------
     # accuracy metrics
@@ -114,11 +128,27 @@ class RunResult:
         stages = sorted(per_stage)
         return np.cumsum([per_stage[s] for s in stages]) / 3600.0
 
+    # ------------------------------------------------------------------
+    # participation metrics
+    # ------------------------------------------------------------------
+    @property
+    def total_planned_clients(self) -> int:
+        return int(sum(r.planned_clients for r in self.rounds))
+
+    @property
+    def total_reported_clients(self) -> int:
+        return int(sum(r.reported_clients for r in self.rounds))
+
+    @property
+    def total_stale_clients(self) -> int:
+        return int(sum(r.stale_clients for r in self.rounds))
+
     def summary(self) -> dict:
         """Compact dictionary used by the experiment reports."""
         return {
             "method": self.method,
             "dataset": self.dataset,
+            "participation": self.participation,
             "final_accuracy": round(self.final_accuracy, 4),
             "final_forgetting": round(float(self.forgetting_curve[-1]), 4)
             if self.accuracy_matrix.size
