@@ -14,8 +14,11 @@ import pytest
 from repro.federated import FedAvgServer
 from repro.utils.serialization import (
     decode_state,
+    decode_state_v2,
     encode_state,
+    encode_state_v2,
     encoded_num_bytes,
+    encoded_num_bytes_v2,
     sparse_delta_state,
     sparse_topk,
 )
@@ -64,6 +67,58 @@ def test_sparse_delta_encoding(benchmark, model_state):
     }
     delta = benchmark(lambda: sparse_delta_state(model_state, base, ratio=0.10))
     assert encoded_num_bytes(delta) < encoded_num_bytes(model_state)
+
+
+def test_encode_state_v2(benchmark, model_state):
+    payload = benchmark(lambda: encode_state_v2(model_state))
+    assert len(payload) == encoded_num_bytes_v2(model_state)
+
+
+def test_decode_state_v2(benchmark, model_state):
+    payload = encode_state_v2(model_state)
+    decoded = benchmark(lambda: decode_state_v2(payload))
+    assert set(decoded) == set(model_state)
+
+
+def test_encode_state_v2_fp16(benchmark, model_state):
+    payload = benchmark(lambda: encode_state_v2(model_state, fp16=True))
+    assert len(payload) == encoded_num_bytes_v2(model_state, fp16=True)
+    # fp16 values roughly halve the dense payload
+    assert len(payload) < 0.6 * encoded_num_bytes(model_state)
+
+
+def test_decode_state_v2_delta(benchmark, model_state):
+    """Delta decode: sparse top-k records materialised against a base."""
+    rng = np.random.default_rng(3)
+    base = {
+        k: v + rng.normal(scale=1e-3, size=v.shape).astype(v.dtype)
+        if np.issubdtype(v.dtype, np.floating) else v
+        for k, v in model_state.items()
+    }
+    entries = sparse_delta_state(model_state, base, ratio=0.10)
+    delta_keys = {
+        k for k, v in entries.items() if not isinstance(v, np.ndarray)
+    }
+    payload = encode_state_v2(entries, delta_keys=delta_keys)
+    decoded = benchmark(lambda: decode_state_v2(payload, base=base))
+    assert set(decoded) == set(model_state)
+
+
+def test_delta_compression_ratio(benchmark, model_state):
+    """rho=0.1 sparse deltas stay well under a quarter of the dense size."""
+    rng = np.random.default_rng(4)
+    base = {
+        k: v + rng.normal(scale=1e-3, size=v.shape).astype(v.dtype)
+        if np.issubdtype(v.dtype, np.floating) else v
+        for k, v in model_state.items()
+    }
+
+    def compress():
+        entries = sparse_delta_state(model_state, base, ratio=0.10)
+        return encoded_num_bytes_v2(entries)
+
+    compressed = benchmark(compress)
+    assert compressed * 4 < encoded_num_bytes(model_state)
 
 
 def test_streaming_aggregation_16_clients(benchmark, model_state):

@@ -27,7 +27,14 @@ from pathlib import Path
 import numpy as np
 
 from repro.federated import ClientUpdate, FedAvgServer
-from repro.utils.serialization import decode_state, encode_state, sparse_topk
+from repro.utils.serialization import (
+    decode_state,
+    decode_state_v2,
+    encode_state,
+    encode_state_v2,
+    sparse_delta_state,
+    sparse_topk,
+)
 
 BASELINE_PATH = Path(__file__).resolve().parent / "baselines.json"
 
@@ -103,9 +110,29 @@ def hot_path_cases() -> dict[str, float]:
             zip(client_states, rng.integers(10, 100, size=16))
         )
     ]
+    base = {
+        k: v + np.float32(0.001) if np.issubdtype(v.dtype, np.floating) else v
+        for k, v in state.items()
+    }
+    delta_entries = sparse_delta_state(state, base, ratio=0.10)
+    delta_keys = {
+        k for k, v in delta_entries.items() if not isinstance(v, np.ndarray)
+    }
+    payload_v2 = encode_state_v2(state)
+    payload_delta = encode_state_v2(delta_entries, delta_keys=delta_keys)
     return {
         "encode_state": best_seconds(lambda: encode_state(state)),
         "decode_state": best_seconds(lambda: decode_state(payload)),
+        "encode_state_v2": best_seconds(lambda: encode_state_v2(state)),
+        "decode_state_v2": best_seconds(lambda: decode_state_v2(payload_v2)),
+        # top-k selection is gated separately (sparse_topk); this case
+        # times only the v2 delta encoder on precomputed entries
+        "encode_delta_v2": best_seconds(
+            lambda: encode_state_v2(delta_entries, delta_keys=delta_keys)
+        ),
+        "decode_delta_v2": best_seconds(
+            lambda: decode_state_v2(payload_delta, base=base)
+        ),
         "sparse_topk": best_seconds(lambda: sparse_topk(dense, dense.size // 10)),
         "aggregate_16_clients": best_seconds(
             lambda: FedAvgServer().aggregate_updates(updates)

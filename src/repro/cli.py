@@ -25,6 +25,7 @@ from .experiments import (
     run_distance_ablation,
     run_fig4,
     run_fig5,
+    run_fig5_wire,
     run_fig6,
     run_fig7,
     run_fig8,
@@ -51,6 +52,7 @@ FIGURES = {
     ),
     "table1": lambda preset: str(run_table1(preset=preset)),
     "fig5": lambda preset: str(run_fig5(preset=preset)),
+    "fig5-wire": lambda preset: str(run_fig5_wire(preset=preset)),
     "fig6": lambda preset: str(run_fig6(preset=preset)),
     "fig7": lambda preset: str(run_fig7(preset=preset, num_tasks=6)),
     "fig8": lambda preset: str(run_fig8(preset=preset)),
@@ -97,6 +99,21 @@ def _build_parser() -> argparse.ArgumentParser:
                             "round at staleness-discounted weight)")
     run_p.add_argument("--deadline", type=float, default=None,
                        help="shorthand for --participation deadline:<seconds>")
+    run_p.add_argument("--wire", default="v1", choices=("v1", "v2"),
+                       help="negotiated wire-format version: v1 (dense/"
+                            "sparse records) or v2 (adds delta encoding, "
+                            "per-entry flags and fp16 payloads)")
+    run_p.add_argument("--upload", default="dense",
+                       choices=("dense", "delta", "sparse"),
+                       help="upload policy: full states, top-k deltas vs "
+                            "the previous global state, or top-k signature "
+                            "values (delta/sparse engage after warmup)")
+    run_p.add_argument("--upload-ratio", type=float, default=0.1,
+                       help="fraction of entries kept by delta/sparse "
+                            "uploads (the paper's rho; default 0.1)")
+    run_p.add_argument("--fp16", action="store_true",
+                       help="ship float payload values as float16 "
+                            "(requires --wire v2; lossy)")
     run_p.add_argument("--with-raspberry-pi", action="store_true",
                        help="use the 30-device heterogeneous cluster")
 
@@ -131,10 +148,21 @@ def _cmd_run(args) -> int:
         f"deadline:{args.deadline:g}" if args.deadline is not None
         else args.participation
     )
+    if args.fp16 and args.wire != "v2":
+        print("error: --fp16 requires --wire v2", file=sys.stderr)
+        return 2
+    if not 0.0 < args.upload_ratio <= 1.0:
+        print(f"error: --upload-ratio must be in (0, 1], got "
+              f"{args.upload_ratio:g}", file=sys.stderr)
+        return 2
+    wire = args.wire + ("+fp16" if args.fp16 else "")
+    transport = f"{wire}:{args.upload}"
+    if args.upload != "dense":
+        transport += f":{args.upload_ratio:g}"
     result = run_single(
         args.method, get_spec(args.dataset), preset,
         cluster=cluster, seed=args.seed, use_cache=False, engine=args.engine,
-        participation=participation,
+        participation=participation, transport=transport,
     )
     stages = np.arange(1, len(result.accuracy_curve) + 1)
     print(format_series(
@@ -148,6 +176,17 @@ def _cmd_run(args) -> int:
     ))
     summary = result.summary()
     print(format_table(list(summary), [list(summary.values())]))
+    if result.transport != "v1:dense":
+        print(format_table(
+            ["transport", "upload_gb", "raw_upload_gb", "compression"],
+            [[
+                result.transport,
+                round(result.total_upload_bytes / 1e9, 4),
+                round(result.total_raw_upload_bytes / 1e9, 4),
+                f"{result.upload_compression:.2f}x",
+            ]],
+            title="transport (measured upload volume)",
+        ))
     if result.participation != "full":
         print(format_table(
             ["rounds", "planned", "reported", "stale"],

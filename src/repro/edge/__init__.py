@@ -27,7 +27,14 @@ from .device import (
     RASPBERRY_PI_8GB,
     get_device,
 )
-from .network import FIG6_BANDWIDTHS, KB, MB, NetworkModel, format_bandwidth
+from .network import (
+    FIG6_BANDWIDTHS,
+    KB,
+    MB,
+    NetworkLink,
+    NetworkModel,
+    format_bandwidth,
+)
 
 __all__ = [
     "BYTES_PER_PARAM",
@@ -43,6 +50,7 @@ __all__ = [
     "KB",
     "MB",
     "ModelCostModel",
+    "NetworkLink",
     "NetworkModel",
     "RASPBERRY_PI_2GB",
     "RASPBERRY_PI_4GB",

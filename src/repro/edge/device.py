@@ -15,18 +15,29 @@ GB = 1024**3
 
 @dataclass(frozen=True)
 class DeviceProfile:
-    """An edge device's compute and memory capabilities."""
+    """An edge device's compute, memory, and link capabilities.
+
+    ``uplink_scale`` / ``downlink_scale`` multiply the federation's
+    :class:`~repro.edge.network.NetworkModel` budget into this device's
+    concrete per-client link: the bench-powered Jetsons sit on the lab's
+    full link, while Raspberry-Pi-class boards model asymmetric consumer
+    connections whose upload direction is the constrained one.
+    """
 
     name: str
     flops_per_second: float  # effective sustained training throughput
     memory_bytes: int
     has_gpu: bool = True
+    uplink_scale: float = 1.0
+    downlink_scale: float = 1.0
 
     def __post_init__(self):
         if self.flops_per_second <= 0:
             raise ValueError(f"{self.name}: flops_per_second must be positive")
         if self.memory_bytes <= 0:
             raise ValueError(f"{self.name}: memory_bytes must be positive")
+        if self.uplink_scale <= 0 or self.downlink_scale <= 0:
+            raise ValueError(f"{self.name}: link scales must be positive")
 
     def training_seconds(self, flops: float) -> float:
         """Time to execute ``flops`` of training work on this device."""
@@ -41,9 +52,18 @@ JETSON_AGX = DeviceProfile("jetson_agx", 2.0e12, 32 * GB)
 JETSON_XAVIER_NX = DeviceProfile("jetson_xavier_nx", 1.0e12, 16 * GB)
 JETSON_TX2 = DeviceProfile("jetson_tx2", 2.5e11, 8 * GB)
 JETSON_NANO = DeviceProfile("jetson_nano", 8.0e10, 4 * GB)
-RASPBERRY_PI_2GB = DeviceProfile("raspberry_pi_2gb", 6.0e9, 2 * GB, has_gpu=False)
-RASPBERRY_PI_4GB = DeviceProfile("raspberry_pi_4gb", 6.0e9, 4 * GB, has_gpu=False)
-RASPBERRY_PI_8GB = DeviceProfile("raspberry_pi_8gb", 6.0e9, 8 * GB, has_gpu=False)
+RASPBERRY_PI_2GB = DeviceProfile(
+    "raspberry_pi_2gb", 6.0e9, 2 * GB, has_gpu=False,
+    uplink_scale=0.5, downlink_scale=0.8,
+)
+RASPBERRY_PI_4GB = DeviceProfile(
+    "raspberry_pi_4gb", 6.0e9, 4 * GB, has_gpu=False,
+    uplink_scale=0.5, downlink_scale=0.8,
+)
+RASPBERRY_PI_8GB = DeviceProfile(
+    "raspberry_pi_8gb", 6.0e9, 8 * GB, has_gpu=False,
+    uplink_scale=0.5, downlink_scale=0.8,
+)
 
 DEVICE_CATALOG = {
     profile.name: profile

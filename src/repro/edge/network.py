@@ -3,6 +3,19 @@
 Fig. 6 of the paper sweeps the per-client bandwidth cap from 50 KB/s to
 10 MB/s (the default elsewhere is 1 MB/s); communication time is payload
 size divided by bandwidth plus a small per-round protocol latency.
+
+Two layers model a link:
+
+* :class:`NetworkModel` — the federation-wide link budget.  It stays a
+  frozen value object (it participates in experiment cache keys) and is
+  symmetric by default, but can carry distinct ``uplink_bytes_per_second``
+  and ``downlink_bytes_per_second`` caps.
+* :class:`NetworkLink` — one client's concrete link, derived from the
+  model and the client's :class:`~repro.edge.device.DeviceProfile`
+  (``uplink_scale`` / ``downlink_scale``; Raspberry-Pi-class boards sit on
+  asymmetric consumer links).  The protocol latency is charged **once per
+  round-trip** — the upload leg carries it (the request opens the round),
+  the download leg rides the open connection.
 """
 
 from __future__ import annotations
@@ -26,20 +39,108 @@ FIG6_BANDWIDTHS: tuple[int, ...] = (
 
 
 @dataclass(frozen=True)
+class NetworkLink:
+    """One client's link to the server: asymmetric bandwidth + latency."""
+
+    uplink_bytes_per_second: float
+    downlink_bytes_per_second: float
+    round_latency_seconds: float = 0.05
+
+    def __post_init__(self):
+        if self.uplink_bytes_per_second <= 0 or self.downlink_bytes_per_second <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if self.round_latency_seconds < 0:
+            raise ValueError("latency must be non-negative")
+
+    @property
+    def symmetric(self) -> bool:
+        return self.uplink_bytes_per_second == self.downlink_bytes_per_second
+
+    def upload_seconds(self, num_bytes: float) -> float:
+        """Time for the upload leg (carries the round's protocol latency)."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        return num_bytes / self.uplink_bytes_per_second + self.round_latency_seconds
+
+    def download_seconds(self, num_bytes: float) -> float:
+        """Time for the download leg (rides the round's open connection)."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        return num_bytes / self.downlink_bytes_per_second
+
+    def round_trip_seconds(self, up_bytes: float, down_bytes: float) -> float:
+        """Upload + download time with the protocol latency charged once.
+
+        On a symmetric link this is computed as ``(up + down) / bandwidth +
+        latency`` — the exact float path of the pre-transport trainer — so
+        dense-v1 accounting stays bit-identical.
+        """
+        if self.symmetric:
+            if up_bytes < 0 or down_bytes < 0:
+                raise ValueError("byte counts must be non-negative")
+            return (
+                (up_bytes + down_bytes) / self.uplink_bytes_per_second
+                + self.round_latency_seconds
+            )
+        return self.upload_seconds(up_bytes) + self.download_seconds(down_bytes)
+
+
+@dataclass(frozen=True)
 class NetworkModel:
-    """Symmetric per-client link to the central server."""
+    """Per-client link budget to the central server.
+
+    ``bandwidth_bytes_per_second`` is the symmetric default (and the Fig. 6
+    sweep knob); ``uplink_bytes_per_second`` / ``downlink_bytes_per_second``
+    override one direction when the federation's links are asymmetric.
+    """
 
     bandwidth_bytes_per_second: float = 1 * MB
     round_latency_seconds: float = 0.05
+    uplink_bytes_per_second: float | None = None
+    downlink_bytes_per_second: float | None = None
 
     def __post_init__(self):
         if self.bandwidth_bytes_per_second <= 0:
             raise ValueError("bandwidth must be positive")
         if self.round_latency_seconds < 0:
             raise ValueError("latency must be non-negative")
+        for value in (self.uplink_bytes_per_second, self.downlink_bytes_per_second):
+            if value is not None and value <= 0:
+                raise ValueError("directional bandwidth must be positive")
+
+    @property
+    def uplink(self) -> float:
+        return (
+            self.uplink_bytes_per_second
+            if self.uplink_bytes_per_second is not None
+            else self.bandwidth_bytes_per_second
+        )
+
+    @property
+    def downlink(self) -> float:
+        return (
+            self.downlink_bytes_per_second
+            if self.downlink_bytes_per_second is not None
+            else self.bandwidth_bytes_per_second
+        )
+
+    def link_for_device(self, device=None) -> NetworkLink:
+        """The concrete link of a client running on ``device``.
+
+        Device profiles scale the shared budget deterministically
+        (``uplink_scale`` / ``downlink_scale``), so runs stay reproducible
+        and cacheable; ``device=None`` returns the unscaled reference link.
+        """
+        up_scale = getattr(device, "uplink_scale", 1.0)
+        down_scale = getattr(device, "downlink_scale", 1.0)
+        return NetworkLink(
+            uplink_bytes_per_second=self.uplink * up_scale,
+            downlink_bytes_per_second=self.downlink * down_scale,
+            round_latency_seconds=self.round_latency_seconds,
+        )
 
     def transfer_seconds(self, num_bytes: float) -> float:
-        """Time to move ``num_bytes`` over this link."""
+        """Time to move ``num_bytes`` over the symmetric reference link."""
         if num_bytes < 0:
             raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
         return num_bytes / self.bandwidth_bytes_per_second + self.round_latency_seconds

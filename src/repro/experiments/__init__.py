@@ -16,7 +16,13 @@ from .fig4_accuracy import (
     run_fig4,
     run_fig4_panel,
 )
-from .fig5_comm_volume import Fig5Report, run_fig5
+from .fig5_comm_volume import (
+    WIRE_VARIANTS,
+    Fig5Report,
+    Fig5WireReport,
+    run_fig5,
+    run_fig5_wire,
+)
 from .fig6_bandwidth import Fig6Report, comm_seconds_under_bandwidth, run_fig6
 from .fig7_tasks import Fig7Report, run_fig7
 from .fig8_clients import Fig8Report, run_fig8
@@ -34,6 +40,7 @@ __all__ = [
     "Fig10Report",
     "Fig4Report",
     "Fig5Report",
+    "Fig5WireReport",
     "Fig6Report",
     "Fig7Report",
     "Fig8Report",
@@ -46,6 +53,7 @@ __all__ = [
     "TOP3_METHODS",
     "Table1Report",
     "UNIT",
+    "WIRE_VARIANTS",
     "clear_cache",
     "comm_seconds_under_bandwidth",
     "format_series",
@@ -59,6 +67,7 @@ __all__ = [
     "run_fig4",
     "run_fig4_panel",
     "run_fig5",
+    "run_fig5_wire",
     "run_fig6",
     "run_fig7",
     "run_fig8",

@@ -70,6 +70,7 @@ def run_fig5(
     datasets: tuple[str, ...] = FIG4_DATASETS,
     preset: ScalePreset = BENCH,
     seed: int = 0,
+    transport: str = "v1:dense",
 ) -> Fig5Report:
     """Measure total communication volume of FedKNOW vs FedWEIT."""
     report = Fig5Report(datasets=list(datasets))
@@ -79,8 +80,91 @@ def run_fig5(
         entry = {}
         for method in ("fedknow", "fedweit"):
             result: RunResult = run_single(
-                method, spec, preset, cluster=cluster, seed=seed
+                method, spec, preset, cluster=cluster, seed=seed,
+                transport=transport,
             )
             entry[method] = result.total_comm_bytes / 1e9
         report.volumes[dataset] = entry
+    return report
+
+
+#: The fig5-wire comparison: label -> transport spec.
+WIRE_VARIANTS: tuple[tuple[str, str], ...] = (
+    ("dense-v1", "v1:dense"),
+    ("delta-v2", "v2:delta:0.1"),
+    ("sparse-v2", "v2:sparse:0.1"),
+)
+
+
+@dataclass
+class Fig5WireReport:
+    """Upload volume per method under the negotiated transport variants.
+
+    Raw Fig. 5 upload volumes for every method under dense v1, top-k delta
+    v2 and signature-sparse v2 uploads, plus each variant's measured
+    compressed-vs-raw ratio — what the pluggable transport buys per method.
+    """
+
+    dataset: str
+    variants: tuple[tuple[str, str], ...] = WIRE_VARIANTS
+    # uploads[method][variant_label] = (upload_gb, compression_x)
+    uploads: dict[str, dict[str, tuple[float, float]]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def rows(self) -> list[list]:
+        rows = []
+        for method, entries in self.uploads.items():
+            row = [method]
+            for label, _ in self.variants:
+                gb, ratio = entries[label]
+                row.append(round(gb, 4))
+                row.append(f"{ratio:.2f}x")
+            rows.append(row)
+        return rows
+
+    def __str__(self) -> str:
+        headers = ["method"]
+        for label, _ in self.variants:
+            headers += [f"{label}_gb", f"{label}_x"]
+        return format_table(
+            headers,
+            self.rows,
+            title=(
+                f"Fig.5-wire: upload volume by transport ({self.dataset})"
+            ),
+        )
+
+
+def run_fig5_wire(
+    dataset: str = "cifar100",
+    methods: tuple[str, ...] | None = None,
+    preset: ScalePreset = BENCH,
+    seed: int = 0,
+    variants: tuple[tuple[str, str], ...] = WIRE_VARIANTS,
+) -> Fig5WireReport:
+    """Compare Fig. 5 upload volumes across negotiated transports.
+
+    Runs every method under each transport variant and reports measured
+    upload gigabytes plus the channel's compressed-vs-raw ratio.
+    """
+    from ..federated.registry import ALL_METHODS
+
+    methods = tuple(methods) if methods is not None else ALL_METHODS
+    report = Fig5WireReport(dataset=dataset, variants=tuple(variants))
+    cluster = jetson_cluster()
+    spec = get_spec(dataset)
+    for method in methods:
+        entries: dict[str, tuple[float, float]] = {}
+        for label, transport in report.variants:
+            result = run_single(
+                method, spec, preset, cluster=cluster, seed=seed,
+                transport=transport,
+            )
+            entries[label] = (
+                result.total_upload_bytes / 1e9,
+                result.upload_compression,
+            )
+        report.uploads[method] = entries
     return report

@@ -31,14 +31,19 @@ FIG6_MODELS = (
 def comm_seconds_under_bandwidth(
     result: RunResult, bandwidth_bytes_per_second: float
 ) -> float:
-    """Replay a run's per-round payloads through a different bandwidth."""
+    """Replay a run's per-round payloads through a different bandwidth.
+
+    Each round is replayed as one round-trip on the link — upload and
+    download legs priced separately, protocol latency charged once.
+    """
     network = NetworkModel(bandwidth_bytes_per_second=bandwidth_bytes_per_second)
+    link = network.link_for_device(None)
     total = 0.0
     for record in result.rounds:
-        per_client = (record.upload_bytes + record.download_bytes) / max(
-            record.active_clients, 1
+        active = max(record.active_clients, 1)
+        total += link.round_trip_seconds(
+            record.upload_bytes / active, record.download_bytes / active
         )
-        total += network.transfer_seconds(per_client)
     return total
 
 
@@ -74,6 +79,7 @@ def run_fig6(
     preset: ScalePreset = BENCH,
     bandwidths: tuple[int, ...] = FIG6_BANDWIDTHS,
     seed: int = 0,
+    transport: str = "v1:dense",
 ) -> Fig6Report:
     """Measure communication time across the Fig. 6 bandwidth sweep."""
     report = Fig6Report(bandwidths=bandwidths)
@@ -82,7 +88,8 @@ def run_fig6(
         spec = spec_builder()
         report.times[label] = {}
         for method in ("fedknow", "fedweit"):
-            result = run_single(method, spec, preset, cluster=cluster, seed=seed)
+            result = run_single(method, spec, preset, cluster=cluster, seed=seed,
+                                transport=transport)
             report.times[label][method] = [
                 comm_seconds_under_bandwidth(result, bw) / 3600.0
                 for bw in bandwidths

@@ -18,6 +18,7 @@ from ..edge.cluster import EdgeCluster
 from ..edge.network import NetworkModel
 from ..federated.participation import ParticipationPolicy
 from ..federated.registry import create_trainer
+from ..federated.transport import Transport
 from ..metrics.tracker import RunResult
 from .config import ScalePreset
 
@@ -57,12 +58,15 @@ def _cache_key(
     model_kwargs: dict | None,
     method_kwargs: dict | None,
     participation: str,
+    transport: str,
 ) -> tuple:
     cluster_key = (
         tuple(d.name for d in cluster.devices) if cluster is not None else None
     )
     network_key = (
-        network.bandwidth_bytes_per_second if network is not None else None
+        (network.bandwidth_bytes_per_second, network.uplink,
+         network.downlink, network.round_latency_seconds)
+        if network is not None else None
     )
     return (
         method,
@@ -81,6 +85,7 @@ def _cache_key(
         _freeze(model_kwargs or {}),
         _freeze(method_kwargs or {}),
         participation,
+        transport,
     )
 
 
@@ -96,6 +101,7 @@ def run_single(
     use_cache: bool = True,
     engine: str = "serial",
     participation: str | ParticipationPolicy | None = None,
+    transport: str | Transport | None = None,
 ) -> RunResult:
     """Train ``method`` on ``spec`` at ``preset`` scale and return its metrics.
 
@@ -103,10 +109,13 @@ def run_single(
     identical metrics, so it does not participate in the result cache key.
     ``participation`` selects who trains/reports each round ("full",
     "sampled:<fraction>", "deadline:<seconds>"); it changes the metrics, so
-    it *is* part of the cache key.  ``None`` defers to the preset.  Passing
-    a :class:`ParticipationPolicy` *instance* bypasses the cache entirely —
-    instances are stateful (sampling RNG, pending stragglers), so two runs
-    with the same instance are not interchangeable.
+    it *is* part of the cache key.  ``None`` defers to the preset.
+    ``transport`` selects the wire format and upload policy ("v1:dense",
+    "v2:delta:0.1", ...); it changes the comm metrics, so it is part of the
+    cache key too.  Passing a :class:`ParticipationPolicy` or
+    :class:`Transport` *instance* bypasses the cache entirely — instances
+    are stateful (sampling RNG, pending stragglers, negotiated channel
+    bases), so two runs with the same instance are not interchangeable.
     """
     seed = preset.seed if seed is None else seed
     scaled = preset.apply_to_spec(spec)
@@ -114,10 +123,20 @@ def run_single(
         participation = preset.participation
     if isinstance(participation, ParticipationPolicy):
         use_cache = False
+    if isinstance(transport, Transport):
+        use_cache = False
+        transport_key = transport.describe()
+    else:
+        # normalise spec strings ("v2:delta" == "v2:delta:0.1") so
+        # equivalent transports share a cache entry — and reject malformed
+        # specs before any training runs
+        from ..federated.transport import create_transport
+
+        transport_key = create_transport(transport).describe()
     participation_key = str(participation)
     key = _cache_key(
         method, scaled, preset, seed, cluster, network,
-        model_kwargs, method_kwargs, participation_key,
+        model_kwargs, method_kwargs, participation_key, transport_key,
     )
     if use_cache and key in _CACHE:
         return _CACHE[key]
@@ -138,6 +157,7 @@ def run_single(
         method_kwargs=method_kwargs,
         engine=engine,
         participation=participation,
+        transport=transport,
     ) as trainer:
         result = trainer.run()
     if use_cache:

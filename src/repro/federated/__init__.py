@@ -31,11 +31,20 @@ from .registry import (
 )
 from .server import FedAvgServer, FLCNServer
 from .trainer import FederatedTrainer
+from .transport import (
+    UPLOAD_MODES,
+    WIRE_NAMES,
+    Channel,
+    Transport,
+    WirePayload,
+    create_transport,
+)
 
 __all__ = [
     "ALL_METHODS",
     "APFLClient",
     "CONTINUAL_STRATEGIES",
+    "Channel",
     "ClientUpdate",
     "ClientUpload",
     "DeadlineParticipation",
@@ -46,11 +55,16 @@ __all__ = [
     "RoundEngine",
     "RoundOutcome",
     "RoundPlan",
+    "Transport",
+    "UPLOAD_MODES",
+    "WIRE_NAMES",
+    "WirePayload",
     "SampledParticipation",
     "SerialRoundEngine",
     "ThreadedRoundEngine",
     "create_engine",
     "create_policy",
+    "create_transport",
     "FCL_METHODS",
     "FEDERATED_METHODS",
     "FedAvgServer",

@@ -24,9 +24,9 @@ from ..nn.optim import SGD
 from ..nn.schedules import InverseTimeDecay
 from ..nn.tensor import Tensor
 from ..utils.rng import get_rng
-from ..utils.serialization import encoded_num_bytes
 from .config import TrainConfig
-from .protocol import ClientUpdate
+from .protocol import ClientUpdate, ClientUpload
+from .transport import Channel, WirePayload
 
 
 class FederatedClient:
@@ -94,19 +94,22 @@ class FederatedClient:
     def build_update(
         self,
         stats: Mapping[str, float],
+        state: ClientUpload | None = None,
         upload_bytes: int = 0,
         sim_seconds: float = 0.0,
     ) -> ClientUpdate:
         """Package this round's contribution as a typed wire message.
 
-        ``stats`` is the dict :meth:`local_train` returned; ``upload_bytes``
-        and ``sim_seconds`` carry the trainer's edge-simulation figures
-        (projected payload size, simulated train + upload seconds).  Consumes
-        the accumulated compute units.
+        ``stats`` is the dict :meth:`local_train` returned; ``state`` is the
+        payload the transport decoded (``None`` falls back to a fresh
+        :meth:`upload_state`); ``upload_bytes`` and ``sim_seconds`` carry
+        the trainer's edge-simulation figures (channel-priced payload size,
+        simulated train + upload seconds).  Consumes the accumulated
+        compute units.
         """
         return ClientUpdate(
             client_id=self.client_id,
-            state=self.upload_state(),
+            state=state if state is not None else self.upload_state(),
             num_samples=self.num_train_samples,
             mean_loss=float(stats.get("mean_loss", np.nan)),
             iterations=int(stats.get("iterations", 0)),
@@ -116,19 +119,27 @@ class FederatedClient:
         )
 
     # ------------------------------------------------------------------
-    # accounting (communication / memory simulation)
+    # transport (communication accounting moved behind the channel)
     # ------------------------------------------------------------------
-    def upload_bytes(self) -> int:
-        """Bytes uploaded this round (at this reproduction's model scale).
+    def prepare_upload(self, channel: Channel) -> WirePayload:
+        """Pack this round's upload for the negotiated channel.
 
-        The figure is the wire codec's exact encoded payload size of the
-        uploaded state, not an arithmetic estimate.
+        The channel owns the wire policy: dense states pass through, and
+        once it has a warmed-up base it turns the same state into top-k
+        delta or signature-sparse records.  Byte counts come from the
+        channel's exact codec arithmetic — clients no longer price their
+        own payloads.
         """
-        return encoded_num_bytes(self.upload_state())
+        return channel.prepare(self.upload_state())
 
-    def download_bytes(self, global_state: Mapping[str, np.ndarray]) -> int:
-        """Bytes downloaded this round (exact encoded payload size)."""
-        return encoded_num_bytes(global_state)
+    def extra_upload_bytes(self) -> int:
+        """Method-specific side-channel upload bytes (e.g. FedWEIT's
+        sparse adaptives) that ride along with the state payload."""
+        return 0
+
+    def extra_download_bytes(self) -> int:
+        """Method-specific side-channel download bytes (consumed once)."""
+        return 0
 
     def extra_state_bytes(self) -> dict[str, int]:
         """Method-specific retained state, split by kind for cost projection.

@@ -255,15 +255,15 @@ class FedWeitClient(FederatedClient):
             self.model.load_state_dict(model_state)
         self._compose()
 
-    def upload_bytes(self) -> int:
-        return encoded_num_bytes(self.upload_state()) + sparse_adaptive_bytes(
-            self._current_adaptive()
-        )
+    def extra_upload_bytes(self) -> int:
+        """The per-round sparse-adaptive upload riding beside the base."""
+        return sparse_adaptive_bytes(self._current_adaptive())
 
-    def download_bytes(self, global_state: Mapping[str, np.ndarray]) -> int:
+    def extra_download_bytes(self) -> int:
+        """Foreign adaptives broadcast at task start (charged once)."""
         extra = self._downloaded_foreign_bytes
         self._downloaded_foreign_bytes = 0
-        return encoded_num_bytes(global_state) + extra
+        return extra
 
     def extra_state_bytes(self) -> dict[str, int]:
         own = sum(sparse_adaptive_bytes(a) for a in self.adaptives)

@@ -41,7 +41,13 @@ class ClientUpdate:
     mean_loss: float = float("nan")
     iterations: int = 0
     upload_bytes: int = 0
-    download_bytes: int = 0
+    #: What this upload would have cost as dense v1 — the compression
+    #: baseline.  Negative means "not measured" (defaults to upload_bytes).
+    raw_upload_bytes: int = -1
+    #: Bytes this client downloaded at round end.  ``-1`` means *unset*:
+    #: the trainer's outcome assembly must resolve it (to the measured
+    #: download or explicitly to 0) before the update leaves the round.
+    download_bytes: int = -1
     compute_units: float = 0.0
     #: Simulated seconds until this update reaches the server (local training
     #: plus upload transfer) — what deadline policies compare against.

@@ -48,6 +48,7 @@ from .flcn import FLCNClient
 from .participation import ParticipationPolicy
 from .server import FedAvgServer, FLCNServer
 from .trainer import FederatedTrainer
+from .transport import Transport
 
 CONTINUAL_STRATEGIES: dict[str, Callable] = {
     "gem": GEMStrategy,
@@ -82,6 +83,7 @@ def create_trainer(
     method_kwargs: dict | None = None,
     engine: str | RoundEngine = "serial",
     participation: str | ParticipationPolicy | None = None,
+    transport: str | Transport | None = None,
 ) -> FederatedTrainer:
     """Build a :class:`FederatedTrainer` running ``method`` on ``benchmark``."""
     # imported here to avoid a circular import (core.client uses federated.base)
@@ -174,4 +176,5 @@ def create_trainer(
         method_name=method,
         engine=engine,
         participation=participation,
+        transport=transport,
     )

@@ -10,7 +10,7 @@ bandwidth), and device out-of-memory dropout — and assembles the
 :class:`~repro.metrics.tracker.RunResult` that the experiment harness
 reports.
 
-The round lifecycle is expressed through typed messages and two pluggable
+The round lifecycle is expressed through typed messages and three pluggable
 policies:
 
 * a :class:`~repro.federated.participation.ParticipationPolicy` plans each
@@ -22,8 +22,14 @@ policies:
 * a :class:`~repro.federated.engine.RoundEngine` schedules the per-client
   work of a phase: the serial engine preserves the reference execution
   order, while the threaded engine runs the clients of a round concurrently
-  with bit-identical results (clients are independent within a round and the
-  edge-time simulation reads per-client accounting after the fact).
+  with bit-identical results;
+* a :class:`~repro.federated.transport.Transport` owns everything between
+  ``prepare_upload`` and ``aggregate_updates``: per-client negotiated
+  channels price every payload (wire v1/v2, dense/delta/sparse uploads,
+  optional fp16), decode uploads against the link's shared base state, and
+  convert bytes to simulated seconds through per-device asymmetric links.
+  Protocol latency is charged **once per round-trip**: the upload leg
+  carries it, the download leg rides the open connection.
 
 The trainer is a context manager; it owns its engine and closes it on exit,
 so threaded engines cannot leak thread pools.
@@ -37,15 +43,16 @@ import numpy as np
 
 from ..edge.cluster import EdgeCluster, uniform_cluster
 from ..edge.cost import ModelCostModel
-from ..edge.device import JETSON_XAVIER_NX
+from ..edge.device import JETSON_XAVIER_NX, DeviceProfile
 from ..edge.network import NetworkModel
 from ..metrics.tracker import RoundRecord, RunResult, accuracy_matrix_from_client_evals
 from .base import FederatedClient
 from .config import TrainConfig
 from .engine import RoundEngine, create_engine
 from .participation import ParticipationPolicy, create_policy
-from .protocol import ClientUpdate
+from .protocol import ClientUpdate, RoundOutcome
 from .server import FedAvgServer
+from .transport import Channel, Transport, create_transport
 
 
 class FederatedTrainer:
@@ -63,6 +70,7 @@ class FederatedTrainer:
         method_name: str | None = None,
         engine: str | RoundEngine = "serial",
         participation: str | ParticipationPolicy | None = None,
+        transport: str | Transport | None = None,
     ):
         if not clients:
             raise ValueError("trainer needs at least one client")
@@ -72,6 +80,7 @@ class FederatedTrainer:
         self.cost_model = cost_model
         self.cluster = cluster or uniform_cluster(JETSON_XAVIER_NX, len(clients))
         self.network = network or NetworkModel()
+        self.transport = create_transport(transport, network=self.network)
         self.dataset_name = dataset_name
         self.method_name = method_name or clients[0].method_name
         self.engine = create_engine(engine)
@@ -98,11 +107,19 @@ class FederatedTrainer:
     # ------------------------------------------------------------------
     # edge simulation helpers
     # ------------------------------------------------------------------
+    def _device_for(self, client: FederatedClient) -> DeviceProfile:
+        return self.cluster.device_for_client(client.client_id, len(self.clients))
+
+    def _channel_for(self, client: FederatedClient) -> Channel:
+        return self.transport.channel_for(
+            client.client_id, self._device_for(client)
+        )
+
     def _check_memory(self, client: FederatedClient) -> bool:
         """True if the client's device can hold its training state."""
         if self.cost_model is None:
             return True
-        device = self.cluster.device_for_client(client.client_id, len(self.clients))
+        device = self._device_for(client)
         extra = client.extra_state_bytes()
         required = (
             self.cost_model.training_memory_bytes(self.config.batch_size)
@@ -114,12 +131,15 @@ class FederatedTrainer:
     def _train_seconds(self, client: FederatedClient, units: float) -> float:
         if self.cost_model is None:
             return 0.0
-        device = self.cluster.device_for_client(client.client_id, len(self.clients))
+        device = self._device_for(client)
         flops = self.cost_model.train_flops(self.config.batch_size, units)
         return device.training_seconds(flops)
 
     def _comm_seconds(self, up_bytes: int, down_bytes: int) -> float:
-        return self.network.transfer_seconds(up_bytes + down_bytes)
+        """Round-trip time on the reference link; latency charged once."""
+        return self.transport.reference_link.round_trip_seconds(
+            up_bytes, down_bytes
+        )
 
     def _real_bytes(self, our_bytes: int) -> int:
         if self.cost_model is None:
@@ -137,6 +157,30 @@ class FederatedTrainer:
     def active_clients(self) -> list[FederatedClient]:
         return [c for c in self.clients if c.client_id not in self._oom]
 
+    @staticmethod
+    def _resolve_download_accounting(
+        outcome: RoundOutcome,
+        downloads: dict[int, int],
+        receiver_ids: set[int],
+    ) -> None:
+        """Set every aggregated update's download accounting explicitly.
+
+        Receivers get their measured bytes; clients that did not download
+        this round are pinned to 0.  A receiver whose download was never
+        measured keeps the unset (-1) sentinel and trips the guard — no
+        update may leave the round silently undercounting Fig. 5/6.
+        """
+        for update in outcome.updates:
+            if update.client_id in downloads:
+                update.download_bytes = downloads[update.client_id]
+            elif update.client_id not in receiver_ids:
+                update.download_bytes = 0
+        unset = [u.client_id for u in outcome.updates if u.download_bytes < 0]
+        if unset:
+            raise RuntimeError(
+                f"updates left round with unset download accounting: {unset}"
+            )
+
     def _run_round(
         self,
         position: int,
@@ -151,12 +195,20 @@ class FederatedTrainer:
 
         def train_phase(client: FederatedClient) -> ClientUpdate:
             stats = client.local_train(self.config.iterations_per_round)
-            up = self._real_bytes(client.upload_bytes())
-            up += self._real_sample_bytes(client.upload_sample_bytes())
-            update = client.build_update(stats, upload_bytes=up)
+            channel = self._channel_for(client)
+            payload = client.prepare_upload(channel)
+            extra = client.extra_upload_bytes()
+            sample_bytes = self._real_sample_bytes(client.upload_sample_bytes())
+            up = self._real_bytes(payload.num_bytes + extra) + sample_bytes
+            update = client.build_update(
+                stats, state=channel.decode(payload), upload_bytes=up
+            )
+            update.raw_upload_bytes = (
+                self._real_bytes(payload.raw_num_bytes + extra) + sample_bytes
+            )
             update.sim_seconds = self._train_seconds(
                 client, update.compute_units
-            ) + self.network.transfer_seconds(up)
+            ) + channel.upload_seconds(up)
             return update
 
         fresh = self.engine.map(train_phase, participants)
@@ -182,13 +234,26 @@ class FederatedTrainer:
             global_state = self.server.global_state
 
         up_total = sum(update.upload_bytes for update in outcome.updates)
+        raw_up_total = sum(
+            update.raw_upload_bytes if update.raw_upload_bytes >= 0
+            else update.upload_bytes
+            for update in outcome.updates
+        )
         down_total = 0
+        downloads: dict[int, int] = {}
         receivers = [by_id[cid] for cid in outcome.receivers if cid in by_id]
         if global_state is not None and receivers:
-            updates_by_id = {u.client_id: u for u in outcome.updates}
+            # one shared base snapshot per broadcast, instead of one copy
+            # per receiving client
+            shared_base = self.transport.broadcast_base(global_state)
 
             def receive_phase(client: FederatedClient):
-                down = self._real_bytes(client.download_bytes(global_state))
+                channel = self._channel_for(client)
+                down = self._real_bytes(
+                    channel.download_num_bytes(global_state)
+                    + client.extra_download_bytes()
+                )
+                channel.deliver(global_state, base=shared_base)
                 client.receive_global(global_state, round_index)
                 return down, client.take_compute_units()
 
@@ -196,11 +261,13 @@ class FederatedTrainer:
                 receivers, self.engine.map(receive_phase, receivers)
             ):
                 down_total += down
-                if client.client_id in updates_by_id:
-                    updates_by_id[client.client_id].download_bytes = down
+                downloads[client.client_id] = down
                 train_seconds = max(
                     train_seconds, self._train_seconds(client, units)
                 )
+        self._resolve_download_accounting(
+            outcome, downloads, set(outcome.receivers)
+        )
 
         per_client_up = up_total / max(len(outcome.updates), 1)
         per_client_down = down_total / max(len(receivers), 1)
@@ -223,6 +290,7 @@ class FederatedTrainer:
             planned_clients=len(plan.participants),
             reported_clients=len(outcome.reported),
             stale_clients=len(outcome.stale),
+            raw_upload_bytes=raw_up_total,
         )
 
     def run(self, num_positions: int | None = None) -> RunResult:
@@ -267,4 +335,5 @@ class FederatedTrainer:
             rounds=rounds,
             wall_seconds=time.time() - started,
             participation=self.policy.describe(),
+            transport=self.transport.describe(),
         )

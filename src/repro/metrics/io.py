@@ -22,6 +22,7 @@ def result_to_dict(result: RunResult) -> dict:
         "method": result.method,
         "dataset": result.dataset,
         "participation": result.participation,
+        "transport": result.transport,
         "num_clients": result.num_clients,
         "num_tasks": result.num_tasks,
         "accuracy_matrix": [
@@ -42,6 +43,7 @@ def result_to_dict(result: RunResult) -> dict:
                 "planned_clients": r.planned_clients,
                 "reported_clients": r.reported_clients,
                 "stale_clients": r.stale_clients,
+                "raw_upload_bytes": r.raw_upload_bytes,
             }
             for r in result.rounds
         ],
@@ -73,6 +75,8 @@ def result_from_dict(payload: dict) -> RunResult:
             planned_clients=r.get("planned_clients", -1),
             reported_clients=r.get("reported_clients", -1),
             stale_clients=r.get("stale_clients", 0),
+            # absent in payloads written before the transport redesign
+            raw_upload_bytes=r.get("raw_upload_bytes", -1),
         )
         for r in payload["rounds"]
     ]
@@ -85,6 +89,7 @@ def result_from_dict(payload: dict) -> RunResult:
         rounds=rounds,
         wall_seconds=payload["wall_seconds"],
         participation=payload.get("participation", "full"),
+        transport=payload.get("transport", "v1:dense"),
     )
 
 

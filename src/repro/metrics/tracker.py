@@ -33,12 +33,24 @@ class RoundRecord:
     planned_clients: int = -1
     reported_clients: int = -1
     stale_clients: int = 0
+    #: What the round's uploads would have cost as dense v1 (the transport
+    #: compression baseline); defaults to ``upload_bytes`` (no compression).
+    raw_upload_bytes: int = -1
 
     def __post_init__(self):
         if self.planned_clients < 0:
             self.planned_clients = self.active_clients
         if self.reported_clients < 0:
             self.reported_clients = self.planned_clients
+        if self.raw_upload_bytes < 0:
+            self.raw_upload_bytes = self.upload_bytes
+
+    @property
+    def upload_compression(self) -> float:
+        """Compressed-vs-raw upload ratio (1.0 = dense, >1 = savings)."""
+        if self.upload_bytes <= 0:
+            return 1.0
+        return self.raw_upload_bytes / self.upload_bytes
 
 
 @dataclass
@@ -56,6 +68,9 @@ class RunResult:
     #: Participation policy spec the run executed under (``"full"``,
     #: ``"sampled:0.5"``, ``"deadline:30"``, ...).
     participation: str = "full"
+    #: Transport spec the run executed under (``"v1:dense"``,
+    #: ``"v2:delta:0.1"``, ``"v2+fp16:sparse:0.05"``, ...).
+    transport: str = "v1:dense"
 
     # ------------------------------------------------------------------
     # accuracy metrics
@@ -96,6 +111,19 @@ class RunResult:
     @property
     def total_upload_bytes(self) -> int:
         return int(sum(r.upload_bytes for r in self.rounds))
+
+    @property
+    def total_raw_upload_bytes(self) -> int:
+        """Upload volume the run would have cost as dense v1."""
+        return int(sum(r.raw_upload_bytes for r in self.rounds))
+
+    @property
+    def upload_compression(self) -> float:
+        """Run-level compressed-vs-raw upload ratio (1.0 = no compression)."""
+        total = self.total_upload_bytes
+        if total <= 0:
+            return 1.0
+        return self.total_raw_upload_bytes / total
 
     @property
     def total_download_bytes(self) -> int:
@@ -149,11 +177,13 @@ class RunResult:
             "method": self.method,
             "dataset": self.dataset,
             "participation": self.participation,
+            "transport": self.transport,
             "final_accuracy": round(self.final_accuracy, 4),
             "final_forgetting": round(float(self.forgetting_curve[-1]), 4)
             if self.accuracy_matrix.size
             else float("nan"),
             "comm_gb": round(self.total_comm_bytes / 1e9, 4),
+            "upload_x": round(self.upload_compression, 3),
             "sim_hours": round(self.sim_total_seconds / 3600.0, 4),
         }
 

@@ -1,7 +1,7 @@
 """State-dict serialisation, the sparse wire codec, and size accounting.
 
-Wire format (version 1, little-endian)
---------------------------------------
+Wire format v1 (little-endian)
+------------------------------
 A payload is a fixed header followed by one record per state entry::
 
     header:  magic ``b"FKSC"`` | version u8 | entry count u32
@@ -19,11 +19,27 @@ top-``rho`` signature weights of a
 positions are int32 on the wire, so no array may exceed ``2**31 - 1``
 elements (:func:`sparse_topk` and the knowledge extractor guard this).
 
-:func:`encoded_num_bytes` computes the exact payload size without
-materialising it (tests assert it equals ``len(encode_state(...))``) and is
-the canonical measure of message size used by the communication-cost
-experiments (Figures 5 and 6).  :func:`state_num_bytes` remains the raw
-sum-of-array-bytes measure for in-memory accounting.
+Wire format v2
+--------------
+Version 2 keeps the header and record framing (the kind byte becomes a
+flags byte, so framing overhead is byte-identical to v1) and adds three
+per-entry capabilities, negotiated through the version byte by the
+transport layer (:mod:`repro.federated.transport`):
+
+* ``FLAG_SPARSE`` — the record is an ``indices + values`` pair (as in v1);
+* ``FLAG_DELTA``  — the record's values are *offsets from a base state*
+  both peers share (the previous global model); the decoder reconstructs
+  ``base + value``.  Without this flag a sparse record carries absolute
+  values that overwrite the base at the kept positions;
+* ``FLAG_FP16``   — floating-point values travel as float16 and are
+  upcast to the recorded dtype on decode (the one lossy option; v2 with
+  the flag clear round-trips bit-exactly, i.e. at v1 precision).
+
+:func:`encoded_num_bytes` / :func:`encoded_num_bytes_v2` compute the exact
+payload size without materialising it (tests assert equality with the real
+encoders) and are the canonical measure of message size used by the
+communication-cost experiments (Figures 5 and 6).  :func:`state_num_bytes`
+remains the raw sum-of-array-bytes measure for in-memory accounting.
 """
 
 from __future__ import annotations
@@ -31,12 +47,21 @@ from __future__ import annotations
 import os
 import struct
 from dataclasses import dataclass
-from typing import Mapping, Union
+from typing import AbstractSet, Mapping, Union
 
 import numpy as np
 
 WIRE_MAGIC = b"FKSC"
 WIRE_VERSION = 1
+WIRE_V1 = 1
+WIRE_V2 = 2
+#: Every wire version this codec can decode (v1 is the mandatory baseline).
+SUPPORTED_WIRE_VERSIONS: tuple[int, ...] = (WIRE_V1, WIRE_V2)
+
+#: v2 per-entry encoding flags.
+FLAG_SPARSE = 0x01
+FLAG_DELTA = 0x02
+FLAG_FP16 = 0x04
 
 _HEADER = struct.Struct("<4sBI")
 _MAX_INDEX = np.iinfo(np.int32).max
@@ -156,6 +181,30 @@ def sparse_delta_state(
     return encoded
 
 
+def sparse_topk_state(
+    state: Mapping[str, np.ndarray], ratio: float
+) -> dict[str, WireValue]:
+    """Encode ``state`` keeping its top-``ratio`` absolute magnitudes.
+
+    Float entries become :class:`SparseTensor` records of their largest
+    ``round(ratio * size)`` magnitude *values* (not deltas); non-float
+    entries pass through dense.  The v2 receiver overwrites a shared base
+    state at the kept positions — the signature-weight upload shape of the
+    paper's knowledge transfer.
+    """
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+    encoded: dict[str, WireValue] = {}
+    for name, value in state.items():
+        value = np.asarray(value)
+        if not np.issubdtype(value.dtype, np.floating):
+            encoded[name] = value.copy()
+            continue
+        count = max(1, int(round(ratio * value.size)))
+        encoded[name] = sparse_topk(value, count)
+    return encoded
+
+
 # ----------------------------------------------------------------------
 # wire codec
 # ----------------------------------------------------------------------
@@ -197,46 +246,84 @@ def encode_state(state: Mapping[str, WireValue]) -> bytes:
     return b"".join(chunks)
 
 
-def decode_state(payload: bytes | bytearray | memoryview) -> dict[str, WireValue]:
-    """Unpack a payload produced by :func:`encode_state` (lossless)."""
+def peek_wire_version(payload: bytes | bytearray | memoryview) -> int:
+    """Read and validate a payload's header; returns its version byte."""
     view = memoryview(payload)
-    magic, version, count = _HEADER.unpack_from(view, 0)
+    try:
+        magic, version, _ = _HEADER.unpack_from(view, 0)
+    except struct.error:
+        raise ValueError(
+            f"payload too short for a wire header ({len(view)} bytes)"
+        ) from None
     if magic != WIRE_MAGIC:
         raise ValueError(f"bad wire magic {magic!r}")
-    if version != WIRE_VERSION:
-        raise ValueError(f"unsupported wire version {version}")
+    return int(version)
+
+
+def _parse_records(
+    payload: bytes | bytearray | memoryview,
+) -> list[tuple[str, int, np.dtype, tuple[int, ...], np.ndarray, np.ndarray | None]]:
+    """Walk a payload's record framing, shared by the v1 and v2 decoders.
+
+    Returns ``(name, flags, dtype, shape, stored, indices)`` tuples —
+    ``stored`` holds the raw wire values (float16 when ``FLAG_FP16`` is
+    set, which v1 never produces), ``indices`` is ``None`` for dense
+    records.  Any framing damage — truncation, corrupted dtype strings,
+    trailing bytes — surfaces as :class:`ValueError`.
+    """
+    view = memoryview(payload)
+    _, _, count = _HEADER.unpack_from(view, 0)
     offset = _HEADER.size
-    state: dict[str, WireValue] = {}
-    for _ in range(count):
-        (name_len,) = struct.unpack_from("<H", view, offset)
-        offset += 2
-        name = bytes(view[offset:offset + name_len]).decode("utf-8")
-        offset += name_len
-        sparse, dtype_len = struct.unpack_from("<BB", view, offset)
-        offset += 2
-        dtype = np.dtype(bytes(view[offset:offset + dtype_len]).decode("ascii"))
-        offset += dtype_len
-        (ndim,) = struct.unpack_from("<B", view, offset)
-        offset += 1
-        shape = struct.unpack_from(f"<{ndim}I", view, offset)
-        offset += 4 * ndim
-        if sparse:
-            (nnz,) = struct.unpack_from("<I", view, offset)
-            offset += 4
-            indices = np.frombuffer(view, np.int32, nnz, offset).copy()
-            offset += nnz * 4
-            values = np.frombuffer(view, dtype, nnz, offset).copy()
-            offset += nnz * dtype.itemsize
-            state[name] = SparseTensor(indices, values, shape)
-        else:
-            size = int(np.prod(shape)) if shape else 1
-            array = np.frombuffer(view, dtype, size, offset).copy()
-            offset += size * dtype.itemsize
-            state[name] = array.reshape(shape)
+    records = []
+    try:
+        for _ in range(count):
+            (name_len,) = struct.unpack_from("<H", view, offset)
+            offset += 2
+            name = bytes(view[offset:offset + name_len]).decode("utf-8")
+            offset += name_len
+            flags, dtype_len = struct.unpack_from("<BB", view, offset)
+            offset += 2
+            dtype = np.dtype(bytes(view[offset:offset + dtype_len]).decode("ascii"))
+            offset += dtype_len
+            (ndim,) = struct.unpack_from("<B", view, offset)
+            offset += 1
+            shape = struct.unpack_from(f"<{ndim}I", view, offset)
+            offset += 4 * ndim
+            wire_dtype = np.dtype(np.float16) if flags & FLAG_FP16 else dtype
+            indices = None
+            if flags & FLAG_SPARSE:
+                (nnz,) = struct.unpack_from("<I", view, offset)
+                offset += 4
+                indices = np.frombuffer(view, np.int32, nnz, offset).copy()
+                offset += nnz * 4
+                stored = np.frombuffer(view, wire_dtype, nnz, offset)
+                offset += nnz * wire_dtype.itemsize
+            else:
+                size = int(np.prod(shape)) if shape else 1
+                stored = np.frombuffer(view, wire_dtype, size, offset)
+                offset += size * wire_dtype.itemsize
+            records.append((name, flags, dtype, shape, stored, indices))
+    except (struct.error, ValueError, TypeError) as exc:
+        # TypeError covers np.dtype() choking on a corrupted dtype string
+        raise ValueError(f"truncated or corrupt payload: {exc}") from None
     if offset != len(view):
         raise ValueError(
             f"trailing bytes in payload: read {offset} of {len(view)}"
         )
+    return records
+
+
+def decode_state(payload: bytes | bytearray | memoryview) -> dict[str, WireValue]:
+    """Unpack a payload produced by :func:`encode_state` (lossless, v1)."""
+    version = peek_wire_version(payload)
+    if version != WIRE_V1:
+        raise ValueError(f"unsupported wire version {version}")
+    state: dict[str, WireValue] = {}
+    for name, flags, dtype, shape, stored, indices in _parse_records(payload):
+        if flags & FLAG_SPARSE:
+            state[name] = SparseTensor(indices, stored.copy(), shape)
+        else:
+            state[name] = stored.copy().reshape(shape)
     return state
 
 
@@ -253,6 +340,189 @@ def encoded_num_bytes(state: Mapping[str, WireValue]) -> int:
         else:
             total += value.size * value.dtype.itemsize
     return int(total)
+
+
+# ----------------------------------------------------------------------
+# wire codec, version 2 (delta / fp16 / per-entry flags)
+# ----------------------------------------------------------------------
+def _fp16_applies(dtype: np.dtype, fp16: bool) -> bool:
+    """fp16 compression applies to floating values wider than 2 bytes."""
+    return fp16 and np.issubdtype(dtype, np.floating) and dtype.itemsize > 2
+
+
+def _wire_values(value: np.ndarray, fp16: bool) -> np.ndarray:
+    if not value.flags.c_contiguous:
+        value = np.ascontiguousarray(value)
+    if _fp16_applies(value.dtype, fp16):
+        return value.astype(np.float16)
+    return value
+
+
+def encode_state_v2(
+    state: Mapping[str, WireValue],
+    delta_keys: AbstractSet[str] = frozenset(),
+    fp16: bool = False,
+) -> bytes:
+    """Pack a state mapping as a version-2 payload.
+
+    ``delta_keys`` names the entries whose values are offsets from a base
+    state both peers share; ``fp16`` ships floating values as float16 (the
+    recorded dtype stays the original, so the decoder upcasts).  With both
+    off, the payload is byte-for-byte the v1 encoding except for the
+    version byte.
+    """
+    chunks = [_HEADER.pack(WIRE_MAGIC, WIRE_V2, len(state))]
+    for name, value in state.items():
+        sparse = isinstance(value, SparseTensor)
+        if not sparse:
+            value = np.asarray(value)
+        raw_name, raw_dtype, shape = _record_meta(name, value)
+        flags = (
+            (FLAG_SPARSE if sparse else 0)
+            | (FLAG_DELTA if name in delta_keys else 0)
+        )
+        dtype = value.values.dtype if sparse else value.dtype
+        if _fp16_applies(dtype, fp16):
+            flags |= FLAG_FP16
+        chunks.append(struct.pack("<H", len(raw_name)))
+        chunks.append(raw_name)
+        chunks.append(struct.pack("<BB", flags, len(raw_dtype)))
+        chunks.append(raw_dtype)
+        chunks.append(struct.pack(f"<B{len(shape)}I", len(shape), *shape))
+        if sparse:
+            chunks.append(struct.pack("<I", value.nnz))
+            chunks.append(value.indices.tobytes())
+            chunks.append(_wire_values(value.values, fp16).tobytes())
+        else:
+            chunks.append(_wire_values(value, fp16).tobytes())
+    return b"".join(chunks)
+
+
+def scatter_onto_base(
+    base_value: np.ndarray,
+    record: SparseTensor,
+    add: bool = True,
+    name: str = "?",
+) -> np.ndarray:
+    """Materialise a sparse record against a base array (copying the base).
+
+    ``add=True`` treats the record as a delta (``base + values`` at the
+    kept positions); ``add=False`` overwrites the base there.  The single
+    reconstruction used by the v2 decoder and the v1 legacy convention.
+    """
+    rebuilt = np.array(base_value, copy=True)
+    if rebuilt.shape != record.shape:
+        raise ValueError(
+            f"sparse entry {name!r} has shape {record.shape}, "
+            f"base has {rebuilt.shape}"
+        )
+    flat = rebuilt.reshape(-1)
+    values = record.values.astype(rebuilt.dtype, copy=False)
+    if add:
+        flat[record.indices] += values
+    else:
+        flat[record.indices] = values
+    return rebuilt
+
+
+def _reconstruct_v2(
+    name: str,
+    flags: int,
+    dtype: np.dtype,
+    shape: tuple[int, ...],
+    stored: np.ndarray,
+    indices: np.ndarray | None,
+    base: Mapping[str, np.ndarray] | None,
+) -> WireValue:
+    """Materialise one decoded v2 record against an optional base state."""
+    values = stored.astype(dtype) if flags & FLAG_FP16 else stored
+    if not flags & FLAG_SPARSE:
+        dense = values.reshape(shape)
+        if not flags & FLAG_DELTA:
+            return dense.copy() if dense.base is not None else dense
+        if base is None or name not in base:
+            raise ValueError(
+                f"delta entry {name!r} requires the shared base state"
+            )
+        base_value = np.asarray(base[name])
+        if base_value.shape != dense.shape:
+            raise ValueError(
+                f"delta entry {name!r} has shape {dense.shape}, "
+                f"base has {base_value.shape}"
+            )
+        return (base_value + dense).astype(dtype, copy=False)
+    record = SparseTensor(indices, values.copy(), shape)
+    if base is None or name not in base:
+        # no base on this end: hand the sparse record through (the legacy
+        # server convention materialises it against its own global state)
+        return record
+    return scatter_onto_base(
+        base[name], record, add=bool(flags & FLAG_DELTA), name=name
+    )
+
+
+def decode_state_v2(
+    payload: bytes | bytearray | memoryview,
+    base: Mapping[str, np.ndarray] | None = None,
+) -> dict[str, WireValue]:
+    """Unpack a v2 payload, reconstructing delta entries against ``base``.
+
+    Dense records decode to arrays; dense deltas require ``base`` and
+    return ``base + delta``.  Sparse records are materialised against
+    ``base`` when it is given (``FLAG_DELTA`` adds onto the base, absolute
+    records overwrite it at the kept positions); without a base they stay
+    :class:`SparseTensor` records.
+    """
+    version = peek_wire_version(payload)
+    if version != WIRE_V2:
+        raise ValueError(f"unsupported wire version {version} (expected 2)")
+    # reconstruction runs after framing validation so its own errors (e.g.
+    # a delta entry without a base) keep their meaning
+    state: dict[str, WireValue] = {}
+    for name, flags, dtype, shape, stored, indices in _parse_records(payload):
+        state[name] = _reconstruct_v2(
+            name, flags, dtype, shape, stored, indices, base
+        )
+    return state
+
+
+def encoded_num_bytes_v2(
+    state: Mapping[str, WireValue],
+    delta_keys: AbstractSet[str] = frozenset(),
+    fp16: bool = False,
+) -> int:
+    """Exact :func:`encode_state_v2` payload size, without encoding."""
+    del delta_keys  # the delta flag changes interpretation, not size
+    total = _HEADER.size
+    for name, value in state.items():
+        sparse = isinstance(value, SparseTensor)
+        if not sparse:
+            value = np.asarray(value)
+        raw_name, raw_dtype, shape = _record_meta(name, value)
+        total += 2 + len(raw_name) + 2 + len(raw_dtype) + 1 + 4 * len(shape)
+        dtype = value.values.dtype if sparse else value.dtype
+        itemsize = 2 if _fp16_applies(dtype, fp16) else dtype.itemsize
+        if sparse:
+            total += 4 + value.nnz * (4 + itemsize)
+        else:
+            total += value.size * itemsize
+    return int(total)
+
+
+def decode_payload(
+    payload: bytes | bytearray | memoryview,
+    base: Mapping[str, np.ndarray] | None = None,
+) -> dict[str, WireValue]:
+    """Version-dispatching decoder: v1 and v2 payloads, one entry point."""
+    version = peek_wire_version(payload)
+    if version == WIRE_V1:
+        return decode_state(payload)
+    if version == WIRE_V2:
+        return decode_state_v2(payload, base=base)
+    raise ValueError(
+        f"unsupported wire version {version}; "
+        f"supported: {SUPPORTED_WIRE_VERSIONS}"
+    )
 
 
 # ----------------------------------------------------------------------

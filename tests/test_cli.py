@@ -44,11 +44,43 @@ class TestRun:
         with pytest.raises(SystemExit):
             main(["run", "--method", "fedavg", "--dataset", "imagenet"])
 
+    def test_run_with_v2_delta_transport(self, capsys):
+        code = main([
+            "run", "--method", "fedavg", "--dataset", "cifar100",
+            "--preset", "unit", "--wire", "v2", "--upload", "delta",
+            "--upload-ratio", "0.1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "v2:delta:0.1" in out
+        assert "compression" in out
+
+    def test_fp16_requires_wire_v2(self, capsys):
+        code = main([
+            "run", "--method", "fedavg", "--dataset", "cifar100",
+            "--preset", "unit", "--fp16",
+        ])
+        assert code == 2
+        assert "--wire v2" in capsys.readouterr().err
+
+    def test_upload_ratio_validated(self, capsys):
+        code = main([
+            "run", "--method", "fedavg", "--dataset", "cifar100",
+            "--preset", "unit", "--upload", "delta", "--upload-ratio", "0",
+        ])
+        assert code == 2
+        assert "--upload-ratio" in capsys.readouterr().err
+
+    def test_unknown_upload_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--method", "fedavg", "--dataset", "svhn",
+                  "--upload", "zip"])
+
 
 class TestFigure:
     def test_figures_catalogue_complete(self):
-        for name in ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-                     "table1", "ablations", "fig4-hetero"):
+        for name in ("fig4", "fig5", "fig5-wire", "fig6", "fig7", "fig8",
+                     "fig9", "fig10", "table1", "ablations", "fig4-hetero"):
             assert name in FIGURES
 
     def test_fig5_unit(self, capsys):

@@ -351,14 +351,20 @@ class TestFedWeit:
         assert len(clients[0].foreign) == 1  # the other client's adaptive
 
     def test_upload_bytes_exceed_plain_model(self, weit, tiny_benchmark, config):
+        """The adaptive side-channel rides on top of the base payload."""
         server, clients = weit
         client = clients[0]
         client.begin_task(0)
         client.local_train(3)
+        from repro.federated import create_transport
         from repro.utils.serialization import state_num_bytes
 
+        channel = create_transport("v1:dense").channel_for(client.client_id)
+        payload = client.prepare_upload(channel)
         base_only = state_num_bytes(client.upload_state())
-        assert client.upload_bytes() >= base_only
+        total = payload.num_bytes + client.extra_upload_bytes()
+        assert total >= base_only
+        assert client.extra_upload_bytes() >= 0
 
     def test_per_task_evaluation_restores_composition(self, weit):
         server, clients = weit

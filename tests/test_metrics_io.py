@@ -33,6 +33,25 @@ class TestDictRoundTrip:
         assert payload["accuracy_matrix"][0][1] is None
         assert payload["rounds"][1]["mean_loss"] is None
 
+    def test_round_trip_preserves_transport_fields(self, result):
+        result.transport = "v2:delta:0.1"
+        result.rounds[0].raw_upload_bytes = 400
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.transport == "v2:delta:0.1"
+        assert restored.rounds[0].raw_upload_bytes == 400
+        assert restored.rounds[0].upload_compression == pytest.approx(4.0)
+        # rounds without explicit raw accounting default to uncompressed
+        assert restored.rounds[1].raw_upload_bytes == 150
+
+    def test_legacy_payload_defaults(self, result):
+        payload = result_to_dict(result)
+        del payload["transport"]
+        for record in payload["rounds"]:
+            del record["raw_upload_bytes"]
+        restored = result_from_dict(payload)
+        assert restored.transport == "v1:dense"
+        assert restored.upload_compression == 1.0
+
     def test_round_trip_preserves_metrics(self, result):
         restored = result_from_dict(result_to_dict(result))
         assert restored.method == result.method

@@ -260,8 +260,12 @@ def reference_run(trainer, num_positions=None) -> RunResult:
 
     A faithful replica of the seed ``FederatedTrainer.run``, kept here as
     the regression oracle: the policy-based trainer under
-    :class:`FullParticipation` must reproduce it bit for bit.
+    :class:`FullParticipation` (and the dense-v1 transport) must reproduce
+    it bit for bit.  Byte accounting is inlined as the seed computed it —
+    the codec's exact encoded size of the uploaded/broadcast state.
     """
+    from repro.utils.serialization import encoded_num_bytes
+
     num_positions = num_positions or trainer.clients[0].data.num_tasks
     rounds, stage_evals = [], []
     for position in range(num_positions):
@@ -278,7 +282,9 @@ def reference_run(trainer, num_positions=None) -> RunResult:
             def train_phase(client):
                 stats = client.local_train(trainer.config.iterations_per_round)
                 state = client.upload_state()
-                up = trainer._real_bytes(client.upload_bytes())
+                up = trainer._real_bytes(
+                    encoded_num_bytes(state) + client.extra_upload_bytes()
+                )
                 up += trainer._real_sample_bytes(client.upload_sample_bytes())
                 return stats, state, up, client.take_compute_units()
 
@@ -295,7 +301,10 @@ def reference_run(trainer, num_positions=None) -> RunResult:
             global_state = trainer.server.aggregate(states, weights)
 
             def receive_phase(client):
-                down = trainer._real_bytes(client.download_bytes(global_state))
+                down = trainer._real_bytes(
+                    encoded_num_bytes(global_state)
+                    + client.extra_download_bytes()
+                )
                 client.receive_global(global_state, round_index)
                 return down, client.take_compute_units()
 
@@ -402,12 +411,14 @@ class TestDeadlineEndToEnd:
                                   **kwargs)
 
         # pick a deadline strictly between the two devices' round times
+        from repro.utils.serialization import encoded_num_bytes
+
         with build() as probe:
             units = float(config.iterations_per_round)
             times = [
                 probe._train_seconds(client, units)
-                + probe.network.transfer_seconds(
-                    probe._real_bytes(client.upload_bytes())
+                + probe._channel_for(client).upload_seconds(
+                    probe._real_bytes(encoded_num_bytes(client.upload_state()))
                 )
                 for client in probe.clients
             ]
@@ -486,10 +497,12 @@ class TestCacheKeyCanonicalization:
         a = _cache_key(
             "gem", spec, UNIT, 0, None, None, None,
             {"strategy_kwargs": {"memory_size": 8, "margin": 0.5}}, "full",
+            "v1:dense",
         )
         b = _cache_key(
             "gem", spec, UNIT, 0, None, None, None,
             {"strategy_kwargs": {"margin": 0.5, "memory_size": 8}}, "full",
+            "v1:dense",
         )
         assert a == b
 
@@ -500,10 +513,12 @@ class TestCacheKeyCanonicalization:
         a = _cache_key(
             "gem", spec, UNIT, 0, None, None, None,
             {"strategy_kwargs": {"memory_size": 8}}, "full",
+            "v1:dense",
         )
         b = _cache_key(
             "gem", spec, UNIT, 0, None, None, None,
             {"strategy_kwargs": {"memory_size": 16}}, "full",
+            "v1:dense",
         )
         assert a != b
 
@@ -511,7 +526,41 @@ class TestCacheKeyCanonicalization:
         from repro.experiments.config import UNIT
         from repro.experiments.runner import _cache_key
 
-        a = _cache_key("gem", spec, UNIT, 0, None, None, None, None, "full")
+        a = _cache_key("gem", spec, UNIT, 0, None, None, None, None, "full",
+                       "v1:dense")
         b = _cache_key("gem", spec, UNIT, 0, None, None, None, None,
-                       "sampled:0.5")
+                       "sampled:0.5", "v1:dense")
         assert a != b
+
+    def test_transport_in_key(self, spec):
+        from repro.experiments.config import UNIT
+        from repro.experiments.runner import _cache_key
+
+        a = _cache_key("gem", spec, UNIT, 0, None, None, None, None, "full",
+                       "v1:dense")
+        b = _cache_key("gem", spec, UNIT, 0, None, None, None, None, "full",
+                       "v2:delta:0.1")
+        assert a != b
+
+    def test_network_latency_in_key(self, spec):
+        """Runs differing only in protocol latency must not share a cache
+        entry (sim_comm_seconds depends on it)."""
+        from repro.edge import NetworkModel
+        from repro.experiments.config import UNIT
+        from repro.experiments.runner import _cache_key
+
+        fast = NetworkModel(round_latency_seconds=0.05)
+        slow = NetworkModel(round_latency_seconds=10.0)
+        a = _cache_key("gem", spec, UNIT, 0, None, fast, None, None, "full",
+                       "v1:dense")
+        b = _cache_key("gem", spec, UNIT, 0, None, slow, None, None, "full",
+                       "v1:dense")
+        assert a != b
+
+    def test_equivalent_transport_specs_normalised(self):
+        """"v2:delta" and "v2:delta:0.1" must share a cache entry."""
+        from repro.federated import create_transport
+
+        assert (create_transport("v2:delta").describe()
+                == create_transport("v2:delta:0.1").describe()
+                == create_transport("v2:delta:0.10").describe())

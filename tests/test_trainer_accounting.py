@@ -84,6 +84,106 @@ class TestRoundRecords:
         assert result.total_comm_bytes > 0  # raw bytes still counted
 
 
+class TestLatencyAccounting:
+    """Protocol latency is charged once per round-trip (regression)."""
+
+    def test_round_latency_charged_once_pinned(self, spec, config):
+        """Pin each round's simulated comm seconds to the exact formula."""
+        latency = 0.5
+        bandwidth = 1_000_000.0
+        network = NetworkModel(bandwidth_bytes_per_second=bandwidth,
+                               round_latency_seconds=latency)
+        result = build(spec, config, cluster=jetson_cluster(),
+                       network=network).run()
+        for record in result.rounds:
+            per_up = record.upload_bytes / record.active_clients
+            per_down = record.download_bytes / record.active_clients
+            expected = (per_up + per_down) / bandwidth + latency
+            # one latency per round-trip — not one per leg
+            assert record.sim_comm_seconds == expected
+
+    def test_link_legs_compose_to_one_round_trip(self):
+        """upload leg + download leg == round trip; latency appears once."""
+        from repro.edge import NetworkLink
+
+        link = NetworkLink(uplink_bytes_per_second=500_000.0,
+                           downlink_bytes_per_second=2_000_000.0,
+                           round_latency_seconds=0.25)
+        up, down = 1_000_000.0, 4_000_000.0
+        assert link.upload_seconds(up) + link.download_seconds(down) == (
+            link.round_trip_seconds(up, down)
+        )
+        # the latency is on the upload (request) leg only
+        assert link.upload_seconds(0) == 0.25
+        assert link.download_seconds(0) == 0.0
+
+    def test_symmetric_round_trip_matches_legacy_formula(self):
+        """Symmetric links keep the seed trainer's exact float path."""
+        network = NetworkModel(bandwidth_bytes_per_second=1_000_000.0,
+                               round_latency_seconds=0.05)
+        link = network.link_for_device(None)
+        up, down = 123_456.0, 654_321.0
+        assert link.round_trip_seconds(up, down) == (
+            network.transfer_seconds(up + down)
+        )
+
+    def test_device_profile_scales_link(self):
+        from repro.edge import RASPBERRY_PI_4GB, JETSON_AGX
+
+        network = NetworkModel(bandwidth_bytes_per_second=1_000_000.0)
+        pi = network.link_for_device(RASPBERRY_PI_4GB)
+        jetson = network.link_for_device(JETSON_AGX)
+        assert pi.uplink_bytes_per_second == 500_000.0
+        assert pi.downlink_bytes_per_second == 800_000.0
+        assert jetson.uplink_bytes_per_second == 1_000_000.0
+        # a Pi's constrained uplink makes the same upload slower
+        assert pi.upload_seconds(10**6) > jetson.upload_seconds(10**6)
+
+    def test_asymmetric_network_model(self):
+        network = NetworkModel(bandwidth_bytes_per_second=1_000_000.0,
+                               uplink_bytes_per_second=250_000.0)
+        link = network.link_for_device(None)
+        assert link.uplink_bytes_per_second == 250_000.0
+        assert link.downlink_bytes_per_second == 1_000_000.0
+        assert not link.symmetric
+
+
+class TestDownloadAccounting:
+    """No update may leave a round with unset download accounting."""
+
+    def test_non_receivers_pinned_to_zero(self):
+        from repro.federated import ClientUpdate, RoundOutcome, RoundPlan
+        from repro.federated.trainer import FederatedTrainer
+
+        plan = RoundPlan(0, 0, (0, 1))
+        updates = [
+            ClientUpdate(client_id=0, state={}, num_samples=4),
+            ClientUpdate(client_id=1, state={}, num_samples=4),
+        ]
+        assert all(u.download_bytes == -1 for u in updates)  # unset sentinel
+        outcome = RoundOutcome(plan=plan, updates=updates, receivers=(0,))
+        FederatedTrainer._resolve_download_accounting(outcome, {0: 777}, {0})
+        assert updates[0].download_bytes == 777
+        assert updates[1].download_bytes == 0  # explicitly resolved, not -1
+
+    def test_unmeasured_receiver_trips_guard(self):
+        """A scheduled receiver whose download was never measured raises."""
+        from repro.federated import ClientUpdate, RoundOutcome, RoundPlan
+        from repro.federated.trainer import FederatedTrainer
+
+        plan = RoundPlan(0, 0, (0,))
+        updates = [ClientUpdate(client_id=0, state={}, num_samples=4)]
+        outcome = RoundOutcome(plan=plan, updates=updates, receivers=(0,))
+        with pytest.raises(RuntimeError, match="unset download accounting"):
+            FederatedTrainer._resolve_download_accounting(outcome, {}, {0})
+
+    def test_run_leaves_no_unset_accounting(self, spec, config):
+        result = build(spec, config, cluster=jetson_cluster()).run()
+        for record in result.rounds:
+            assert record.download_bytes >= 0
+            assert record.raw_upload_bytes >= record.upload_bytes >= 0
+
+
 class TestCommScaling:
     def test_comm_grows_with_rounds(self, spec, config):
         one = build(spec, config.updated(rounds_per_task=1),
