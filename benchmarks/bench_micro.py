@@ -12,7 +12,7 @@ import pytest
 
 from repro.core import GradientIntegrator, GradientRestorer, KnowledgeExtractor
 from repro.core.qp import solve_nnqp_active_set, solve_nnqp_projected_gradient
-from repro.data import build_benchmark, cifar100_like
+from repro.data import build_benchmark, cifar100_like, create_scenario
 from repro.models import build_model
 from repro.nn import SGD, Tensor
 from repro.nn import functional as F
@@ -69,6 +69,27 @@ def test_integrator_with_ten_constraints(benchmark, setting):
     integrator = GradientIntegrator()
     result = benchmark(lambda: integrator.integrate(gradient, constraints))
     assert result.gradient.shape == (dim,)
+
+
+@pytest.mark.parametrize("mode", ["lazy", "eager"])
+def test_scenario_construction_64_clients(benchmark, mode):
+    """Benchmark construction at population scale: lazy streams vs the
+    eager clients x tasks grid.  The lazy path is the startup win the
+    scenario API exists for — it should sit orders of magnitude below
+    eager."""
+    spec = cifar100_like(train_per_class=8, test_per_class=2).with_tasks(4)
+    scenario = create_scenario("class-inc")
+
+    def construct():
+        return scenario.build(
+            spec, num_clients=64, rng=np.random.default_rng(0),
+            eager=(mode == "eager"),
+        )
+
+    bench = benchmark(construct)
+    assert bench.num_clients == 64
+    expected = spec.num_tasks if mode == "eager" else 0
+    assert bench.clients[0].tasks.num_materialized == expected
 
 
 @pytest.mark.parametrize("solver", [solve_nnqp_active_set,

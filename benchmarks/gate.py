@@ -26,6 +26,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.data import cifar100_like, create_scenario
 from repro.federated import ClientUpdate, FedAvgServer
 from repro.utils.serialization import (
     decode_state,
@@ -95,6 +96,7 @@ def model_state() -> dict[str, np.ndarray]:
 def hot_path_cases() -> dict[str, float]:
     """Measure each gated hot path; returns name -> best seconds."""
     state = model_state()
+    scenario_spec = cifar100_like(train_per_class=8, test_per_class=2)
     payload = encode_state(state)
     dense = state["features.0.weight"]
     rng = np.random.default_rng(2)
@@ -136,6 +138,13 @@ def hot_path_cases() -> dict[str, float]:
         "sparse_topk": best_seconds(lambda: sparse_topk(dense, dense.size // 10)),
         "aggregate_16_clients": best_seconds(
             lambda: FedAvgServer().aggregate_updates(updates)
+        ),
+        # lazy scenario construction must stay O(clients): the 64-client
+        # stream build may not silently start materializing task arrays
+        "scenario_stream_64c": best_seconds(
+            lambda: create_scenario("class-inc").build(
+                scenario_spec, num_clients=64, rng=np.random.default_rng(0)
+            )
         ),
     }
 

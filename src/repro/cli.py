@@ -15,7 +15,7 @@ import sys
 
 import numpy as np
 
-from .data import ALL_SPECS, get_spec
+from .data import ALL_SPECS, available_scenarios, create_scenario, get_spec
 from .edge import jetson_cluster, jetson_raspberry_cluster
 from .experiments import (
     format_series,
@@ -31,6 +31,7 @@ from .experiments import (
     run_fig8,
     run_fig9,
     run_fig10,
+    run_fig_scenarios,
     run_k_ablation,
     run_qp_ablation,
     run_single,
@@ -61,6 +62,7 @@ FIGURES = {
     ),
     "fig9": lambda preset: str(run_fig9(preset=preset)),
     "fig10": lambda preset: str(run_fig10(preset=preset)),
+    "fig-scenarios": lambda preset: str(run_fig_scenarios(preset=preset)),
     "ablations": lambda preset: "\n\n".join(
         str(fn(preset=preset))
         for fn in (
@@ -91,6 +93,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--engine", default="serial", choices=("serial", "thread"),
                        help="round engine: serial or concurrent client "
                             "execution (identical metrics, faster wall clock)")
+    run_p.add_argument("--scenario", default="class-inc",
+                       help="data scenario family: 'class-inc' (the paper's "
+                            "setup), 'domain-inc[:drift=R]', "
+                            "'label-shift:dirichlet:A', 'blurry[:overlap=R]', "
+                            "or 'async-arrival'")
     run_p.add_argument("--participation", default="full",
                        help="participation policy: 'full', "
                             "'sampled:<fraction>' (a random fraction of "
@@ -159,10 +166,18 @@ def _cmd_run(args) -> int:
     transport = f"{wire}:{args.upload}"
     if args.upload != "dense":
         transport += f":{args.upload_ratio:g}"
+    try:
+        create_scenario(args.scenario)
+    except (KeyError, ValueError) as error:
+        # str(KeyError) is the repr of its argument; unwrap the message
+        message = error.args[0] if error.args else error
+        print(f"error: invalid --scenario: {message}", file=sys.stderr)
+        return 2
     result = run_single(
         args.method, get_spec(args.dataset), preset,
         cluster=cluster, seed=args.seed, use_cache=False, engine=args.engine,
         participation=participation, transport=transport,
+        scenario=args.scenario,
     )
     stages = np.arange(1, len(result.accuracy_curve) + 1)
     print(format_series(
@@ -217,6 +232,7 @@ def _cmd_list() -> int:
         [
             ["methods", ", ".join(sorted(ALL_METHODS))],
             ["datasets", ", ".join(sorted(ALL_SPECS))],
+            ["scenarios", ", ".join(available_scenarios())],
             ["models", ", ".join(available_models())],
             ["figures", ", ".join(sorted(FIGURES))],
             ["presets", "unit, bench, paper"],

@@ -4,11 +4,22 @@ from .federated import (
     ClientData,
     ClientTask,
     FederatedContinualBenchmark,
+    allocate_task_classes,
     build_benchmark,
     single_client_benchmark,
     task_classes,
 )
 from .loader import endless_batches, iterate_batches, sample_batch
+from .scenario import (
+    SCENARIOS,
+    DirichletPartitioner,
+    Partitioner,
+    RangePartitioner,
+    Scenario,
+    TaskStream,
+    available_scenarios,
+    create_scenario,
+)
 from .specs import (
     ALL_SPECS,
     DatasetSpec,
@@ -29,9 +40,18 @@ __all__ = [
     "ClientTask",
     "ClientTransform",
     "DatasetSpec",
+    "DirichletPartitioner",
     "FederatedContinualBenchmark",
+    "Partitioner",
+    "RangePartitioner",
+    "SCENARIOS",
+    "Scenario",
     "SyntheticImageSource",
+    "TaskStream",
+    "allocate_task_classes",
+    "available_scenarios",
     "build_benchmark",
+    "create_scenario",
     "cifar100_like",
     "combined_spec",
     "core50_like",

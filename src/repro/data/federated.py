@@ -12,6 +12,7 @@ two ingredients of negative knowledge transfer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -50,10 +51,16 @@ class ClientTask:
 
 @dataclass
 class ClientData:
-    """A client's private task sequence and feature transform."""
+    """A client's private task sequence and feature transform.
+
+    ``tasks`` is any indexable sequence of :class:`ClientTask` — a plain
+    list (the eager legacy builder) or a lazy
+    :class:`~repro.data.scenario.TaskStream` that materializes tasks on
+    first access.
+    """
 
     client_id: int
-    tasks: list[ClientTask]
+    tasks: Sequence[ClientTask]
     transform: ClientTransform
 
     def task_at(self, position: int) -> ClientTask:
@@ -71,6 +78,9 @@ class FederatedContinualBenchmark:
     spec: DatasetSpec
     clients: list[ClientData]
     source: SyntheticImageSource = field(repr=False)
+    #: Canonical spec string of the scenario that built this benchmark
+    #: (``"class-inc"`` for the legacy builder).
+    scenario: str = "class-inc"
 
     @property
     def num_clients(self) -> int:
@@ -91,6 +101,41 @@ def task_classes(spec: DatasetSpec, task_id: int) -> np.ndarray:
         raise IndexError(f"task {task_id} out of range [0, {spec.num_tasks})")
     start = task_id * spec.classes_per_task
     return np.arange(start, start + spec.classes_per_task)
+
+
+def allocate_task_classes(
+    pool: np.ndarray,
+    rng: np.random.Generator,
+    classes_per_client: tuple[int, int],
+    sample_fraction: tuple[float, float],
+    train_per_class: int,
+) -> tuple[np.ndarray, int]:
+    """Draw one client's class subset and per-class budget for one task.
+
+    The paper's allocation (2–5 classes, a random fraction of the sample
+    budget).  The draw order — class count, class choice, sample fraction —
+    is a compatibility contract: the legacy :func:`build_benchmark` and the
+    ``"class-inc"`` scenario both replay it bit-identically.
+
+    The requested range is clamped to the pool: a task with fewer classes
+    than the lower bound hands out the whole pool instead of asking the RNG
+    for an invalid range.  An empty pool is a degenerate allocation and
+    raises :class:`ValueError`.
+    """
+    low, high = classes_per_client
+    low = min(low, len(pool))
+    high = min(high, len(pool))
+    if low < 1:
+        raise ValueError(
+            f"task class pool of size {len(pool)} admits no valid allocation "
+            f"for classes_per_client={classes_per_client}"
+        )
+    count = int(rng.integers(low, high + 1))
+    chosen = np.sort(rng.choice(pool, size=count, replace=False))
+    frac_low, frac_high = sample_fraction
+    fraction = rng.uniform(frac_low, frac_high)
+    per_class = max(int(round(fraction * train_per_class)), 2)
+    return chosen, per_class
 
 
 def build_benchmark(
@@ -141,10 +186,10 @@ def build_benchmark(
         tasks = []
         for position, task_id in enumerate(order):
             pool = task_classes(spec, int(task_id))
-            count = int(client_rng.integers(low, min(high, len(pool)) + 1))
-            chosen = np.sort(client_rng.choice(pool, size=count, replace=False))
-            fraction = client_rng.uniform(frac_low, frac_high)
-            per_class = max(int(round(fraction * spec.train_per_class)), 2)
+            chosen, per_class = allocate_task_classes(
+                pool, client_rng, classes_per_client, sample_fraction,
+                spec.train_per_class,
+            )
             train_x, train_y = source.make_split(
                 chosen, per_class, client_rng, transform
             )
@@ -164,7 +209,20 @@ def build_benchmark(
                 )
             )
         clients.append(ClientData(client_id, tasks, transform))
-    return FederatedContinualBenchmark(spec=spec, clients=clients, source=source)
+    # record the canonical scenario spelling of this parameterization so
+    # non-default builds (e.g. single_client_benchmark) persist an honest
+    # provenance label (local import: scenario.py imports this module)
+    from .scenario import ClassIncrementalScenario
+
+    label = ClassIncrementalScenario(
+        classes_per_client=classes_per_client,
+        sample_fraction=sample_fraction,
+        shuffle_task_order=shuffle_task_order,
+        client_feature_shift=client_feature_shift,
+    ).describe()
+    return FederatedContinualBenchmark(
+        spec=spec, clients=clients, source=source, scenario=label
+    )
 
 
 def single_client_benchmark(

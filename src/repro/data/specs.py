@@ -155,6 +155,8 @@ ALL_SPECS = {
     "miniimagenet": miniimagenet_like,
     "tinyimagenet": tinyimagenet_like,
     "svhn": svhn_like,
+    # the Fig. 7 merged workload (80 tasks of 5 by default)
+    "combined": combined_spec,
 }
 
 

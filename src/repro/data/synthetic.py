@@ -132,15 +132,28 @@ class SyntheticImageSource:
     def make_split(
         self,
         classes: np.ndarray,
-        per_class: int,
+        per_class: int | np.ndarray,
         rng: np.random.Generator,
         transform: ClientTransform | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Build ``(x, y)`` with ``per_class`` samples of each class, shuffled."""
+        """Build ``(x, y)`` with ``per_class`` samples of each class, shuffled.
+
+        ``per_class`` is a scalar budget shared by every class, or an array
+        of per-class counts aligned with ``classes`` (label-shift scenarios
+        allocate skewed budgets).
+        """
+        counts = np.asarray(per_class)
+        if counts.ndim == 0:
+            counts = np.full(len(classes), int(counts))
+        elif len(counts) != len(classes):
+            raise ValueError(
+                f"per-class counts ({len(counts)}) do not align with "
+                f"classes ({len(classes)})"
+            )
         xs, ys = [], []
-        for class_id in classes:
-            xs.append(self.sample(int(class_id), per_class, rng, transform))
-            ys.append(np.full(per_class, int(class_id), dtype=np.int64))
+        for class_id, count in zip(classes, counts):
+            xs.append(self.sample(int(class_id), int(count), rng, transform))
+            ys.append(np.full(int(count), int(class_id), dtype=np.int64))
         x = np.concatenate(xs)
         y = np.concatenate(ys)
         order = rng.permutation(len(y))

@@ -24,6 +24,11 @@ from .fig5_comm_volume import (
     run_fig5_wire,
 )
 from .fig6_bandwidth import Fig6Report, comm_seconds_under_bandwidth, run_fig6
+from .fig_scenarios import (
+    SCENARIO_FAMILIES,
+    FigScenariosReport,
+    run_fig_scenarios,
+)
 from .fig7_tasks import Fig7Report, run_fig7
 from .fig8_clients import Fig8Report, run_fig8
 from .fig9_dnns import Fig9Report, run_fig9
@@ -42,12 +47,14 @@ __all__ = [
     "Fig5Report",
     "Fig5WireReport",
     "Fig6Report",
+    "FigScenariosReport",
     "Fig7Report",
     "Fig8Report",
     "Fig9Report",
     "HETEROGENEOUS_DATASETS",
     "PAPER",
     "PRESETS",
+    "SCENARIO_FAMILIES",
     "ScalePreset",
     "SearchResult",
     "TOP3_METHODS",
@@ -72,6 +79,7 @@ __all__ = [
     "run_fig7",
     "run_fig8",
     "run_fig9",
+    "run_fig_scenarios",
     "run_k_ablation",
     "run_methods",
     "run_qp_ablation",

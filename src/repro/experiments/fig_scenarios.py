@@ -1,0 +1,116 @@
+"""fig-scenarios — method robustness across data-scenario families.
+
+The paper evaluates one scenario family (Section V-A's class-incremental
+split).  With the pluggable scenario API the same 12-method comparison runs
+under domain drift, Dirichlet label shift, blurry task boundaries and
+staggered task arrival, answering the question the FCL surveys pose: does a
+method's ranking survive a change of scenario?  Reported per (method,
+scenario): final average accuracy and final forgetting rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..data.specs import get_spec
+from ..edge.cluster import jetson_cluster
+from ..metrics.tracker import RunResult
+from .config import BENCH, ScalePreset
+from .reporting import format_table
+from .runner import run_single
+
+#: The scenario families compared by the figure (>= 4 beyond-paper settings).
+SCENARIO_FAMILIES: tuple[str, ...] = (
+    "class-inc",
+    "domain-inc:drift=0.3",
+    "label-shift:dirichlet:0.3",
+    "blurry:overlap=0.2",
+    "async-arrival",
+)
+
+
+@dataclass
+class FigScenariosReport:
+    """Accuracy / forgetting of every method under every scenario family."""
+
+    dataset: str
+    scenarios: tuple[str, ...] = SCENARIO_FAMILIES
+    # results[method][scenario spec] = RunResult
+    results: dict[str, dict[str, RunResult]] = field(default_factory=dict)
+
+    def accuracy(self, method: str, scenario: str) -> float:
+        return self.results[method][scenario].final_accuracy
+
+    def forgetting(self, method: str, scenario: str) -> float:
+        result = self.results[method][scenario]
+        return float(result.forgetting_curve[-1])
+
+    def best_method(self, scenario: str) -> str:
+        """The method with the highest final accuracy under ``scenario``."""
+        return max(self.results, key=lambda m: self.accuracy(m, scenario))
+
+    def labels(self) -> dict[str, str]:
+        """Column label per scenario: the family name, or the full spec
+        when several compared scenarios share a family (parameter sweeps)."""
+        families = [s.split(":")[0] for s in self.scenarios]
+        return {
+            spec: family if families.count(family) == 1 else spec
+            for spec, family in zip(self.scenarios, families)
+        }
+
+    @property
+    def rows(self) -> list[list]:
+        rows = []
+        for method in self.results:
+            row = [method]
+            for scenario in self.scenarios:
+                row.append(round(self.accuracy(method, scenario), 3))
+                row.append(round(self.forgetting(method, scenario), 3))
+            rows.append(row)
+        return rows
+
+    def __str__(self) -> str:
+        labels = self.labels()
+        headers = ["method"]
+        for scenario in self.scenarios:
+            headers += [f"{labels[scenario]}_acc", f"{labels[scenario]}_fgt"]
+        table = format_table(
+            headers,
+            self.rows,
+            title=(
+                "Fig-scenarios: accuracy / forgetting across scenario "
+                f"families ({self.dataset})"
+            ),
+        )
+        winners = ", ".join(
+            f"{labels[s]}: {self.best_method(s)}" for s in self.scenarios
+        )
+        return f"{table}\nbest per scenario — {winners}"
+
+
+def run_fig_scenarios(
+    dataset: str = "cifar100",
+    methods: tuple[str, ...] | None = None,
+    scenarios: tuple[str, ...] = SCENARIO_FAMILIES,
+    preset: ScalePreset = BENCH,
+    seed: int = 0,
+) -> FigScenariosReport:
+    """Run every method under every scenario family on one dataset.
+
+    ``methods`` defaults to all 12 methods of the Fig. 4 comparison.
+    """
+    from ..federated.registry import ALL_METHODS
+
+    methods = tuple(methods) if methods is not None else ALL_METHODS
+    report = FigScenariosReport(dataset=dataset, scenarios=tuple(scenarios))
+    cluster = jetson_cluster()
+    spec = get_spec(dataset)
+    for method in methods:
+        entries: dict[str, RunResult] = {}
+        for scenario in report.scenarios:
+            entries[scenario] = run_single(
+                method, spec, preset, cluster=cluster, seed=seed,
+                scenario=scenario,
+            )
+        report.results[method] = entries
+    return report

@@ -12,7 +12,7 @@ from typing import Mapping
 
 import numpy as np
 
-from ..data.federated import build_benchmark
+from ..data.scenario import Scenario, create_scenario
 from ..data.specs import DatasetSpec
 from ..edge.cluster import EdgeCluster
 from ..edge.network import NetworkModel
@@ -59,6 +59,7 @@ def _cache_key(
     method_kwargs: dict | None,
     participation: str,
     transport: str,
+    scenario: str = "class-inc",
 ) -> tuple:
     cluster_key = (
         tuple(d.name for d in cluster.devices) if cluster is not None else None
@@ -86,6 +87,7 @@ def _cache_key(
         _freeze(method_kwargs or {}),
         participation,
         transport,
+        scenario,
     )
 
 
@@ -102,6 +104,7 @@ def run_single(
     engine: str = "serial",
     participation: str | ParticipationPolicy | None = None,
     transport: str | Transport | None = None,
+    scenario: str | Scenario | None = None,
 ) -> RunResult:
     """Train ``method`` on ``spec`` at ``preset`` scale and return its metrics.
 
@@ -112,10 +115,14 @@ def run_single(
     it *is* part of the cache key.  ``None`` defers to the preset.
     ``transport`` selects the wire format and upload policy ("v1:dense",
     "v2:delta:0.1", ...); it changes the comm metrics, so it is part of the
-    cache key too.  Passing a :class:`ParticipationPolicy` or
-    :class:`Transport` *instance* bypasses the cache entirely — instances
-    are stateful (sampling RNG, pending stragglers, negotiated channel
-    bases), so two runs with the same instance are not interchangeable.
+    cache key too.  ``scenario`` selects the data scenario family
+    ("class-inc", "domain-inc:drift=0.3", ...; ``None`` is the paper's
+    class-incremental default) and is likewise part of the cache key.
+    Passing a :class:`ParticipationPolicy`, :class:`Transport`, or
+    :class:`Scenario` *instance* bypasses the cache entirely — instances
+    may carry non-canonical state (sampling RNG, pending stragglers,
+    negotiated channel bases, custom allocation ranges) that the spec
+    string cannot identify.
     """
     seed = preset.seed if seed is None else seed
     scaled = preset.apply_to_spec(spec)
@@ -134,13 +141,19 @@ def run_single(
 
         transport_key = create_transport(transport).describe()
     participation_key = str(participation)
+    if isinstance(scenario, Scenario):
+        use_cache = False
+        scenario_obj = scenario
+    else:
+        scenario_obj = create_scenario(scenario)
     key = _cache_key(
         method, scaled, preset, seed, cluster, network,
         model_kwargs, method_kwargs, participation_key, transport_key,
+        scenario_obj.describe(),
     )
     if use_cache and key in _CACHE:
         return _CACHE[key]
-    benchmark = build_benchmark(
+    benchmark = scenario_obj.build(
         scaled, num_clients=preset.num_clients, rng=np.random.default_rng(seed)
     )
     with create_trainer(

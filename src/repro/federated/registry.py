@@ -177,4 +177,5 @@ def create_trainer(
         engine=engine,
         participation=participation,
         transport=transport,
+        scenario=benchmark.scenario,
     )

@@ -71,6 +71,7 @@ class FederatedTrainer:
         engine: str | RoundEngine = "serial",
         participation: str | ParticipationPolicy | None = None,
         transport: str | Transport | None = None,
+        scenario: str = "class-inc",
     ):
         if not clients:
             raise ValueError("trainer needs at least one client")
@@ -83,6 +84,7 @@ class FederatedTrainer:
         self.transport = create_transport(transport, network=self.network)
         self.dataset_name = dataset_name
         self.method_name = method_name or clients[0].method_name
+        self.scenario = scenario
         self.engine = create_engine(engine)
         self.policy = create_policy(
             participation if participation is not None else config.participation,
@@ -294,7 +296,13 @@ class FederatedTrainer:
         )
 
     def run(self, num_positions: int | None = None) -> RunResult:
-        """Run the full task sequence; returns the collected metrics."""
+        """Run the full task sequence; returns the collected metrics.
+
+        Task data arrives through each client's task stream:
+        ``begin_task`` materializes the stage's :class:`ClientTask` on
+        first access, so lazily built scenario benchmarks only synthesize
+        the arrays a stage actually reaches.
+        """
         started = time.time()
         num_positions = num_positions or self.clients[0].data.num_tasks
         rounds: list[RoundRecord] = []
@@ -336,4 +344,5 @@ class FederatedTrainer:
             wall_seconds=time.time() - started,
             participation=self.policy.describe(),
             transport=self.transport.describe(),
+            scenario=self.scenario,
         )

@@ -21,6 +21,7 @@ def result_to_dict(result: RunResult) -> dict:
     return {
         "method": result.method,
         "dataset": result.dataset,
+        "scenario": result.scenario,
         "participation": result.participation,
         "transport": result.transport,
         "num_clients": result.num_clients,
@@ -90,6 +91,8 @@ def result_from_dict(payload: dict) -> RunResult:
         wall_seconds=payload["wall_seconds"],
         participation=payload.get("participation", "full"),
         transport=payload.get("transport", "v1:dense"),
+        # absent in payloads written before the scenario API
+        scenario=payload.get("scenario", "class-inc"),
     )
 
 

@@ -71,6 +71,9 @@ class RunResult:
     #: Transport spec the run executed under (``"v1:dense"``,
     #: ``"v2:delta:0.1"``, ``"v2+fp16:sparse:0.05"``, ...).
     transport: str = "v1:dense"
+    #: Scenario spec the run's data was built from (``"class-inc"``,
+    #: ``"domain-inc:drift=0.3"``, ``"blurry:overlap=0.2"``, ...).
+    scenario: str = "class-inc"
 
     # ------------------------------------------------------------------
     # accuracy metrics
@@ -176,6 +179,7 @@ class RunResult:
         return {
             "method": self.method,
             "dataset": self.dataset,
+            "scenario": self.scenario,
             "participation": self.participation,
             "transport": self.transport,
             "final_accuracy": round(self.final_accuracy, 4),

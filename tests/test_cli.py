@@ -13,8 +13,10 @@ class TestList:
         out = capsys.readouterr().out
         assert "fedknow" in out
         assert "cifar100" in out
+        assert "combined" in out
         assert "resnet18" in out
         assert "fig5" in out
+        assert "class-inc" in out
 
 
 class TestRun:
@@ -76,11 +78,36 @@ class TestRun:
             main(["run", "--method", "fedavg", "--dataset", "svhn",
                   "--upload", "zip"])
 
+    def test_run_with_scenario(self, capsys):
+        code = main([
+            "run", "--method", "fedavg", "--dataset", "svhn",
+            "--preset", "unit", "--scenario", "blurry:overlap=0.4",
+        ])
+        assert code == 0
+        assert "blurry:overlap=0.4" in capsys.readouterr().out
+
+    def test_invalid_scenario_rejected(self, capsys):
+        code = main([
+            "run", "--method", "fedavg", "--dataset", "svhn",
+            "--preset", "unit", "--scenario", "imagenet-inc",
+        ])
+        assert code == 2
+        assert "--scenario" in capsys.readouterr().err
+
+    def test_combined_dataset_runs_from_cli(self, capsys):
+        code = main([
+            "run", "--method", "fedavg", "--dataset", "combined",
+            "--preset", "unit", "--tasks", "2",
+        ])
+        assert code == 0
+        assert "combined" in capsys.readouterr().out
+
 
 class TestFigure:
     def test_figures_catalogue_complete(self):
         for name in ("fig4", "fig5", "fig5-wire", "fig6", "fig7", "fig8",
-                     "fig9", "fig10", "table1", "ablations", "fig4-hetero"):
+                     "fig9", "fig10", "table1", "ablations", "fig4-hetero",
+                     "fig-scenarios"):
             assert name in FIGURES
 
     def test_fig5_unit(self, capsys):

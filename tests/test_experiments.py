@@ -20,6 +20,7 @@ from repro.experiments import (
     run_fig5,
     run_fig6,
     run_fig8,
+    run_fig_scenarios,
     run_single,
     run_table1,
 )
@@ -114,6 +115,35 @@ class TestReports:
         for method in FAST_METHODS:
             assert method in text
         assert report.best_method() in FAST_METHODS
+
+    def test_fig_scenarios_report(self):
+        report = run_fig_scenarios(
+            dataset="svhn", methods=("fedknow", "fedavg"), preset=UNIT,
+            scenarios=("class-inc", "blurry:overlap=0.2"),
+        )
+        text = str(report)
+        assert "class-inc_acc" in text
+        assert "blurry_fgt" in text
+        assert report.best_method("class-inc") in ("fedknow", "fedavg")
+        assert report.results["fedavg"]["class-inc"].scenario == "class-inc"
+        assert (
+            report.results["fedavg"]["blurry:overlap=0.2"].scenario
+            == "blurry:overlap=0.2"
+        )
+
+    def test_fig_scenarios_sweep_labels_disambiguated(self):
+        report = run_fig_scenarios(
+            dataset="svhn", methods=("fedavg",), preset=UNIT,
+            scenarios=("blurry:overlap=0.2", "blurry:overlap=0.4"),
+        )
+        # same family twice: columns fall back to the full spec string
+        assert report.labels() == {
+            "blurry:overlap=0.2": "blurry:overlap=0.2",
+            "blurry:overlap=0.4": "blurry:overlap=0.4",
+        }
+        text = str(report)
+        assert "blurry:overlap=0.2_acc" in text
+        assert "blurry:overlap=0.4_acc" in text
 
     def test_table1_improvement_math(self):
         fedknow = RunResult("fedknow", "d", 2, 2,

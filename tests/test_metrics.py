@@ -99,7 +99,7 @@ class TestAccounting:
         result = make_result(np.array([[0.5]]), rounds=[record()])
         summary = result.summary()
         assert set(summary) == {
-            "method", "dataset", "participation", "transport",
+            "method", "dataset", "scenario", "participation", "transport",
             "final_accuracy", "final_forgetting", "comm_gb", "upload_x",
             "sim_hours",
         }

@@ -46,11 +46,19 @@ class TestDictRoundTrip:
     def test_legacy_payload_defaults(self, result):
         payload = result_to_dict(result)
         del payload["transport"]
+        del payload["scenario"]
         for record in payload["rounds"]:
             del record["raw_upload_bytes"]
         restored = result_from_dict(payload)
         assert restored.transport == "v1:dense"
+        assert restored.scenario == "class-inc"
         assert restored.upload_compression == 1.0
+
+    def test_round_trip_preserves_scenario(self, result):
+        result.scenario = "blurry:overlap=0.2"
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.scenario == "blurry:overlap=0.2"
+        assert restored.summary()["scenario"] == "blurry:overlap=0.2"
 
     def test_round_trip_preserves_metrics(self, result):
         restored = result_from_dict(result_to_dict(result))

@@ -542,6 +542,19 @@ class TestCacheKeyCanonicalization:
                        "v2:delta:0.1")
         assert a != b
 
+    def test_scenario_in_key(self, spec):
+        from repro.experiments.config import UNIT
+        from repro.experiments.runner import _cache_key
+
+        a = _cache_key("gem", spec, UNIT, 0, None, None, None, None, "full",
+                       "v1:dense", "class-inc")
+        b = _cache_key("gem", spec, UNIT, 0, None, None, None, None, "full",
+                       "v1:dense", "blurry:overlap=0.2")
+        assert a != b
+        # the default scenario key is the class-incremental family
+        assert a == _cache_key("gem", spec, UNIT, 0, None, None, None, None,
+                               "full", "v1:dense")
+
     def test_network_latency_in_key(self, spec):
         """Runs differing only in protocol latency must not share a cache
         entry (sim_comm_seconds depends on it)."""

@@ -1,0 +1,447 @@
+"""Tests for the pluggable scenario API: streams, partitioners, families."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DirichletPartitioner,
+    RangePartitioner,
+    Scenario,
+    TaskStream,
+    allocate_task_classes,
+    available_scenarios,
+    build_benchmark,
+    cifar100_like,
+    create_scenario,
+    svhn_like,
+    task_classes,
+)
+from repro.data.scenario import ClassIncrementalScenario
+
+FAMILIES = (
+    "class-inc",
+    "domain-inc:drift=0.3",
+    "label-shift:dirichlet:0.3",
+    "blurry:overlap=0.2",
+    "async-arrival",
+)
+
+
+def small_spec(num_tasks=3):
+    return cifar100_like(train_per_class=6, test_per_class=2).with_tasks(num_tasks)
+
+
+def assert_tasks_equal(a, b):
+    assert a.task_id == b.task_id
+    assert a.position == b.position
+    assert np.array_equal(a.classes, b.classes)
+    assert np.array_equal(a.train_x, b.train_x)
+    assert np.array_equal(a.train_y, b.train_y)
+    assert np.array_equal(a.test_x, b.test_x)
+    assert np.array_equal(a.test_y, b.test_y)
+
+
+class TestRegistry:
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            create_scenario("imagenet-inc")
+
+    def test_instance_passes_through(self):
+        scenario = create_scenario("blurry:overlap=0.3")
+        assert create_scenario(scenario) is scenario
+
+    def test_none_is_class_incremental(self):
+        assert create_scenario(None).describe() == "class-inc"
+
+    def test_catalogue_names(self):
+        assert available_scenarios() == sorted(FAMILIES_SET := {
+            f.split(":")[0] for f in FAMILIES
+        })
+        assert "class-inc" in FAMILIES_SET
+
+    @pytest.mark.parametrize(
+        "spec_str,canonical",
+        [
+            ("class-inc", "class-inc"),
+            ("domain-inc", "domain-inc:drift=0.3"),
+            ("domain-inc:0.5", "domain-inc:drift=0.5"),
+            ("domain-inc:drift=0.5", "domain-inc:drift=0.5"),
+            ("label-shift", "label-shift:dirichlet:0.3"),
+            ("label-shift:dirichlet:0.1", "label-shift:dirichlet:0.1"),
+            ("label-shift:alpha=0.1", "label-shift:dirichlet:0.1"),
+            ("blurry", "blurry:overlap=0.2"),
+            ("blurry:0.5", "blurry:overlap=0.5"),
+            ("async-arrival", "async-arrival"),
+        ],
+    )
+    def test_describe_canonicalizes(self, spec_str, canonical):
+        assert create_scenario(spec_str).describe() == canonical
+
+    def test_custom_class_inc_describe_round_trips(self):
+        scenario = ClassIncrementalScenario(
+            classes_per_client=(1, 2), sample_fraction=(1.0, 1.0),
+            shuffle_task_order=False, client_feature_shift=False,
+        )
+        spec_str = scenario.describe()
+        assert spec_str == (
+            "class-inc:classes=1-2:fraction=1-1:order=fixed:shift=off"
+        )
+        rebuilt = create_scenario(spec_str)
+        assert rebuilt.describe() == spec_str
+        assert rebuilt.partitioner.classes_per_client == (1, 2)
+        assert rebuilt.partitioner.sample_fraction == (1.0, 1.0)
+        assert not rebuilt.shuffle_task_order
+        assert not rebuilt.client_feature_shift
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "class-inc:0.5",            # positional argument
+            "class-inc:classes=five",   # malformed range
+            "class-inc:order=random",   # unknown mode
+            "class-inc:rho=0.5",        # unknown parameter
+            "domain-inc:drift=lots",    # non-numeric
+            "domain-inc:drift=2.0",     # out of range
+            "domain-inc:0.1:0.2",       # too many positionals
+            "blurry:overlap=-0.1",
+            "label-shift:dirichlet:0",  # alpha must be positive
+            "domain-inc:rho=0.5",       # unknown parameter
+            "domain-inc:0.1:drift=0.2", # positional + named
+        ],
+    )
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            create_scenario(bad)
+
+
+class TestClassIncRegression:
+    """Pinned contract: class-inc is bit-identical to the legacy builder."""
+
+    def test_matches_build_benchmark_exactly(self):
+        spec = small_spec(3)
+        legacy = build_benchmark(spec, num_clients=4,
+                                 rng=np.random.default_rng(11))
+        scen = create_scenario("class-inc").build(
+            spec, num_clients=4, rng=np.random.default_rng(11)
+        )
+        assert scen.scenario == "class-inc"
+        for lc, sc in zip(legacy.clients, scen.clients):
+            assert np.array_equal(lc.transform.gain, sc.transform.gain)
+            assert np.array_equal(lc.transform.bias, sc.transform.bias)
+            assert lc.num_tasks == sc.num_tasks
+            for p in range(spec.num_tasks):
+                assert_tasks_equal(lc.task_at(p), sc.task_at(p))
+
+    def test_matches_single_client_variant(self):
+        spec = small_spec(2)
+        legacy = build_benchmark(
+            spec, num_clients=1, rng=np.random.default_rng(3),
+            classes_per_client=(spec.classes_per_task, spec.classes_per_task),
+            sample_fraction=(1.0, 1.0),
+            shuffle_task_order=False, client_feature_shift=False,
+        )
+        scen = ClassIncrementalScenario(
+            classes_per_client=(spec.classes_per_task, spec.classes_per_task),
+            sample_fraction=(1.0, 1.0),
+            shuffle_task_order=False, client_feature_shift=False,
+        ).build(spec, num_clients=1, rng=np.random.default_rng(3))
+        for p in range(spec.num_tasks):
+            assert_tasks_equal(
+                legacy.clients[0].task_at(p), scen.clients[0].task_at(p)
+            )
+
+    def test_build_benchmark_stamps_honest_provenance(self):
+        from repro.data import single_client_benchmark
+
+        spec = small_spec(2)
+        default = build_benchmark(spec, num_clients=2,
+                                  rng=np.random.default_rng(0))
+        assert default.scenario == "class-inc"
+        single = single_client_benchmark(spec, rng=np.random.default_rng(0))
+        assert single.scenario == (
+            f"class-inc:classes={spec.classes_per_task}-"
+            f"{spec.classes_per_task}:fraction=1-1:order=fixed:shift=off"
+        )
+        # the recorded spec round-trips to an equivalent scenario
+        rebuilt = create_scenario(single.scenario)
+        assert rebuilt.describe() == single.scenario
+
+    def test_eager_build_matches_lazy(self):
+        spec = small_spec(3)
+        lazy = create_scenario("class-inc").build(
+            spec, num_clients=2, rng=np.random.default_rng(0)
+        )
+        eager = create_scenario("class-inc").build(
+            spec, num_clients=2, rng=np.random.default_rng(0), eager=True
+        )
+        assert eager.clients[0].tasks.num_materialized == spec.num_tasks
+        for lc, ec in zip(lazy.clients, eager.clients):
+            for p in range(spec.num_tasks):
+                assert_tasks_equal(lc.task_at(p), ec.task_at(p))
+
+
+class TestTaskStream:
+    def test_lazy_until_accessed(self):
+        spec = small_spec(3)
+        bench = create_scenario("class-inc").build(
+            spec, num_clients=2, rng=np.random.default_rng(0)
+        )
+        stream = bench.clients[0].tasks
+        assert stream.num_materialized == 0
+        stream[0]
+        assert stream.num_materialized == 1
+
+    def test_sequential_stream_forces_prefix(self):
+        spec = small_spec(4)
+        bench = create_scenario("class-inc").build(
+            spec, num_clients=1, rng=np.random.default_rng(0)
+        )
+        stream = bench.clients[0].tasks
+        stream[2]
+        assert stream.num_materialized == 3  # positions 0..2
+
+    def test_independent_stream_random_access(self):
+        spec = small_spec(4)
+        bench = create_scenario("async-arrival").build(
+            spec, num_clients=1, rng=np.random.default_rng(0)
+        )
+        stream = bench.clients[0].tasks
+        stream[3]
+        assert stream.num_materialized == 1
+
+    def test_out_of_order_access_matches_eager(self):
+        spec = small_spec(4)
+        scenario = create_scenario("domain-inc:drift=0.4")
+        lazy = scenario.build(spec, num_clients=2,
+                              rng=np.random.default_rng(7))
+        eager = scenario.build(spec, num_clients=2,
+                               rng=np.random.default_rng(7), eager=True)
+        for lc, ec in zip(lazy.clients, eager.clients):
+            for p in (3, 0, 2, 1):
+                assert_tasks_equal(lc.task_at(p), ec.task_at(p))
+
+    def test_sequence_protocol(self):
+        spec = small_spec(3)
+        bench = create_scenario("blurry").build(
+            spec, num_clients=1, rng=np.random.default_rng(0)
+        )
+        stream = bench.clients[0].tasks
+        assert len(stream) == 3
+        assert len(list(stream)) == 3
+        assert stream[-1].position == 2
+        with pytest.raises(IndexError):
+            stream[3]
+
+    def test_caching_returns_same_object(self):
+        spec = small_spec(2)
+        bench = create_scenario("class-inc").build(
+            spec, num_clients=1, rng=np.random.default_rng(0)
+        )
+        assert bench.clients[0].task_at(0) is bench.clients[0].task_at(0)
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            TaskStream(-1, lambda p: None)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_same_seed_same_arrays(self, family):
+        spec = small_spec(3)
+        scenario = create_scenario(family)
+        a = scenario.build(spec, num_clients=3, rng=np.random.default_rng(21))
+        b = scenario.build(spec, num_clients=3, rng=np.random.default_rng(21))
+        for ca, cb in zip(a.clients, b.clients):
+            assert np.array_equal(ca.transform.gain, cb.transform.gain)
+            for p in range(spec.num_tasks):
+                assert_tasks_equal(ca.task_at(p), cb.task_at(p))
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_different_seed_differs(self, family):
+        spec = small_spec(2)
+        scenario = create_scenario(family)
+        a = scenario.build(spec, num_clients=2, rng=np.random.default_rng(1))
+        b = scenario.build(spec, num_clients=2, rng=np.random.default_rng(2))
+        ta, tb = a.clients[0].task_at(0), b.clients[0].task_at(0)
+        assert ta.train_x.shape != tb.train_x.shape or not np.allclose(
+            ta.train_x, tb.train_x
+        )
+
+
+class TestFamilies:
+    def test_domain_inc_pools_span_universe(self):
+        spec = small_spec(3)
+        bench = create_scenario("domain-inc:drift=0.3").build(
+            spec, num_clients=4, rng=np.random.default_rng(0)
+        )
+        seen = set()
+        for client in bench.clients:
+            for task in client.tasks:
+                seen.update(int(c) for c in task.classes)
+        # classes from outside any single task's contiguous block appear
+        assert max(seen) - min(seen) >= spec.classes_per_task
+
+    def test_domain_inc_transforms_drift_across_tasks(self):
+        spec = small_spec(3)
+        scenario = create_scenario("domain-inc:drift=0.5")
+        bench = scenario.build(spec, num_clients=1,
+                               rng=np.random.default_rng(0))
+        base = bench.clients[0].transform
+        t0 = scenario.task_transform(spec, 0, base)
+        t2 = scenario.task_transform(spec, 2, base)
+        assert np.array_equal(t0.gain, base.gain)  # task 0 = reference domain
+        assert not np.allclose(t2.gain, base.gain)
+
+    def test_domain_inc_zero_drift_is_clientwise_stationary(self):
+        spec = small_spec(2)
+        scenario = create_scenario("domain-inc:drift=0")
+        bench = scenario.build(spec, num_clients=1,
+                               rng=np.random.default_rng(0))
+        base = bench.clients[0].transform
+        assert scenario.task_transform(spec, 1, base) is base
+
+    def test_label_shift_budgets_are_skewed(self):
+        spec = small_spec(2)
+        bench = create_scenario("label-shift:dirichlet:0.2").build(
+            spec, num_clients=6, rng=np.random.default_rng(0)
+        )
+        uneven = False
+        for client in bench.clients:
+            for task in client.tasks:
+                counts = np.bincount(task.train_y, minlength=spec.num_classes)
+                counts = counts[counts > 0]
+                assert (counts >= 2).all()
+                if len(counts) > 1 and counts.max() != counts.min():
+                    uneven = True
+                # label-shift keeps the class-incremental task structure
+                pool = set(task_classes(spec, task.task_id).tolist())
+                assert set(np.unique(task.train_y)) <= pool
+        assert uneven
+
+    def test_blurry_classes_leak_across_blocks(self):
+        spec = small_spec(3)
+        bench = create_scenario("blurry:overlap=0.5").build(
+            spec, num_clients=6, rng=np.random.default_rng(0)
+        )
+        leaked = False
+        for client in bench.clients:
+            for task in client.tasks:
+                pool = set(task_classes(spec, task.task_id).tolist())
+                if not set(task.classes.tolist()) <= pool:
+                    leaked = True
+        assert leaked
+
+    def test_blurry_zero_overlap_matches_blocks(self):
+        spec = small_spec(2)
+        bench = create_scenario("blurry:overlap=0").build(
+            spec, num_clients=3, rng=np.random.default_rng(0)
+        )
+        for client in bench.clients:
+            for task in client.tasks:
+                pool = set(task_classes(spec, task.task_id).tolist())
+                assert set(task.classes.tolist()) <= pool
+
+    def test_async_arrival_orders_are_cyclic_shifts(self):
+        spec = small_spec(4)
+        bench = create_scenario("async-arrival").build(
+            spec, num_clients=8, rng=np.random.default_rng(0)
+        )
+        ring = list(range(spec.num_tasks)) * 2
+        offsets = set()
+        for client in bench.clients:
+            order = [t.task_id for t in client.tasks]
+            offset = order[0]
+            assert order == ring[offset:offset + spec.num_tasks]
+            offsets.add(offset)
+        assert len(offsets) > 1  # clients actually staggered
+
+
+class TestPartitioners:
+    def test_range_partitioner_validates(self):
+        with pytest.raises(ValueError):
+            RangePartitioner(classes_per_client=(0, 3))
+        with pytest.raises(ValueError):
+            RangePartitioner(sample_fraction=(0.5, 1.5))
+
+    def test_dirichlet_partitioner_validates(self):
+        with pytest.raises(ValueError):
+            DirichletPartitioner(alpha=0.0)
+
+    def test_dirichlet_always_keeps_a_class(self):
+        part = DirichletPartitioner(alpha=0.05)
+        spec = small_spec(2)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            chosen, counts = part.allocate(np.arange(10), rng, spec)
+            assert len(chosen) >= 1
+            assert (np.asarray(counts) >= 2).all()
+            assert np.array_equal(chosen, np.sort(chosen))
+
+    def test_allocation_clamps_small_pools(self):
+        # pool smaller than the 2-class lower bound: clamp, don't crash
+        rng = np.random.default_rng(0)
+        chosen, per_class = allocate_task_classes(
+            np.array([7]), rng, (2, 5), (0.5, 1.0), train_per_class=8
+        )
+        assert np.array_equal(chosen, [7])
+        assert per_class >= 2
+
+    def test_allocation_empty_pool_raises(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            allocate_task_classes(
+                np.array([], dtype=int), rng, (2, 5), (0.5, 1.0), 8
+            )
+
+    def test_single_class_task_spec_builds(self):
+        # classes_per_task=1 < the (2, 5) lower bound: previously an
+        # invalid RNG range, now a whole-pool allocation
+        from repro.data.specs import DatasetSpec
+
+        tiny = DatasetSpec("tiny", 3, 3, 1, train_per_class=4,
+                           test_per_class=2)
+        bench = build_benchmark(tiny, num_clients=2,
+                                rng=np.random.default_rng(0))
+        for client in bench.clients:
+            for task in client.tasks:
+                assert len(task.classes) == 1
+
+
+class TestScenarioRuns:
+    """Scenario-built benchmarks drive the full trainer stack."""
+
+    @pytest.mark.parametrize(
+        "family", ("label-shift:dirichlet:0.3", "async-arrival")
+    )
+    def test_run_single_trains_under_scenario(self, family):
+        from repro.experiments import get_preset, run_single
+
+        result = run_single(
+            "fedavg", svhn_like(), get_preset("unit"),
+            scenario=family, use_cache=False,
+        )
+        assert result.scenario == family
+        assert result.num_tasks == 2
+        assert np.isfinite(result.final_accuracy)
+
+    def test_scenario_instance_bypasses_cache(self):
+        from repro.experiments import get_preset, run_single
+
+        scenario = ClassIncrementalScenario(classes_per_client=(1, 2))
+        a = run_single("fedavg", svhn_like(), get_preset("unit"),
+                       scenario=scenario)
+        b = run_single("fedavg", svhn_like(), get_preset("unit"),
+                       scenario=scenario)
+        assert a is not b
+
+    def test_default_scenario_result_cached(self):
+        from repro.experiments import clear_cache, get_preset, run_single
+
+        clear_cache()
+        a = run_single("fedavg", svhn_like(), get_preset("unit"))
+        b = run_single("fedavg", svhn_like(), get_preset("unit"),
+                       scenario="class-inc")
+        assert a is b
+        clear_cache()
