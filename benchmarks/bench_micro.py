@@ -13,6 +13,12 @@ import pytest
 from repro.core import GradientIntegrator, GradientRestorer, KnowledgeExtractor
 from repro.core.qp import solve_nnqp_active_set, solve_nnqp_projected_gradient
 from repro.data import build_benchmark, cifar100_like, create_scenario
+from repro.federated import (
+    ClientUpdate,
+    FedAvgServer,
+    ProcessRoundEngine,
+    ShardedAggregator,
+)
 from repro.models import build_model
 from repro.nn import SGD, Tensor
 from repro.nn import functional as F
@@ -90,6 +96,58 @@ def test_scenario_construction_64_clients(benchmark, mode):
     assert bench.num_clients == 64
     expected = spec.num_tasks if mode == "eager" else 0
     assert bench.clients[0].tasks.num_materialized == expected
+
+
+def _population_updates(num_clients: int) -> list[ClientUpdate]:
+    """Model-state-shaped uploads for aggregation-scale benchmarks."""
+    rng = np.random.default_rng(0)
+    return [
+        ClientUpdate(
+            client_id=i,
+            state={
+                "features.weight": rng.normal(size=(64, 64, 3, 3)).astype(np.float32),
+                "classifier.weight": rng.normal(size=(100, 256)).astype(np.float32),
+                "bn.steps": np.array(100, dtype=np.int64),
+            },
+            num_samples=int(rng.integers(10, 100)),
+        )
+        for i in range(num_clients)
+    ]
+
+
+def test_sharded_merge_64_clients(benchmark):
+    """Shard-partitioned aggregation of a 64-client round (8 shards) —
+    the server-side hot path of large-population rounds.  Must stay
+    bit-identical to the unsharded server (asserted every run)."""
+    updates = _population_updates(64)
+    reference = FedAvgServer().aggregate_updates(updates)
+    out = benchmark(
+        lambda: ShardedAggregator(FedAvgServer(), 8).aggregate_updates(updates)
+    )
+    assert all(np.array_equal(reference[k], out[k]) for k in reference)
+
+
+def _process_round_work(seed: int) -> float:
+    """Picklable stand-in for one client's round work (numpy-bound)."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(96, 96))
+    return float(np.linalg.norm(matrix @ matrix.T))
+
+
+@pytest.fixture(scope="module")
+def process_engine():
+    engine = ProcessRoundEngine(max_workers=2)
+    yield engine
+    engine.close()
+
+
+def test_process_round_8_clients(benchmark, process_engine):
+    """An 8-item round dispatched through the process engine — times the
+    pickle/IPC overhead the GIL-free engine pays per round."""
+    results = benchmark(
+        lambda: process_engine.map(_process_round_work, range(8))
+    )
+    assert len(results) == 8
 
 
 @pytest.mark.parametrize("solver", [solve_nnqp_active_set,

@@ -27,7 +27,12 @@ from pathlib import Path
 import numpy as np
 
 from repro.data import cifar100_like, create_scenario
-from repro.federated import ClientUpdate, FedAvgServer
+from repro.federated import (
+    ClientUpdate,
+    FedAvgServer,
+    ProcessRoundEngine,
+    ShardedAggregator,
+)
 from repro.utils.serialization import (
     decode_state,
     decode_state_v2,
@@ -93,6 +98,13 @@ def model_state() -> dict[str, np.ndarray]:
     return state
 
 
+def _gate_round_work(seed: int) -> float:
+    """Picklable stand-in for one client's round work (numpy-bound)."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(96, 96))
+    return float(np.linalg.norm(matrix @ matrix.T))
+
+
 def hot_path_cases() -> dict[str, float]:
     """Measure each gated hot path; returns name -> best seconds."""
     state = model_state()
@@ -122,6 +134,19 @@ def hot_path_cases() -> dict[str, float]:
     }
     payload_v2 = encode_state_v2(state)
     payload_delta = encode_state_v2(delta_entries, delta_keys=delta_keys)
+    sharded_updates = [
+        ClientUpdate(client_id=i, state=s, num_samples=int(w))
+        for i, (s, w) in enumerate(
+            zip(client_states * 4, rng.integers(10, 100, size=64))
+        )
+    ]
+    process_engine = ProcessRoundEngine(max_workers=2)
+    try:
+        process_round_8c = best_seconds(
+            lambda: process_engine.map(_gate_round_work, range(8))
+        )
+    finally:
+        process_engine.close()
     return {
         "encode_state": best_seconds(lambda: encode_state(state)),
         "decode_state": best_seconds(lambda: decode_state(payload)),
@@ -139,6 +164,16 @@ def hot_path_cases() -> dict[str, float]:
         "aggregate_16_clients": best_seconds(
             lambda: FedAvgServer().aggregate_updates(updates)
         ),
+        # shard-merged streaming aggregation over a 64-client round — the
+        # server-side hot path of large-population (fig-scaling) rounds
+        "sharded_merge_64c": best_seconds(
+            lambda: ShardedAggregator(FedAvgServer(), 8).aggregate_updates(
+                sharded_updates
+            )
+        ),
+        # dispatch + pickle/IPC overhead of one small process-engine round
+        # (the pool is warm; measures the per-round tax, not spawn)
+        "process_round_8c": process_round_8c,
         # lazy scenario construction must stay O(clients): the 64-client
         # stream build may not silently start materializing task arrays
         "scenario_stream_64c": best_seconds(

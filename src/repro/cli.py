@@ -31,6 +31,7 @@ from .experiments import (
     run_fig8,
     run_fig9,
     run_fig10,
+    run_fig_scaling,
     run_fig_scenarios,
     run_k_ablation,
     run_qp_ablation,
@@ -63,6 +64,7 @@ FIGURES = {
     "fig9": lambda preset: str(run_fig9(preset=preset)),
     "fig10": lambda preset: str(run_fig10(preset=preset)),
     "fig-scenarios": lambda preset: str(run_fig_scenarios(preset=preset)),
+    "fig-scaling": lambda preset: str(run_fig_scaling(preset=preset)),
     "ablations": lambda preset: "\n\n".join(
         str(fn(preset=preset))
         for fn in (
@@ -90,9 +92,15 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--clients", type=int, default=None)
     run_p.add_argument("--tasks", type=int, default=None)
     run_p.add_argument("--seed", type=int, default=0)
-    run_p.add_argument("--engine", default="serial", choices=("serial", "thread"),
-                       help="round engine: serial or concurrent client "
+    run_p.add_argument("--engine", default="serial",
+                       help="round engine: 'serial', 'thread[:W]' or "
+                            "'process[:W]' — W workers of concurrent client "
                             "execution (identical metrics, faster wall clock)")
+    run_p.add_argument("--shards", type=int, default=1,
+                       help="partition each round's aggregation across this "
+                            "many streaming shard accumulators (identical "
+                            "global states; per-shard counts and merge time "
+                            "land on the round records)")
     run_p.add_argument("--scenario", default="class-inc",
                        help="data scenario family: 'class-inc' (the paper's "
                             "setup), 'domain-inc[:drift=R]', "
@@ -101,9 +109,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--participation", default="full",
                        help="participation policy: 'full', "
                             "'sampled:<fraction>' (a random fraction of "
-                            "clients trains each round), or "
+                            "clients trains each round), "
                             "'deadline:<seconds>' (stragglers aggregate next "
-                            "round at staleness-discounted weight)")
+                            "round at staleness-discounted weight), or "
+                            "'deadline:auto[:<slack>]' (per-client deadlines "
+                            "drawn from each device's network link)")
     run_p.add_argument("--deadline", type=float, default=None,
                        help="shorthand for --participation deadline:<seconds>")
     run_p.add_argument("--wire", default="v1", choices=("v1", "v2"),
@@ -158,6 +168,24 @@ def _cmd_run(args) -> int:
     if args.fp16 and args.wire != "v2":
         print("error: --fp16 requires --wire v2", file=sys.stderr)
         return 2
+    try:
+        from .federated import PROCESS_UNSAFE_METHODS, create_engine
+
+        engine = create_engine(args.engine)
+        engine.close()
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        print(f"error: invalid --engine: {message}", file=sys.stderr)
+        return 2
+    if engine.needs_pickling and args.method in PROCESS_UNSAFE_METHODS:
+        print(f"error: --engine {args.engine} cannot run {args.method!r}: "
+              f"its clients exchange state with the live server mid-round; "
+              f"use --engine serial or thread", file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}",
+              file=sys.stderr)
+        return 2
     if not 0.0 < args.upload_ratio <= 1.0:
         print(f"error: --upload-ratio must be in (0, 1], got "
               f"{args.upload_ratio:g}", file=sys.stderr)
@@ -177,7 +205,7 @@ def _cmd_run(args) -> int:
         args.method, get_spec(args.dataset), preset,
         cluster=cluster, seed=args.seed, use_cache=False, engine=args.engine,
         participation=participation, transport=transport,
-        scenario=args.scenario,
+        scenario=args.scenario, shards=args.shards,
     )
     stages = np.arange(1, len(result.accuracy_curve) + 1)
     print(format_series(

@@ -330,36 +330,102 @@ class Scenario:
         seq_rng: np.random.Generator | None,
         entropy: int | None,
     ) -> Callable[[int], ClientTask]:
-        def materialize(position: int) -> ClientTask:
-            task_id = int(order[position])
-            rng = (
-                seq_rng
-                if seq_rng is not None
-                else np.random.default_rng(
-                    np.random.SeedSequence(
-                        entropy=entropy, spawn_key=(client_id, position)
-                    )
+        return _TaskMaterializer(
+            self, spec, source, client_id, order, transform, seq_rng, entropy
+        )
+
+
+class _TaskMaterializer:
+    """Picklable per-client task builder.
+
+    A plain class (not a closure) so client data — and therefore whole
+    clients — can cross process boundaries: the process round engine and
+    its pickle-safety tests rely on task streams being picklable.  Holds
+    exactly the state the old closure captured; ``seq_rng`` is the threaded
+    legacy-replay generator of sequential scenarios (``None`` for
+    independent families, which derive a sub-RNG per position).
+    """
+
+    def __init__(
+        self,
+        scenario: "Scenario",
+        spec: DatasetSpec,
+        source: SyntheticImageSource,
+        client_id: int,
+        order: np.ndarray,
+        transform: ClientTransform,
+        seq_rng: np.random.Generator | None,
+        entropy: int | None,
+    ):
+        self.scenario = scenario
+        self.spec = spec
+        self.source = source
+        self.client_id = client_id
+        self.order = order
+        self.transform = transform
+        self.seq_rng = seq_rng
+        self.entropy = entropy
+
+    def __call__(self, position: int) -> ClientTask:
+        task_id = int(self.order[position])
+        rng = (
+            self.seq_rng
+            if self.seq_rng is not None
+            else np.random.default_rng(
+                np.random.SeedSequence(
+                    entropy=self.entropy, spawn_key=(self.client_id, position)
                 )
             )
-            pool = self.task_pool(spec, task_id)
-            chosen, counts = self.partitioner.allocate(pool, rng, spec)
-            applied = self.task_transform(spec, task_id, transform)
-            train_x, train_y = source.make_split(chosen, counts, rng, applied)
-            test_x, test_y = source.make_split(
-                chosen, spec.test_per_class, rng, applied
-            )
-            return ClientTask(
-                task_id=task_id,
-                position=position,
-                classes=chosen,
-                train_x=train_x,
-                train_y=train_y,
-                test_x=test_x,
-                test_y=test_y,
-                num_total_classes=spec.num_classes,
-            )
+        )
+        spec = self.spec
+        pool = self.scenario.task_pool(spec, task_id)
+        chosen, counts = self.scenario.partitioner.allocate(pool, rng, spec)
+        applied = self.scenario.task_transform(spec, task_id, self.transform)
+        train_x, train_y = self.source.make_split(chosen, counts, rng, applied)
+        test_x, test_y = self.source.make_split(
+            chosen, spec.test_per_class, rng, applied
+        )
+        return ClientTask(
+            task_id=task_id,
+            position=position,
+            classes=chosen,
+            train_x=train_x,
+            train_y=train_y,
+            test_x=test_x,
+            test_y=test_y,
+            num_total_classes=spec.num_classes,
+        )
 
-        return materialize
+
+class ClientDataFactory:
+    """Picklable recipe that rebuilds a scenario benchmark deterministically.
+
+    Process round engines ship this to workers instead of the data itself:
+    the factory re-runs ``scenario.build(spec, num_clients, default_rng(seed))``
+    — the exact construction the experiment runner performed — so a worker's
+    lazily rebuilt task arrays are bit-identical to the parent's.  Only
+    valid when the parent benchmark was built from precisely these
+    arguments.
+    """
+
+    def __init__(
+        self,
+        scenario: "Scenario",
+        spec: DatasetSpec,
+        num_clients: int,
+        seed: int,
+    ):
+        self.scenario = scenario
+        self.spec = spec
+        self.num_clients = num_clients
+        self.seed = seed
+
+    def __call__(self) -> FederatedContinualBenchmark:
+        return self.scenario.build(
+            self.spec,
+            num_clients=self.num_clients,
+            rng=np.random.default_rng(self.seed),
+        )
 
 
 class ClassIncrementalScenario(Scenario):

@@ -24,6 +24,7 @@ from .fig5_comm_volume import (
     run_fig5_wire,
 )
 from .fig6_bandwidth import Fig6Report, comm_seconds_under_bandwidth, run_fig6
+from .fig_scaling import FigScalingReport, ScalingRow, run_fig_scaling
 from .fig_scenarios import (
     SCENARIO_FAMILIES,
     FigScenariosReport,
@@ -47,6 +48,7 @@ __all__ = [
     "Fig5Report",
     "Fig5WireReport",
     "Fig6Report",
+    "FigScalingReport",
     "FigScenariosReport",
     "Fig7Report",
     "Fig8Report",
@@ -79,6 +81,7 @@ __all__ = [
     "run_fig7",
     "run_fig8",
     "run_fig9",
+    "run_fig_scaling",
     "run_fig_scenarios",
     "run_k_ablation",
     "run_methods",

@@ -12,7 +12,7 @@ from typing import Mapping
 
 import numpy as np
 
-from ..data.scenario import Scenario, create_scenario
+from ..data.scenario import ClientDataFactory, Scenario, create_scenario
 from ..data.specs import DatasetSpec
 from ..edge.cluster import EdgeCluster
 from ..edge.network import NetworkModel
@@ -60,6 +60,7 @@ def _cache_key(
     participation: str,
     transport: str,
     scenario: str = "class-inc",
+    shards: int = 1,
 ) -> tuple:
     cluster_key = (
         tuple(d.name for d in cluster.devices) if cluster is not None else None
@@ -88,6 +89,7 @@ def _cache_key(
         participation,
         transport,
         scenario,
+        shards,
     )
 
 
@@ -105,14 +107,20 @@ def run_single(
     participation: str | ParticipationPolicy | None = None,
     transport: str | Transport | None = None,
     scenario: str | Scenario | None = None,
+    shards: int = 1,
 ) -> RunResult:
     """Train ``method`` on ``spec`` at ``preset`` scale and return its metrics.
 
-    ``engine`` selects the round engine ("serial" or "thread"); both produce
-    identical metrics, so it does not participate in the result cache key.
+    ``engine`` selects the round engine ("serial", "thread[:W]" or
+    "process[:W]"); all produce identical training metrics, so it does not
+    participate in the result cache key.  ``shards`` > 1 partitions each
+    round's aggregation across that many streaming shard accumulators;
+    the final states stay bit-identical but per-shard accounting lands on
+    the round records, so shards *are* part of the cache key.
     ``participation`` selects who trains/reports each round ("full",
-    "sampled:<fraction>", "deadline:<seconds>"); it changes the metrics, so
-    it *is* part of the cache key.  ``None`` defers to the preset.
+    "sampled:<fraction>", "deadline:<seconds>", "deadline:auto"); it
+    changes the metrics, so it *is* part of the cache key.  ``None`` defers
+    to the preset.
     ``transport`` selects the wire format and upload policy ("v1:dense",
     "v2:delta:0.1", ...); it changes the comm metrics, so it is part of the
     cache key too.  ``scenario`` selects the data scenario family
@@ -149,12 +157,17 @@ def run_single(
     key = _cache_key(
         method, scaled, preset, seed, cluster, network,
         model_kwargs, method_kwargs, participation_key, transport_key,
-        scenario_obj.describe(),
+        scenario_obj.describe(), shards,
     )
     if use_cache and key in _CACHE:
         return _CACHE[key]
     benchmark = scenario_obj.build(
         scaled, num_clients=preset.num_clients, rng=np.random.default_rng(seed)
+    )
+    # the exact recipe that built ``benchmark`` — process engines ship it to
+    # workers so clients cross the boundary without their task arrays
+    data_factory = ClientDataFactory(
+        scenario_obj, scaled, preset.num_clients, seed
     )
     with create_trainer(
         method,
@@ -171,6 +184,8 @@ def run_single(
         engine=engine,
         participation=participation,
         transport=transport,
+        shards=shards,
+        data_factory=data_factory,
     ) as trainer:
         result = trainer.run()
     if use_cache:

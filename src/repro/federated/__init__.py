@@ -5,8 +5,10 @@ from .base import FederatedClient, SGDClient
 from .config import TrainConfig
 from .engine import (
     ENGINES,
+    ProcessRoundEngine,
     RoundEngine,
     SerialRoundEngine,
+    StateHandle,
     ThreadedRoundEngine,
     create_engine,
 )
@@ -27,10 +29,12 @@ from .registry import (
     CONTINUAL_STRATEGIES,
     FCL_METHODS,
     FEDERATED_METHODS,
+    PROCESS_UNSAFE_METHODS,
     create_trainer,
 )
-from .server import FedAvgServer, FLCNServer
-from .trainer import FederatedTrainer
+from .server import MERGE_SEGMENTS, FedAvgServer, FLCNServer, StreamingAccumulator
+from .sharding import ShardedAggregator, shard_slices
+from .trainer import FederatedTrainer, RoundContext
 from .transport import (
     UPLOAD_MODES,
     WIRE_NAMES,
@@ -50,11 +54,18 @@ __all__ = [
     "DeadlineParticipation",
     "ENGINES",
     "FullParticipation",
+    "MERGE_SEGMENTS",
     "POLICIES",
+    "PROCESS_UNSAFE_METHODS",
     "ParticipationPolicy",
+    "ProcessRoundEngine",
+    "RoundContext",
     "RoundEngine",
     "RoundOutcome",
     "RoundPlan",
+    "ShardedAggregator",
+    "StateHandle",
+    "StreamingAccumulator",
     "Transport",
     "UPLOAD_MODES",
     "WIRE_NAMES",
@@ -78,5 +89,6 @@ __all__ = [
     "SGDClient",
     "TrainConfig",
     "create_trainer",
+    "shard_slices",
     "sparse_adaptive_bytes",
 ]

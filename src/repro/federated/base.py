@@ -33,6 +33,11 @@ class FederatedClient:
     """Base protocol for a federated continual-learning client."""
 
     method_name: str = "base"
+    #: Whether this client's round work may run in a worker process.  False
+    #: for methods whose clients mutate or read live server state during a
+    #: round (FLCN sample sharing, FedWEIT's adaptive registry) — those
+    #: side effects would be lost across a process boundary.
+    process_safe: bool = True
 
     def __init__(
         self,
@@ -117,6 +122,32 @@ class FederatedClient:
             compute_units=self.take_compute_units(),
             sim_seconds=sim_seconds,
         )
+
+    # ------------------------------------------------------------------
+    # process-boundary support
+    # ------------------------------------------------------------------
+    def detach_data(self) -> ClientData:
+        """Strip the task stream before this client crosses a process
+        boundary; returns the detached data so the caller can reattach it.
+
+        Task data is deterministic and reconstructible (see
+        :class:`~repro.data.scenario.ClientDataFactory`), so process round
+        engines ship clients without it — workers rebuild the data locally
+        instead of every round paying to pickle the task arrays.
+        """
+        data = self.data
+        self.data = None
+        self.task = None
+        return data
+
+    def attach_data(self, data: ClientData) -> None:
+        """Reattach task data after a process crossing (inverse of
+        :meth:`detach_data`); restores the current task from ``position``."""
+        if data is None:
+            raise ValueError("cannot attach empty client data")
+        self.data = data
+        if self.position is not None:
+            self.task = data.task_at(self.position)
 
     # ------------------------------------------------------------------
     # transport (communication accounting moved behind the channel)

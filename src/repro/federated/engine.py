@@ -6,32 +6,182 @@ active clients.  Engines decide how that map executes:
 
 * :class:`SerialRoundEngine` — one client after another (the reference
   semantics);
-* :class:`ThreadedRoundEngine` — clients run concurrently on a thread pool.
+* :class:`ThreadedRoundEngine` — clients run concurrently on a thread pool;
+* :class:`ProcessRoundEngine` — clients run in worker processes, escaping
+  the GIL for the numpy-light parts of a round.
 
 Clients are fully independent during a round (each owns its model, optimiser,
-RNG and method state; servers are only touched between phases), so the
-threaded engine produces **bit-identical** results to the serial one — the
-per-client float operations and their within-client order are unchanged, and
-outputs are reassembled in client order.  Only wall-clock time differs.
+RNG and method state; servers are only touched between phases), so every
+engine produces **bit-identical** results to the serial one — the per-client
+float operations and their within-client order are unchanged, and outputs are
+reassembled in client order.  Only wall-clock time differs.
+
+Process engines add two contracts on top of the shared ``map`` one:
+
+* ``needs_pickling`` — phase callables and items must pickle, and item
+  mutations only survive through return values (the trainer's phases return
+  ``(result, client)`` pairs and the trainer adopts the returned clients);
+* workers are **rebuilt per task**: at each task boundary the pool is torn
+  down, and fresh workers rebuild client task data from a picklable data
+  factory (:class:`~repro.data.scenario.ClientDataFactory`) instead of
+  having every round ship the task arrays across the process boundary.
+  Global-state broadcasts go through shared memory: the encoded state is
+  written once to a tmpfs-backed file (``/dev/shm`` on Linux) and each
+  worker decodes it once per round, however many of its clients download.
+
+Known cost: each map chunk pickles its phase callable, which carries the
+round context (transport channels included).  Channel negotiation state
+must travel — warmup counters decide when delta/sparse uploads engage, so
+re-deriving channels worker-side would break bit-identity — and under a
+``delta``/``sparse`` transport the channels share one dense base state
+whose copy rides along per chunk.  Dense transports (the default) carry no
+base; routing the delta base through a :class:`SharedStateHandle` is a
+ROADMAP follow-on.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, TypeVar
+import os
+import tempfile
+import uuid
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Mapping, TypeVar
+
+import numpy as np
+
+from ..utils.serialization import decode_state, encode_state
 
 T = TypeVar("T")
 R = TypeVar("R")
 
+# ----------------------------------------------------------------------
+# worker-process registries
+# ----------------------------------------------------------------------
+# Module-level so pool initializers and phase callables resolve the same
+# objects inside every worker.  The parent process never populates these.
+_DATA_FACTORY = None
+_DATA_CACHE = None  # client_id -> ClientData, built lazily from the factory
+_STATE_CACHE: dict[str, dict] = {}  # broadcast token -> decoded global state
 
+
+def _init_worker(data_factory) -> None:
+    """Pool initializer: install the (picklable) client-data factory."""
+    global _DATA_FACTORY, _DATA_CACHE, _STATE_CACHE
+    _DATA_FACTORY = data_factory
+    _DATA_CACHE = None
+    _STATE_CACHE = {}
+
+
+def worker_client_data(client_id: int):
+    """Rebuild (and cache) one client's task data inside a worker.
+
+    The factory builds the whole lazy benchmark once per worker — O(clients)
+    thanks to lazy task streams — and each task's arrays materialize only
+    when a client of this worker reaches it.  Determinism of the scenario
+    API guarantees the rebuilt arrays equal the parent's.
+    """
+    global _DATA_CACHE
+    if _DATA_FACTORY is None:
+        raise RuntimeError(
+            "no client-data factory installed in this process; process "
+            "engines strip client data only when the trainer has a "
+            "data_factory to rebuild it from"
+        )
+    if _DATA_CACHE is None:
+        benchmark = _DATA_FACTORY()
+        _DATA_CACHE = {data.client_id: data for data in benchmark.clients}
+    return _DATA_CACHE[client_id]
+
+
+# ----------------------------------------------------------------------
+# broadcast state handles
+# ----------------------------------------------------------------------
+class StateHandle:
+    """Resolvable reference to one round's broadcast global state."""
+
+    def resolve(self) -> Mapping[str, np.ndarray]:
+        raise NotImplementedError
+
+    def release(self) -> None:
+        """Free any backing resources (parent-side, idempotent)."""
+
+
+class LocalStateHandle(StateHandle):
+    """In-process passthrough used by the serial and thread engines."""
+
+    def __init__(self, state: Mapping[str, np.ndarray]):
+        self._state = state
+
+    def resolve(self) -> Mapping[str, np.ndarray]:
+        return self._state
+
+
+class SharedStateHandle(StateHandle):
+    """Shared-memory broadcast: encoded state in a tmpfs-backed file.
+
+    The parent writes the wire-encoded state once; each worker reads and
+    decodes it once per broadcast (cached by token), so a 10k-client
+    download phase moves the state across the process boundary
+    once-per-worker instead of once-per-client.  ``load_state_dict`` copies
+    into existing parameter buffers, so sharing one decoded state across a
+    worker's clients is safe.
+    """
+
+    def __init__(self, state: Mapping[str, np.ndarray]):
+        payload = encode_state(dict(state))
+        shm_dir = "/dev/shm" if os.path.isdir("/dev/shm") else None
+        fd, path = tempfile.mkstemp(
+            prefix="repro-broadcast-", suffix=".state", dir=shm_dir
+        )
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        self.path = path
+        self.token = uuid.uuid4().hex
+        self._local: Mapping[str, np.ndarray] | None = dict(state)
+
+    def __getstate__(self):
+        # workers resolve through the file; never ship the dense state
+        return {"path": self.path, "token": self.token, "_local": None}
+
+    def resolve(self) -> Mapping[str, np.ndarray]:
+        if self._local is not None:
+            return self._local
+        cached = _STATE_CACHE.get(self.token)
+        if cached is None:
+            with open(self.path, "rb") as handle:
+                payload = handle.read()
+            _STATE_CACHE.clear()  # at most one broadcast is live at a time
+            cached = _STATE_CACHE[self.token] = decode_state(payload)
+        return cached
+
+    def release(self) -> None:
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# engines
+# ----------------------------------------------------------------------
 class RoundEngine:
     """Order-preserving executor of per-client round work."""
 
     name = "base"
+    #: True when ``map`` crosses a process boundary: phase callables and
+    #: items must pickle, and item mutations only survive via return values.
+    needs_pickling = False
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
         """Apply ``fn`` to every item; results follow the input order."""
         raise NotImplementedError
+
+    def begin_task(self, position: int) -> None:
+        """Task-boundary hook (process engines rebuild their workers here)."""
+
+    def share_state(self, state: Mapping[str, np.ndarray]) -> StateHandle:
+        """Wrap a global state for broadcast to this engine's executors."""
+        return LocalStateHandle(state)
 
     def close(self) -> None:
         """Release any execution resources (idempotent)."""
@@ -81,20 +231,113 @@ class ThreadedRoundEngine(RoundEngine):
             self._executor = None
 
 
+class ProcessRoundEngine(RoundEngine):
+    """Clients of a round run in worker processes (GIL-free parallelism).
+
+    Phase callables and clients cross the boundary by pickle; the trainer
+    adopts the mutated clients shipped back in each phase's return value.
+    When a ``data_factory`` is installed, clients travel **without** their
+    task data — workers rebuild it locally (see :func:`worker_client_data`)
+    — and the pool is torn down at task boundaries so worker-side task
+    caches never outlive the stage that needed them.
+    """
+
+    name = "process"
+    needs_pickling = True
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        data_factory=None,
+        rebuild_workers_per_task: bool = True,
+    ):
+        self.max_workers = max_workers or os.cpu_count() or 1
+        if self.max_workers < 1:
+            raise ValueError(f"need at least one worker, got {max_workers}")
+        self.data_factory = data_factory
+        self.rebuild_workers_per_task = rebuild_workers_per_task
+        self._executor: ProcessPoolExecutor | None = None
+
+    def set_data_factory(self, data_factory) -> None:
+        """Install the worker-side client-data factory (pre-spawn only)."""
+        if self._executor is not None:
+            raise RuntimeError(
+                "cannot install a data factory after workers have spawned"
+            )
+        self.data_factory = data_factory
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=_init_worker,
+                initargs=(self.data_factory,),
+            )
+        return self._executor
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        items = list(items)
+        if not items:
+            return []
+        # chunking amortizes the per-task pickle of ``fn`` (which carries the
+        # round context) over several clients
+        chunksize = max(1, len(items) // (self.max_workers * 4))
+        return list(self._pool().map(fn, items, chunksize=chunksize))
+
+    def begin_task(self, position: int) -> None:
+        # workers are rebuilt per task: fresh processes drop the finished
+        # stage's materialized task arrays and decoded broadcasts
+        if self.rebuild_workers_per_task:
+            self.close()
+
+    def share_state(self, state: Mapping[str, np.ndarray]) -> StateHandle:
+        return SharedStateHandle(state)
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
 ENGINES: dict[str, type[RoundEngine]] = {
     "serial": SerialRoundEngine,
     "thread": ThreadedRoundEngine,
+    "process": ProcessRoundEngine,
 }
 
 
 def create_engine(
     engine: str | RoundEngine, max_workers: int | None = None
 ) -> RoundEngine:
-    """Resolve an engine instance from a name or pass one through."""
+    """Resolve an engine instance from a spec string, or pass one through.
+
+    Specs read ``"<name>[:<workers>]"`` — ``"serial"``, ``"thread"``,
+    ``"thread:4"``, ``"process"``, ``"process:8"``.  ``max_workers`` is the
+    fallback worker count when the spec does not carry one; ``serial``
+    takes no argument.
+    """
     if isinstance(engine, RoundEngine):
         return engine
-    if engine not in ENGINES:
-        raise KeyError(f"unknown round engine {engine!r}; known: {sorted(ENGINES)}")
-    if engine == "thread":
-        return ThreadedRoundEngine(max_workers=max_workers)
-    return ENGINES[engine]()
+    name, _, arg = engine.partition(":")
+    if name not in ENGINES:
+        raise KeyError(
+            f"unknown round engine {engine!r}; known: {sorted(ENGINES)}"
+        )
+    workers = max_workers
+    if arg:
+        if name == "serial":
+            raise ValueError("the serial engine takes no worker count")
+        try:
+            workers = int(arg)
+        except ValueError:
+            raise ValueError(
+                f"engine spec {engine!r} has a non-integer worker count "
+                f"{arg!r}"
+            ) from None
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+    if name == "serial":
+        return SerialRoundEngine()
+    if name == "thread":
+        return ThreadedRoundEngine(max_workers=workers)
+    return ProcessRoundEngine(max_workers=workers)

@@ -96,6 +96,10 @@ class FedWeitClient(FederatedClient):
     """Client with base/adaptive weight decomposition and foreign attention."""
 
     method_name = "fedweit"
+    # reads foreign adaptives from and registers its own with the live
+    # server during a round; both sides of that exchange would be lost
+    # across a process boundary
+    process_safe = False
 
     def __init__(
         self,

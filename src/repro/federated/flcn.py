@@ -23,6 +23,9 @@ class FLCNClient(SGDClient):
     """FedAvg client that shares replay samples with the FLCN server."""
 
     method_name = "flcn"
+    # shares raw samples with the live server mid-round; a worker-process
+    # copy of the server would silently drop them
+    process_safe = False
 
     def __init__(
         self,

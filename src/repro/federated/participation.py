@@ -140,7 +140,7 @@ class SampledParticipation(ParticipationPolicy):
 
 
 class DeadlineParticipation(ParticipationPolicy):
-    """Aggregate whoever reports within ``deadline_seconds``; carry the rest.
+    """Aggregate whoever reports within its deadline; carry the rest.
 
     Every client without an in-flight straggler update trains each round.
     Updates whose simulated train + upload time fits the deadline aggregate
@@ -149,28 +149,96 @@ class DeadlineParticipation(ParticipationPolicy):
     ``staleness_discount``), after which the straggler downloads the fresh
     global state and rejoins training.  Pending straggler work is dropped at
     task boundaries (it was computed against a finished task).
+
+    Deadlines come in two forms:
+
+    * ``deadline:<seconds>`` — one global scalar, the original semantics;
+    * ``deadline:auto[:<slack>]`` — **per-client** deadlines drawn from each
+      client's :class:`~repro.edge.network.NetworkLink` profile: client ``i``
+      gets ``slack x`` the time its own link needs to upload one dense model
+      payload (slack defaults to 2).  Clients on slow uplinks (e.g. the
+      Raspberry Pi's 0.5x consumer link) get proportionally more time, so
+      "straggler" means *slower than your own link predicts*, not *on the
+      worst link*.  The trainer binds the per-client values through
+      :meth:`bind_client_deadlines`; drive that method yourself when using
+      the policy without a trainer.
     """
 
     name = "deadline"
 
-    def __init__(self, deadline_seconds: float, staleness_discount: float = 0.5):
-        if deadline_seconds <= 0:
+    def __init__(
+        self,
+        deadline_seconds: float | None = None,
+        staleness_discount: float = 0.5,
+        auto: bool = False,
+        slack: float = 2.0,
+    ):
+        if auto == (deadline_seconds is not None):
+            raise ValueError(
+                "pass exactly one of deadline_seconds (global scalar) or "
+                "auto=True (per-client link-derived deadlines)"
+            )
+        if deadline_seconds is not None and deadline_seconds <= 0:
             raise ValueError(
                 f"deadline_seconds must be positive, got {deadline_seconds}"
             )
+        if slack <= 0:
+            raise ValueError(f"slack must be positive, got {slack}")
         if not 0.0 <= staleness_discount <= 1.0:
             raise ValueError(
                 f"staleness_discount must be in [0, 1], got {staleness_discount}"
             )
         self.deadline_seconds = deadline_seconds
+        self.auto = auto
+        self.slack = slack
         self.staleness_discount = staleness_discount
+        self._client_deadlines: dict[int, float] | None = None
         self._pending: dict[int, ClientUpdate] = {}
 
     def describe(self) -> str:
-        base = f"deadline:{self.deadline_seconds:g}"
+        if self.auto:
+            base = "deadline:auto"
+            if self.slack != 2.0:
+                base += f":{self.slack:g}"
+        else:
+            base = f"deadline:{self.deadline_seconds:g}"
         if self.staleness_discount != 0.5:
             base += f",discount={self.staleness_discount:g}"
         return base
+
+    @property
+    def has_client_deadlines(self) -> bool:
+        return self._client_deadlines is not None
+
+    def bind_client_deadlines(self, deadlines: dict[int, float]) -> None:
+        """Install the per-client deadline table an ``auto`` policy uses."""
+        if not self.auto:
+            raise ValueError(
+                "per-client deadlines only apply to deadline:auto policies"
+            )
+        for client_id, seconds in deadlines.items():
+            if seconds <= 0:
+                raise ValueError(
+                    f"client {client_id} got a non-positive deadline {seconds}"
+                )
+        self._client_deadlines = dict(deadlines)
+
+    def deadline_for(self, client_id: int) -> float:
+        """The reporting deadline that applies to one client."""
+        if not self.auto:
+            return self.deadline_seconds
+        if self._client_deadlines is None:
+            raise RuntimeError(
+                "deadline:auto has no per-client deadlines bound yet; the "
+                "trainer derives them from each client's NetworkLink — call "
+                "bind_client_deadlines() when driving the policy manually"
+            )
+        if client_id not in self._client_deadlines:
+            raise KeyError(
+                f"no deadline bound for client {client_id}; "
+                f"bound ids: {sorted(self._client_deadlines)}"
+            )
+        return self._client_deadlines[client_id]
 
     def begin_task(self, position: int) -> None:
         self._pending.clear()
@@ -179,9 +247,17 @@ class DeadlineParticipation(ParticipationPolicy):
         self, position: int, round_index: int, active_ids: Sequence[int]
     ) -> RoundPlan:
         participants = tuple(i for i in active_ids if i not in self._pending)
+        if self.auto:
+            # the round barrier waits for the most patient participant
+            deadline = (
+                max(self.deadline_for(i) for i in participants)
+                if participants
+                else None
+            )
+        else:
+            deadline = self.deadline_seconds
         return RoundPlan(
-            position, round_index, participants,
-            deadline_seconds=self.deadline_seconds,
+            position, round_index, participants, deadline_seconds=deadline
         )
 
     def collect(
@@ -193,7 +269,7 @@ class DeadlineParticipation(ParticipationPolicy):
         stale_now = [self._pending.pop(i) for i in sorted(self._pending)]
         reported: list[ClientUpdate] = []
         for update in fresh:
-            if update.sim_seconds <= self.deadline_seconds:
+            if update.sim_seconds <= self.deadline_for(update.client_id):
                 reported.append(update)
             else:
                 update.staleness = 1
@@ -221,8 +297,9 @@ def create_policy(
 ) -> ParticipationPolicy:
     """Resolve a policy instance from a spec string, or pass one through.
 
-    Specs: ``"full"``, ``"sampled:<fraction>"``, ``"deadline:<seconds>"``.
-    ``seed`` feeds the sampled policy's RNG so runs are reproducible.
+    Specs: ``"full"``, ``"sampled:<fraction>"``, ``"deadline:<seconds>"``,
+    ``"deadline:auto[:<slack>]"``.  ``seed`` feeds the sampled policy's RNG
+    so runs are reproducible.
     """
     if isinstance(policy, ParticipationPolicy):
         return policy
@@ -238,8 +315,20 @@ def create_policy(
     if not arg:
         raise ValueError(
             f"policy {name!r} needs an argument, e.g. "
-            f"'sampled:0.5' or 'deadline:30'"
+            f"'sampled:0.5', 'deadline:30' or 'deadline:auto'"
         )
+    if name == "deadline" and (arg == "auto" or arg.startswith("auto:")):
+        _, _, slack_arg = arg.partition(":")
+        slack = 2.0
+        if slack_arg:
+            try:
+                slack = float(slack_arg)
+            except ValueError:
+                raise ValueError(
+                    f"policy spec {policy!r} has a non-numeric slack "
+                    f"{slack_arg!r}"
+                ) from None
+        return DeadlineParticipation(auto=True, slack=slack)
     try:
         value = float(arg)
     except ValueError:

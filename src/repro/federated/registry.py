@@ -69,6 +69,15 @@ ALL_METHODS: tuple[str, ...] = (
     + tuple(CONTINUAL_STRATEGIES)
 )
 
+#: Methods whose clients exchange state with the live server mid-round and
+#: therefore cannot run on a process engine (derived from the client
+#: classes' ``process_safe`` flags so it cannot drift from them).
+PROCESS_UNSAFE_METHODS: tuple[str, ...] = tuple(
+    name
+    for name, cls in (("flcn", FLCNClient), ("fedweit", FedWeitClient))
+    if not cls.process_safe
+)
+
 
 def create_trainer(
     method: str,
@@ -84,8 +93,17 @@ def create_trainer(
     engine: str | RoundEngine = "serial",
     participation: str | ParticipationPolicy | None = None,
     transport: str | Transport | None = None,
+    shards: int = 1,
+    data_factory=None,
 ) -> FederatedTrainer:
-    """Build a :class:`FederatedTrainer` running ``method`` on ``benchmark``."""
+    """Build a :class:`FederatedTrainer` running ``method`` on ``benchmark``.
+
+    ``engine`` accepts instance or spec (``"serial"``, ``"thread[:W]"``,
+    ``"process[:W]"``); ``shards`` > 1 partitions each round's aggregation
+    across that many streaming shard accumulators; ``data_factory`` is the
+    picklable :class:`~repro.data.scenario.ClientDataFactory` process
+    engines use to rebuild task data inside workers.
+    """
     # imported here to avoid a circular import (core.client uses federated.base)
     from ..core.client import FedKnowClient
     from ..core.config import FedKnowConfig
@@ -178,4 +196,6 @@ def create_trainer(
         participation=participation,
         transport=transport,
         scenario=benchmark.scenario,
+        shards=shards,
+        data_factory=data_factory,
     )

@@ -9,6 +9,14 @@ forms interchangeably: plain ``name -> array`` mappings, mappings containing
 :class:`~repro.utils.serialization.SparseTensor` records (interpreted as
 top-k deltas from the current global state), and raw payload bytes produced
 by :func:`~repro.utils.serialization.encode_state`.
+
+The streaming math lives in :class:`StreamingAccumulator` so it can run in
+one piece (this server) or per shard
+(:class:`~repro.federated.sharding.ShardedAggregator` partitions a round's
+updates across several accumulators and merges their partial sums).  Either
+way the final state is installed through :meth:`FedAvgServer.install_aggregate`,
+the hook subclasses use for post-aggregation behaviour (FLCN's rehearsal
+fine-tuning).
 """
 
 from __future__ import annotations
@@ -25,21 +33,69 @@ from ..utils.rng import get_rng
 from ..utils.serialization import SparseTensor, WireValue, decode_state
 from .protocol import ClientUpdate, ClientUpload
 
+#: Canonical merge granularity of the aggregation reduction tree.  A round's
+#: clients are split (in report order) into at most this many contiguous
+#: segments; each segment accumulates sequentially and segments are folded
+#: left-to-right.  With up to ``MERGE_SEGMENTS`` clients every segment holds
+#: one client and the fold *is* the plain sequential sum — bit-identical to
+#: the pre-sharding aggregator on every existing workload.  Beyond that the
+#: tree is fixed and independent of how segments are assigned to shard
+#: accumulators, which is what makes
+#: :class:`~repro.federated.sharding.ShardedAggregator` bit-identical to
+#: this server for **any** shard count: both execute the same rounded float
+#: operations in the same order.
+MERGE_SEGMENTS = 64
 
-class FedAvgServer:
-    """Sample-count-weighted federated averaging."""
 
-    def __init__(self):
-        self.global_state: dict[str, np.ndarray] | None = None
-        self.round_index = 0
+def shard_slices(num_items: int, num_shards: int) -> list[slice]:
+    """Contiguous, near-even partition of ``num_items`` into ``num_shards``.
 
-    def _materialise(self, key: str, value: WireValue) -> np.ndarray:
-        """Densify one uploaded entry; sparse records are deltas from global."""
+    The first ``num_items % num_shards`` shards carry one extra item; shards
+    never outnumber items (a 3-update round at ``K=16`` yields 3 shards), so
+    every shard covers at least one item.  Also defines the canonical merge
+    segments of the aggregation reduction tree (see :data:`MERGE_SEGMENTS`).
+    """
+    if num_shards < 1:
+        raise ValueError(f"need at least one shard, got {num_shards}")
+    if num_items < 1:
+        raise ValueError("cannot shard an empty round (zero reported clients)")
+    num_shards = min(num_shards, num_items)
+    base, extra = divmod(num_items, num_shards)
+    slices = []
+    start = 0
+    for shard in range(num_shards):
+        size = base + (1 if shard < extra else 0)
+        slices.append(slice(start, start + size))
+        start += size
+    return slices
+
+
+class StreamingAccumulator:
+    """O(1)-peak-memory weighted sum over client uploads.
+
+    The streaming core of :meth:`FedAvgServer.aggregate`: one decoded client
+    state is resident at a time, float keys accumulate into float64 buffers,
+    integer/bool keys (e.g. BN step counters) keep the first contributing
+    client's value (averaging them through a float->int cast truncates).
+    ``base`` supplies the global state sparse uploads are deltas against.
+    """
+
+    def __init__(self, base: Mapping[str, np.ndarray] | None = None):
+        self.base = base
+        self.key_order: list[str] | None = None
+        self.key_set: set[str] = set()
+        self.accum: dict[str, np.ndarray] = {}  # float keys: float64 sums
+        self.fixed: dict[str, np.ndarray] = {}  # integer/bool keys
+        self.dtypes: dict[str, np.dtype] = {}
+        self.count = 0
+
+    def materialise(self, key: str, value: WireValue) -> np.ndarray:
+        """Densify one uploaded entry; sparse records are deltas from base."""
         if not isinstance(value, SparseTensor):
             return np.asarray(value)
         dense = value.to_dense()
-        if self.global_state is not None and key in self.global_state:
-            base = np.asarray(self.global_state[key])
+        if self.base is not None and key in self.base:
+            base = np.asarray(self.base[key])
             if base.shape != dense.shape:
                 raise ValueError(
                     f"sparse upload for {key!r} has shape {dense.shape}, "
@@ -48,6 +104,70 @@ class FedAvgServer:
             dense = dense + base
         return dense
 
+    def add(self, state: ClientUpload, coeff: float) -> None:
+        """Fold one client's upload in at weight ``coeff``."""
+        if isinstance(state, (bytes, bytearray, memoryview)):
+            state = decode_state(state)
+        if self.key_order is None:
+            self.key_order = list(state.keys())
+            self.key_set = set(self.key_order)
+        elif set(state.keys()) != self.key_set:
+            raise ValueError("clients uploaded inconsistent state keys")
+        for key in self.key_order:
+            value = self.materialise(key, state[key])
+            if key not in self.dtypes:
+                self.dtypes[key] = value.dtype
+                if not np.issubdtype(value.dtype, np.floating):
+                    self.fixed[key] = np.array(value, copy=True)
+                    continue
+                self.accum[key] = np.zeros(value.shape, dtype=np.float64)
+            if key in self.fixed:
+                continue
+            self.accum[key] += coeff * np.asarray(value, dtype=np.float64)
+        self.count += 1
+
+    def fold_in(self, other: "StreamingAccumulator") -> None:
+        """Fold another accumulator's partial sums into this one.
+
+        One node of the merge tree: ``self.accum[key] += other.accum[key]``
+        for every float key.  Integer/bool keys keep this accumulator's
+        values — folding left from the round's first segment, those are the
+        globally first client's, matching the sequential reference.
+        """
+        if other.key_order is None or other.count == 0:
+            raise ValueError("cannot fold in an empty accumulator")
+        if self.key_order is None:
+            raise ValueError(
+                "cannot fold into an empty accumulator; fold left from the "
+                "first segment"
+            )
+        if other.key_set != self.key_set:
+            raise ValueError("shards accumulated inconsistent state keys")
+        for key in self.key_order:
+            if key in self.fixed:
+                continue
+            self.accum[key] += other.accum[key]
+        self.count += other.count
+
+    def finalize(self) -> dict[str, np.ndarray]:
+        """The accumulated state, cast back to the uploaded dtypes."""
+        if self.key_order is None:
+            raise ValueError("no client states were accumulated")
+        return {
+            key: self.fixed[key]
+            if key in self.fixed
+            else self.accum[key].astype(self.dtypes[key])
+            for key in self.key_order
+        }
+
+
+class FedAvgServer:
+    """Sample-count-weighted federated averaging."""
+
+    def __init__(self):
+        self.global_state: dict[str, np.ndarray] | None = None
+        self.round_index = 0
+
     def aggregate(
         self,
         states: Sequence[ClientUpload],
@@ -55,7 +175,9 @@ class FedAvgServer:
     ) -> dict[str, np.ndarray]:
         """Aggregate client states; returns the new global state."""
         if not states:
-            raise ValueError("no client states to aggregate")
+            raise ValueError(
+                "no client states to aggregate (zero reported clients)"
+            )
         if len(states) != len(weights):
             raise ValueError(
                 f"got {len(states)} states but {len(weights)} weights"
@@ -63,39 +185,38 @@ class FedAvgServer:
         total = float(sum(weights))
         if total <= 0:
             raise ValueError("aggregation weights must sum to a positive value")
-        # streaming weighted sum: one decoded client state resident at a time
-        key_order: list[str] | None = None
-        key_set: set[str] = set()
-        accum: dict[str, np.ndarray] = {}  # float keys: running float64 sums
-        fixed: dict[str, np.ndarray] = {}  # integer/bool keys: first client
-        dtypes: dict[str, np.dtype] = {}
-        for state, weight in zip(states, weights):
-            if isinstance(state, (bytes, bytearray, memoryview)):
-                state = decode_state(state)
-            if key_order is None:
-                key_order = list(state.keys())
-                key_set = set(key_order)
-            elif set(state.keys()) != key_set:
-                raise ValueError("clients uploaded inconsistent state keys")
-            coeff = weight / total
-            for key in key_order:
-                value = self._materialise(key, state[key])
-                if key not in dtypes:
-                    dtypes[key] = value.dtype
-                    if not np.issubdtype(value.dtype, np.floating):
-                        # averaging integer-typed buffers (e.g. BN step
-                        # counters) through a float->int cast truncates;
-                        # keep the first client's value instead
-                        fixed[key] = np.array(value, copy=True)
-                        continue
-                    accum[key] = np.zeros(value.shape, dtype=np.float64)
-                if key in fixed:
-                    continue
-                accum[key] += coeff * np.asarray(value, dtype=np.float64)
-        aggregated = {
-            key: fixed[key] if key in fixed else accum[key].astype(dtypes[key])
-            for key in key_order
-        }
+        if len(states) <= MERGE_SEGMENTS:
+            # every merge segment holds one client: the fold degenerates to
+            # the plain sequential streaming sum (one decoded client state
+            # resident at a time), bit-identical to the pre-sharding server
+            accumulator = StreamingAccumulator(base=self.global_state)
+            for state, weight in zip(states, weights):
+                accumulator.add(state, weight / total)
+            return self.install_aggregate(accumulator.finalize())
+        # large round: accumulate the canonical merge segments one at a time
+        # and fold each into the running total as it completes — still O(1)
+        # peak memory (one segment + the fold), and the exact float-op
+        # sequence any sharded execution of the same round replays
+        fold: StreamingAccumulator | None = None
+        for segment in shard_slices(len(states), MERGE_SEGMENTS):
+            accumulator = StreamingAccumulator(base=self.global_state)
+            for index in range(segment.start, segment.stop):
+                accumulator.add(states[index], weights[index] / total)
+            if fold is None:
+                fold = accumulator
+            else:
+                fold.fold_in(accumulator)
+        return self.install_aggregate(fold.finalize())
+
+    def install_aggregate(
+        self, aggregated: dict[str, np.ndarray]
+    ) -> dict[str, np.ndarray]:
+        """Adopt an externally assembled aggregate as the new global state.
+
+        Both :meth:`aggregate` and the sharded merge path land here, so
+        subclasses hook post-aggregation behaviour (FLCN's rehearsal
+        fine-tuning) in one place and it applies to either.
+        """
         self.global_state = aggregated
         self.round_index += 1
         return aggregated
@@ -114,7 +235,17 @@ class FedAvgServer:
         matches plain :meth:`aggregate` bit for bit.  Routes through
         :meth:`aggregate`, so subclass behaviour (FLCN's rehearsal
         fine-tuning) applies unchanged.
+
+        An empty round must never reach the server: zero reported clients
+        would divide by a zero sample total, so it raises a clear
+        :class:`ValueError` instead (the trainer records such rounds as
+        skipped and leaves the global state untouched).
         """
+        if not updates:
+            raise ValueError(
+                "cannot aggregate an empty round: zero reported clients "
+                "(the trainer records empty rounds as skipped instead)"
+            )
         return self.aggregate(
             [update.state for update in updates],
             [update.effective_weight(staleness_discount) for update in updates],
@@ -179,12 +310,10 @@ class FLCNServer(FedAvgServer):
     def buffer_bytes(self) -> int:
         return int(sum(x.nbytes for x in self._buffer_x))
 
-    def aggregate(
-        self,
-        states: Sequence[Mapping[str, np.ndarray]],
-        weights: Sequence[float],
+    def install_aggregate(
+        self, aggregated: dict[str, np.ndarray]
     ) -> dict[str, np.ndarray]:
-        aggregated = super().aggregate(states, weights)
+        aggregated = super().install_aggregate(aggregated)
         if self.buffer_size == 0:
             return aggregated
         # fine-tune the aggregated model on the replay buffer

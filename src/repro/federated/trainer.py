@@ -10,34 +10,48 @@ bandwidth), and device out-of-memory dropout — and assembles the
 :class:`~repro.metrics.tracker.RunResult` that the experiment harness
 reports.
 
-The round lifecycle is expressed through typed messages and three pluggable
+The round lifecycle is expressed through typed messages and four pluggable
 policies:
 
 * a :class:`~repro.federated.participation.ParticipationPolicy` plans each
-  round (who trains, under what reporting deadline), sorts the resulting
-  :class:`~repro.federated.protocol.ClientUpdate` messages into a
+  round (who trains, under what reporting deadline — one global scalar or
+  per-client deadlines drawn from each device's network link), sorts the
+  resulting :class:`~repro.federated.protocol.ClientUpdate` messages into a
   :class:`~repro.federated.protocol.RoundOutcome` (fresh reports, straggler
   carry-overs aggregated late at a staleness-discounted weight), and names
   who downloads the new global state;
 * a :class:`~repro.federated.engine.RoundEngine` schedules the per-client
   work of a phase: the serial engine preserves the reference execution
-  order, while the threaded engine runs the clients of a round concurrently
-  with bit-identical results;
+  order, while the threaded and process engines run the clients of a round
+  concurrently with bit-identical results.  Phases are picklable callables
+  that return ``(result, client)`` pairs: in-process engines hand back the
+  same (mutated) client object, process engines hand back the worker's
+  mutated replica and the trainer adopts it;
 * a :class:`~repro.federated.transport.Transport` owns everything between
   ``prepare_upload`` and ``aggregate_updates``: per-client negotiated
   channels price every payload (wire v1/v2, dense/delta/sparse uploads,
   optional fp16), decode uploads against the link's shared base state, and
   convert bytes to simulated seconds through per-device asymmetric links.
   Protocol latency is charged **once per round-trip**: the upload leg
-  carries it, the download leg rides the open connection.
+  carries it, the download leg rides the open connection;
+* with ``shards > 1`` a :class:`~repro.federated.sharding.ShardedAggregator`
+  partitions each round's updates across K independent streaming
+  accumulators and merges their partials in fixed order — bit-identical to
+  the unsharded server on float32 states, with per-shard counts and merge
+  time recorded on the :class:`~repro.metrics.tracker.RoundRecord`.
+
+A round where nobody reports and no straggler work is pending leaves the
+global model untouched and is recorded as **skipped** — empty rounds never
+reach the aggregator (which rejects them with a :class:`ValueError`).
 
 The trainer is a context manager; it owns its engine and closes it on exit,
-so threaded engines cannot leak thread pools.
+so threaded and process engines cannot leak their pools.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -46,13 +60,134 @@ from ..edge.cost import ModelCostModel
 from ..edge.device import JETSON_XAVIER_NX, DeviceProfile
 from ..edge.network import NetworkModel
 from ..metrics.tracker import RoundRecord, RunResult, accuracy_matrix_from_client_evals
+from ..utils.serialization import encoded_num_bytes
 from .base import FederatedClient
 from .config import TrainConfig
-from .engine import RoundEngine, create_engine
+from .engine import (
+    RoundEngine,
+    StateHandle,
+    ThreadedRoundEngine,
+    create_engine,
+    worker_client_data,
+)
 from .participation import ParticipationPolicy, create_policy
 from .protocol import ClientUpdate, RoundOutcome
 from .server import FedAvgServer
+from .sharding import ShardedAggregator
 from .transport import Channel, Transport, create_transport
+
+
+@dataclass
+class RoundContext:
+    """Picklable bundle of the per-round edge-simulation helpers.
+
+    Everything a phase callable needs to price and time one client's round
+    work, independent of the trainer instance — so phases can cross a
+    process boundary without dragging the whole trainer (and every client)
+    along.
+    """
+
+    config: TrainConfig
+    transport: Transport
+    cluster: EdgeCluster
+    cost_model: ModelCostModel | None
+    num_clients: int
+
+    def device_for(self, client: FederatedClient) -> DeviceProfile:
+        return self.cluster.device_for_client(client.client_id, self.num_clients)
+
+    def channel_for(self, client: FederatedClient) -> Channel:
+        return self.transport.channel_for(client.client_id, self.device_for(client))
+
+    def train_seconds(self, client: FederatedClient, units: float) -> float:
+        if self.cost_model is None:
+            return 0.0
+        device = self.device_for(client)
+        flops = self.cost_model.train_flops(self.config.batch_size, units)
+        return device.training_seconds(flops)
+
+    def real_bytes(self, our_bytes: int) -> int:
+        if self.cost_model is None:
+            return our_bytes
+        return self.cost_model.real_state_bytes(our_bytes)
+
+    def real_sample_bytes(self, our_bytes: int) -> int:
+        if self.cost_model is None:
+            return our_bytes
+        return self.cost_model.real_sample_store_bytes(our_bytes)
+
+
+class _TrainPhase:
+    """One client's local-training + upload leg of a round.
+
+    Picklable (no closures): process engines ship it to workers, where
+    ``strip_data`` clients reattach worker-rebuilt task data on entry and
+    shed it again before the return trip.  Returns ``(update, client)`` so
+    the trainer can adopt the mutated client whichever side it ran on.
+    """
+
+    def __init__(self, ctx: RoundContext, strip_data: bool):
+        self.ctx = ctx
+        self.strip_data = strip_data
+
+    def __call__(self, client: FederatedClient):
+        if client.data is None:
+            client.attach_data(worker_client_data(client.client_id))
+        ctx = self.ctx
+        stats = client.local_train(ctx.config.iterations_per_round)
+        channel = ctx.channel_for(client)
+        payload = client.prepare_upload(channel)
+        extra = client.extra_upload_bytes()
+        sample_bytes = ctx.real_sample_bytes(client.upload_sample_bytes())
+        up = ctx.real_bytes(payload.num_bytes + extra) + sample_bytes
+        update = client.build_update(
+            stats, state=channel.decode(payload), upload_bytes=up
+        )
+        update.raw_upload_bytes = (
+            ctx.real_bytes(payload.raw_num_bytes + extra) + sample_bytes
+        )
+        update.sim_seconds = ctx.train_seconds(
+            client, update.compute_units
+        ) + channel.upload_seconds(up)
+        if self.strip_data:
+            client.detach_data()
+        return update, client
+
+
+class _ReceivePhase:
+    """One client's global-state download leg of a round.
+
+    The broadcast state arrives through the engine's
+    :class:`~repro.federated.engine.StateHandle` — in-process engines pass
+    the dict straight through, process engines decode a shared-memory copy
+    once per worker.  Returns ``(download_bytes, compute_units, client)``.
+    """
+
+    def __init__(
+        self,
+        ctx: RoundContext,
+        handle: StateHandle,
+        round_index: int,
+        strip_data: bool,
+    ):
+        self.ctx = ctx
+        self.handle = handle
+        self.round_index = round_index
+        self.strip_data = strip_data
+
+    def __call__(self, client: FederatedClient):
+        if client.data is None:
+            client.attach_data(worker_client_data(client.client_id))
+        state = self.handle.resolve()
+        channel = self.ctx.channel_for(client)
+        down = self.ctx.real_bytes(
+            channel.download_num_bytes(state) + client.extra_download_bytes()
+        )
+        client.receive_global(state, self.round_index)
+        units = client.take_compute_units()
+        if self.strip_data:
+            client.detach_data()
+        return down, units, client
 
 
 class FederatedTrainer:
@@ -72,6 +207,8 @@ class FederatedTrainer:
         participation: str | ParticipationPolicy | None = None,
         transport: str | Transport | None = None,
         scenario: str = "class-inc",
+        shards: int = 1,
+        data_factory=None,
     ):
         if not clients:
             raise ValueError("trainer needs at least one client")
@@ -86,10 +223,54 @@ class FederatedTrainer:
         self.method_name = method_name or clients[0].method_name
         self.scenario = scenario
         self.engine = create_engine(engine)
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        self.shards = shards
+        # shard accumulation rides the trainer's thread pool when one is
+        # configured (identical math — regression-tested); serial and
+        # process round engines accumulate shards sequentially (shipping
+        # shard partials across a process boundary costs more than the
+        # accumulation itself)
+        self.aggregator = (
+            ShardedAggregator(
+                server,
+                shards,
+                engine=self.engine
+                if isinstance(self.engine, ThreadedRoundEngine)
+                else None,
+            )
+            if shards > 1
+            else None
+        )
         self.policy = create_policy(
             participation if participation is not None else config.participation,
             seed=config.seed,
         )
+        self._data_factory = data_factory
+        if self.engine.needs_pickling:
+            unsafe = sorted(
+                {c.method_name for c in clients if not c.process_safe}
+            )
+            if unsafe:
+                raise ValueError(
+                    f"method(s) {unsafe} exchange state with the live server "
+                    f"mid-round and cannot run on a process engine; use "
+                    f"'serial' or 'thread'"
+                )
+            if data_factory is not None:
+                install = getattr(self.engine, "set_data_factory", None)
+                if install is not None:
+                    install(data_factory)
+        self._ctx = RoundContext(
+            config=config,
+            transport=self.transport,
+            cluster=self.cluster,
+            cost_model=cost_model,
+            num_clients=len(clients),
+        )
+        self._client_index = {
+            client.client_id: index for index, client in enumerate(clients)
+        }
         self._oom: set[int] = set()
 
     # ------------------------------------------------------------------
@@ -107,15 +288,13 @@ class FederatedTrainer:
         return False
 
     # ------------------------------------------------------------------
-    # edge simulation helpers
+    # edge simulation helpers (delegated to the picklable round context)
     # ------------------------------------------------------------------
     def _device_for(self, client: FederatedClient) -> DeviceProfile:
-        return self.cluster.device_for_client(client.client_id, len(self.clients))
+        return self._ctx.device_for(client)
 
     def _channel_for(self, client: FederatedClient) -> Channel:
-        return self.transport.channel_for(
-            client.client_id, self._device_for(client)
-        )
+        return self._ctx.channel_for(client)
 
     def _check_memory(self, client: FederatedClient) -> bool:
         """True if the client's device can hold its training state."""
@@ -131,11 +310,7 @@ class FederatedTrainer:
         return required <= device.memory_bytes
 
     def _train_seconds(self, client: FederatedClient, units: float) -> float:
-        if self.cost_model is None:
-            return 0.0
-        device = self._device_for(client)
-        flops = self.cost_model.train_flops(self.config.batch_size, units)
-        return device.training_seconds(flops)
+        return self._ctx.train_seconds(client, units)
 
     def _comm_seconds(self, up_bytes: int, down_bytes: int) -> float:
         """Round-trip time on the reference link; latency charged once."""
@@ -144,14 +319,67 @@ class FederatedTrainer:
         )
 
     def _real_bytes(self, our_bytes: int) -> int:
-        if self.cost_model is None:
-            return our_bytes
-        return self.cost_model.real_state_bytes(our_bytes)
+        return self._ctx.real_bytes(our_bytes)
 
     def _real_sample_bytes(self, our_bytes: int) -> int:
-        if self.cost_model is None:
-            return our_bytes
-        return self.cost_model.real_sample_store_bytes(our_bytes)
+        return self._ctx.real_sample_bytes(our_bytes)
+
+    # ------------------------------------------------------------------
+    # client adoption across process boundaries
+    # ------------------------------------------------------------------
+    def _adopt(self, client: FederatedClient) -> FederatedClient:
+        """Install a (possibly worker-mutated) client as the live replica.
+
+        In-process engines return the same objects, making this a no-op;
+        process engines return pickled-back copies whose mutations (model
+        weights, optimiser state, RNG position, method state) must replace
+        the parent's stale instances.
+        """
+        index = self._client_index[client.client_id]
+        if self.clients[index] is not client:
+            self.clients[index] = client
+        return client
+
+    def _strip_for_map(self, clients: list[FederatedClient]) -> dict | None:
+        """Detach task data before a process crossing (when rebuildable)."""
+        if not self.engine.needs_pickling or self._data_factory is None:
+            return None
+        return {client.client_id: client.detach_data() for client in clients}
+
+    def _restore_data(
+        self, clients: list[FederatedClient], detached: dict | None
+    ) -> None:
+        if detached is None:
+            return
+        for client in clients:
+            if client.data is None:
+                client.attach_data(detached[client.client_id])
+
+    # ------------------------------------------------------------------
+    # per-client deadlines (deadline:auto)
+    # ------------------------------------------------------------------
+    def _maybe_bind_auto_deadlines(self, active: list[FederatedClient]) -> None:
+        """Derive per-client deadlines from each client's network link.
+
+        ``deadline:auto`` gives client ``i`` ``slack x`` the time its own
+        link needs to upload one dense model payload, so heterogeneous
+        links (the Raspberry Pi's 0.5x uplink) get proportionally more
+        time.  Bound once, lazily, at the first planned round — after
+        ``begin_task`` so every method can produce an upload state.
+        """
+        policy = self.policy
+        if not getattr(policy, "auto", False) or policy.has_client_deadlines:
+            return
+        payload_bytes = self._real_bytes(
+            encoded_num_bytes(active[0].upload_state())
+        )
+        policy.bind_client_deadlines(
+            {
+                client.client_id: policy.slack
+                * self._channel_for(client).link.upload_seconds(payload_bytes)
+                for client in self.clients
+            }
+        )
 
     # ------------------------------------------------------------------
     # main loop
@@ -183,37 +411,29 @@ class FederatedTrainer:
                 f"updates left round with unset download accounting: {unset}"
             )
 
-    def _run_round(
-        self,
-        position: int,
-        round_index: int,
-        active: list[FederatedClient],
-    ) -> RoundRecord:
+    def _run_round(self, position: int, round_index: int) -> RoundRecord:
         """Execute one aggregation round under the participation policy."""
+        active = self.active_clients()
         by_id = {client.client_id: client for client in active}
         active_ids = [client.client_id for client in active]
+        self._maybe_bind_auto_deadlines(active)
         plan = self.policy.plan_round(position, round_index, active_ids)
         participants = [by_id[cid] for cid in plan.participants if cid in by_id]
 
-        def train_phase(client: FederatedClient) -> ClientUpdate:
-            stats = client.local_train(self.config.iterations_per_round)
-            channel = self._channel_for(client)
-            payload = client.prepare_upload(channel)
-            extra = client.extra_upload_bytes()
-            sample_bytes = self._real_sample_bytes(client.upload_sample_bytes())
-            up = self._real_bytes(payload.num_bytes + extra) + sample_bytes
-            update = client.build_update(
-                stats, state=channel.decode(payload), upload_bytes=up
-            )
-            update.raw_upload_bytes = (
-                self._real_bytes(payload.raw_num_bytes + extra) + sample_bytes
-            )
-            update.sim_seconds = self._train_seconds(
-                client, update.compute_units
-            ) + channel.upload_seconds(up)
-            return update
-
-        fresh = self.engine.map(train_phase, participants)
+        strip = self.engine.needs_pickling and self._data_factory is not None
+        detached = self._strip_for_map(participants)
+        try:
+            mapped = self.engine.map(_TrainPhase(self._ctx, strip), participants)
+        finally:
+            self._restore_data(participants, detached)
+        fresh: list[ClientUpdate] = []
+        for slot, (update, client) in enumerate(mapped):
+            if detached is not None and client.data is None:
+                client.attach_data(detached[client.client_id])
+            client = self._adopt(client)
+            participants[slot] = client
+            by_id[client.client_id] = client
+            fresh.append(update)
         outcome = self.policy.collect(plan, fresh, active_ids)
 
         # synchronous barrier: the round waits for its slowest trainer, but a
@@ -226,13 +446,27 @@ class FederatedTrainer:
         if plan.deadline_seconds is not None:
             train_seconds = min(train_seconds, plan.deadline_seconds)
 
+        merge_seconds = 0.0
+        shard_reported: tuple[int, ...] = ()
+        skipped = False
         if outcome.updates:
-            global_state = self.server.aggregate_updates(
-                outcome.updates, staleness_discount=self.policy.staleness_discount
-            )
+            if self.aggregator is not None:
+                global_state = self.aggregator.aggregate_updates(
+                    outcome.updates,
+                    staleness_discount=self.policy.staleness_discount,
+                )
+                shard_reported = self.aggregator.last_shard_counts
+                merge_seconds = self.aggregator.last_merge_seconds
+            else:
+                global_state = self.server.aggregate_updates(
+                    outcome.updates,
+                    staleness_discount=self.policy.staleness_discount,
+                )
         else:
             # nobody reported in time and nothing was pending: the global
-            # model is unchanged this round
+            # model is unchanged this round — the round is recorded as
+            # skipped rather than fed to the aggregator (which would raise)
+            skipped = True
             global_state = self.server.global_state
 
         up_total = sum(update.upload_bytes for update in outcome.updates)
@@ -245,23 +479,27 @@ class FederatedTrainer:
         downloads: dict[int, int] = {}
         receivers = [by_id[cid] for cid in outcome.receivers if cid in by_id]
         if global_state is not None and receivers:
-            # one shared base snapshot per broadcast, instead of one copy
-            # per receiving client
-            shared_base = self.transport.broadcast_base(global_state)
-
-            def receive_phase(client: FederatedClient):
-                channel = self._channel_for(client)
-                down = self._real_bytes(
-                    channel.download_num_bytes(global_state)
-                    + client.extra_download_bytes()
+            handle = self.engine.share_state(global_state)
+            detached = self._strip_for_map(receivers)
+            try:
+                received = self.engine.map(
+                    _ReceivePhase(self._ctx, handle, round_index, strip),
+                    receivers,
                 )
-                channel.deliver(global_state, base=shared_base)
-                client.receive_global(global_state, round_index)
-                return down, client.take_compute_units()
-
-            for client, (down, units) in zip(
-                receivers, self.engine.map(receive_phase, receivers)
-            ):
+            finally:
+                self._restore_data(receivers, detached)
+                handle.release()
+            # one shared base snapshot per broadcast, instead of one copy
+            # per receiving client; channel bookkeeping stays parent-side so
+            # negotiated warmup/base state survives process rounds
+            shared_base = self.transport.broadcast_base(global_state)
+            for slot, (down, units, client) in enumerate(received):
+                if detached is not None and client.data is None:
+                    client.attach_data(detached[client.client_id])
+                client = self._adopt(client)
+                receivers[slot] = client
+                by_id[client.client_id] = client
+                self._channel_for(client).deliver(global_state, base=shared_base)
                 down_total += down
                 downloads[client.client_id] = down
                 train_seconds = max(
@@ -293,7 +531,46 @@ class FederatedTrainer:
             reported_clients=len(outcome.reported),
             stale_clients=len(outcome.stale),
             raw_upload_bytes=raw_up_total,
+            shard_reported=shard_reported,
+            merge_seconds=merge_seconds,
+            skipped=skipped,
         )
+
+    def _begin_position(self, position: int) -> list[FederatedClient]:
+        """Advance every active client to task ``position``; returns them."""
+        for client in self.active_clients():
+            client.begin_task(position)
+            if not self._check_memory(client):
+                # The device cannot hold the method's state any more
+                # (e.g. FedWEIT on the 2 GB Raspberry Pi): it drops out of
+                # federation permanently, as in Section V-B.
+                self._oom.add(client.client_id)
+        active = self.active_clients()
+        if not active:
+            raise RuntimeError(
+                f"all clients ran out of memory before task stage {position}"
+            )
+        self.policy.begin_task(position)
+        self.engine.begin_task(position)
+        return active
+
+    def run_task(
+        self, position: int, num_rounds: int | None = None
+    ) -> list[RoundRecord]:
+        """Run one task stage's aggregation rounds, without the end-of-stage
+        evaluation or knowledge extraction.
+
+        The round-throughput benchmarks (``fig-scaling``) time exactly this:
+        ``begin_task`` on every active client, then ``num_rounds`` rounds
+        (default: the config's ``rounds_per_task``).
+        """
+        self._begin_position(position)
+        if num_rounds is None:
+            num_rounds = self.config.rounds_per_task
+        return [
+            self._run_round(position, round_index)
+            for round_index in range(num_rounds)
+        ]
 
     def run(self, num_positions: int | None = None) -> RunResult:
         """Run the full task sequence; returns the collected metrics.
@@ -309,23 +586,10 @@ class FederatedTrainer:
         stage_evals: list[list[list[float]]] = []
 
         for position in range(num_positions):
-            for client in self.active_clients():
-                client.begin_task(position)
-                if not self._check_memory(client):
-                    # The device cannot hold the method's state any more
-                    # (e.g. FedWEIT on the 2 GB Raspberry Pi): it drops out of
-                    # federation permanently, as in Section V-B.
-                    self._oom.add(client.client_id)
-            active = self.active_clients()
-            if not active:
-                raise RuntimeError(
-                    f"all clients ran out of memory before task stage {position}"
-                )
-            self.policy.begin_task(position)
-
+            self._begin_position(position)
             for round_index in range(self.config.rounds_per_task):
-                rounds.append(self._run_round(position, round_index, active))
-            for client in active:
+                rounds.append(self._run_round(position, round_index))
+            for client in self.active_clients():
                 client.end_task()
                 client.take_compute_units()
 

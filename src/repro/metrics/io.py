@@ -45,6 +45,9 @@ def result_to_dict(result: RunResult) -> dict:
                 "reported_clients": r.reported_clients,
                 "stale_clients": r.stale_clients,
                 "raw_upload_bytes": r.raw_upload_bytes,
+                "shard_reported": list(r.shard_reported),
+                "merge_seconds": r.merge_seconds,
+                "skipped": r.skipped,
             }
             for r in result.rounds
         ],
@@ -78,6 +81,11 @@ def result_from_dict(payload: dict) -> RunResult:
             stale_clients=r.get("stale_clients", 0),
             # absent in payloads written before the transport redesign
             raw_upload_bytes=r.get("raw_upload_bytes", -1),
+            # absent in payloads written before the sharded population
+            # subsystem
+            shard_reported=tuple(r.get("shard_reported", ())),
+            merge_seconds=r.get("merge_seconds", 0.0),
+            skipped=r.get("skipped", False),
         )
         for r in payload["rounds"]
     ]

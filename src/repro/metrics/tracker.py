@@ -36,6 +36,13 @@ class RoundRecord:
     #: What the round's uploads would have cost as dense v1 (the transport
     #: compression baseline); defaults to ``upload_bytes`` (no compression).
     raw_upload_bytes: int = -1
+    #: Updates each aggregation shard consumed (empty = unsharded round).
+    shard_reported: tuple[int, ...] = ()
+    #: Wall seconds spent merging shard partial sums (0 when unsharded).
+    merge_seconds: float = 0.0
+    #: True when nobody reported and no straggler work was pending: the
+    #: global model was left untouched and aggregation never ran.
+    skipped: bool = False
 
     def __post_init__(self):
         if self.planned_clients < 0:
@@ -44,6 +51,7 @@ class RoundRecord:
             self.reported_clients = self.planned_clients
         if self.raw_upload_bytes < 0:
             self.raw_upload_bytes = self.upload_bytes
+        self.shard_reported = tuple(self.shard_reported)
 
     @property
     def upload_compression(self) -> float:
@@ -173,6 +181,16 @@ class RunResult:
     @property
     def total_stale_clients(self) -> int:
         return int(sum(r.stale_clients for r in self.rounds))
+
+    @property
+    def skipped_rounds(self) -> int:
+        """Rounds that aggregated nothing (no reports, nothing pending)."""
+        return sum(1 for r in self.rounds if r.skipped)
+
+    @property
+    def merge_seconds(self) -> float:
+        """Total wall seconds spent merging shard partials across the run."""
+        return float(sum(r.merge_seconds for r in self.rounds))
 
     def summary(self) -> dict:
         """Compact dictionary used by the experiment reports."""

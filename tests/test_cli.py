@@ -102,12 +102,44 @@ class TestRun:
         assert code == 0
         assert "combined" in capsys.readouterr().out
 
+    def test_run_with_shards_and_process_engine(self, capsys):
+        code = main([
+            "run", "--method", "fedavg", "--dataset", "cifar100",
+            "--preset", "unit", "--engine", "process:2", "--shards", "2",
+        ])
+        assert code == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_process_engine_rejects_server_coupled_method(self, capsys):
+        code = main([
+            "run", "--method", "flcn", "--dataset", "cifar100",
+            "--preset", "unit", "--engine", "process:2",
+        ])
+        assert code == 2
+        assert "serial or thread" in capsys.readouterr().err
+
+    def test_invalid_engine_rejected(self, capsys):
+        code = main([
+            "run", "--method", "fedavg", "--dataset", "cifar100",
+            "--preset", "unit", "--engine", "quantum",
+        ])
+        assert code == 2
+        assert "--engine" in capsys.readouterr().err
+
+    def test_invalid_shards_rejected(self, capsys):
+        code = main([
+            "run", "--method", "fedavg", "--dataset", "cifar100",
+            "--preset", "unit", "--shards", "0",
+        ])
+        assert code == 2
+        assert "--shards" in capsys.readouterr().err
+
 
 class TestFigure:
     def test_figures_catalogue_complete(self):
         for name in ("fig4", "fig5", "fig5-wire", "fig6", "fig7", "fig8",
                      "fig9", "fig10", "table1", "ablations", "fig4-hetero",
-                     "fig-scenarios"):
+                     "fig-scenarios", "fig-scaling"):
             assert name in FIGURES
 
     def test_fig5_unit(self, capsys):

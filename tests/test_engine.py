@@ -9,6 +9,7 @@ from repro.data import build_benchmark, cifar100_like
 from repro.edge import jetson_cluster
 from repro.federated import (
     ENGINES,
+    ProcessRoundEngine,
     SerialRoundEngine,
     ThreadedRoundEngine,
     TrainConfig,
@@ -30,13 +31,29 @@ def config():
 
 class TestEngineApi:
     def test_registry(self):
-        assert set(ENGINES) == {"serial", "thread"}
+        assert set(ENGINES) == {"serial", "thread", "process"}
         assert isinstance(create_engine("serial"), SerialRoundEngine)
         assert isinstance(create_engine("thread"), ThreadedRoundEngine)
+        assert isinstance(create_engine("process"), ProcessRoundEngine)
 
     def test_unknown_engine_raises(self):
         with pytest.raises(KeyError):
-            create_engine("process")
+            create_engine("quantum")
+
+    def test_worker_count_specs(self):
+        thread = create_engine("thread:3")
+        assert thread.max_workers == 3
+        process = create_engine("process:2")
+        assert process.max_workers == 2
+        process.close()
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ValueError):
+            create_engine("serial:2")
+        with pytest.raises(ValueError):
+            create_engine("thread:x")
+        with pytest.raises(ValueError):
+            create_engine("process:0")
 
     def test_instance_passthrough(self):
         engine = ThreadedRoundEngine(max_workers=2)
