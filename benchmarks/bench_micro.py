@@ -7,6 +7,8 @@ a knowledge extraction, a gradient restoration, and the integrator QP.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -18,7 +20,10 @@ from repro.federated import (
     FedAvgServer,
     ProcessRoundEngine,
     ShardedAggregator,
+    TrainConfig,
+    create_trainer,
 )
+from repro.federated.batched import capture_client_tape, train_chunk
 from repro.models import build_model
 from repro.nn import SGD, Tensor
 from repro.nn import functional as F
@@ -148,6 +153,76 @@ def test_process_round_8_clients(benchmark, process_engine):
         lambda: process_engine.map(_process_round_work, range(8))
     )
     assert len(results) == 8
+
+
+@pytest.fixture(scope="module")
+def round_64c():
+    """Two 64-client fedavg populations (serial reference + batched) on a
+    dispatch-bound workload: small inputs and minibatches make python
+    autograd dispatch — not BLAS — the round's dominant cost, which is the
+    regime the captured-tape engine exists for."""
+    spec = cifar100_like(
+        train_per_class=4, test_per_class=2, input_shape=(3, 8, 8)
+    ).with_tasks(1)
+    scenario = create_scenario("class-inc")
+    config = TrainConfig(batch_size=1, lr=0.01, rounds_per_task=1,
+                         iterations_per_round=8, seed=0)
+
+    def build(engine):
+        bench = scenario.build(spec, num_clients=64,
+                               rng=np.random.default_rng(0))
+        trainer = create_trainer("fedavg", bench, config,
+                                 with_cost_model=False, engine=engine)
+        for client in trainer.clients:
+            client.begin_task(0)
+        return trainer
+
+    serial, batched = build("serial"), build("batched")
+    tape, order = capture_client_tape(batched.clients[0])
+    train_chunk(batched.clients, 1, tape, order)  # warm the replay path
+    yield serial, batched, tape, order
+    serial.close()
+    batched.close()
+
+
+def test_replayed_step(benchmark, round_64c):
+    """One captured-graph replay + flat SGD step for a single client — the
+    tape-engine counterpart of ``test_training_step``'s dynamic step."""
+    _, batched, tape, order = round_64c
+    client = batched.clients[0]
+    benchmark(lambda: train_chunk([client], 1, tape, order))
+
+
+def _seconds(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_batched_round_64c(benchmark, round_64c):
+    """A full 64-client, 8-iteration local-training round: one batched
+    captured-tape replay vs the serial client loop.  Asserts the batched
+    engine's acceptance bar — >= 4x fewer wall-clock seconds than serial
+    (best-of-3 on each side; the FLOPs are identical, so the win is
+    amortized dispatch)."""
+    serial, batched, tape, order = round_64c
+    iterations = serial.config.iterations_per_round
+
+    def serial_round():
+        for client in serial.clients:
+            client.local_train(iterations)
+
+    def batched_round():
+        train_chunk(batched.clients, iterations, tape, order)
+
+    serial_round()  # warm-up
+    serial_best = min(_seconds(serial_round) for _ in range(3))
+    batched_best = min(_seconds(batched_round) for _ in range(3))
+    benchmark(batched_round)
+    assert serial_best / batched_best >= 4.0, (
+        f"batched round speedup {serial_best / batched_best:.2f}x < 4x "
+        f"(serial {serial_best:.3f}s, batched {batched_best:.3f}s)"
+    )
 
 
 @pytest.mark.parametrize("solver", [solve_nnqp_active_set,

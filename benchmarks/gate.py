@@ -32,7 +32,10 @@ from repro.federated import (
     FedAvgServer,
     ProcessRoundEngine,
     ShardedAggregator,
+    TrainConfig,
+    create_trainer,
 )
+from repro.federated.batched import capture_client_tape, train_chunk
 from repro.utils.serialization import (
     decode_state,
     decode_state_v2,
@@ -103,6 +106,48 @@ def _gate_round_work(seed: int) -> float:
     rng = np.random.default_rng(seed)
     matrix = rng.normal(size=(96, 96))
     return float(np.linalg.norm(matrix @ matrix.T))
+
+
+def _local_round_cases() -> dict[str, float]:
+    """Local-training rounds: the serial client loop vs one batched
+    captured-tape replay (64 clients, dispatch-bound workload), plus a
+    single-client replay step.  The serial case is recorded alongside the
+    batched one so baselines.json documents the engine's speedup ratio."""
+    spec = cifar100_like(
+        train_per_class=4, test_per_class=2, input_shape=(3, 8, 8)
+    ).with_tasks(1)
+    config = TrainConfig(batch_size=1, lr=0.01, rounds_per_task=1,
+                         iterations_per_round=8, seed=0)
+
+    def build(engine):
+        bench = create_scenario("class-inc").build(
+            spec, num_clients=64, rng=np.random.default_rng(0)
+        )
+        trainer = create_trainer("fedavg", bench, config,
+                                 with_cost_model=False, engine=engine)
+        for client in trainer.clients:
+            client.begin_task(0)
+        return trainer
+
+    serial, batched = build("serial"), build("batched")
+    tape, order = capture_client_tape(batched.clients[0])
+    try:
+        return {
+            "serial_round_64c": best_seconds(
+                lambda: [c.local_train(8) for c in serial.clients],
+                repeats=3,
+            ),
+            "batched_round_64c": best_seconds(
+                lambda: train_chunk(batched.clients, 8, tape, order),
+                repeats=3,
+            ),
+            "replayed_step": best_seconds(
+                lambda: train_chunk(batched.clients[:1], 1, tape, order)
+            ),
+        }
+    finally:
+        serial.close()
+        batched.close()
 
 
 def hot_path_cases() -> dict[str, float]:
@@ -181,6 +226,10 @@ def hot_path_cases() -> dict[str, float]:
                 scenario_spec, num_clients=64, rng=np.random.default_rng(0)
             )
         ),
+        # the client-side hot path: one 64-client local-training round on
+        # the serial loop vs the batched captured-tape engine (the batched
+        # baseline must stay well under serial_round_64c / 4)
+        **_local_round_cases(),
     }
 
 

@@ -93,9 +93,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--tasks", type=int, default=None)
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--engine", default="serial",
-                       help="round engine: 'serial', 'thread[:W]' or "
+                       help="round engine: 'serial', 'thread[:W]', "
                             "'process[:W]' — W workers of concurrent client "
-                            "execution (identical metrics, faster wall clock)")
+                            "execution — or 'batched[:B]' — B clients "
+                            "stacked per captured-graph replay (identical "
+                            "metrics, faster wall clock)")
     run_p.add_argument("--shards", type=int, default=1,
                        help="partition each round's aggregation across this "
                             "many streaming shard accumulators (identical "
@@ -169,7 +171,11 @@ def _cmd_run(args) -> int:
         print("error: --fp16 requires --wire v2", file=sys.stderr)
         return 2
     try:
-        from .federated import PROCESS_UNSAFE_METHODS, create_engine
+        from .federated import (
+            BATCH_SAFE_METHODS,
+            PROCESS_UNSAFE_METHODS,
+            create_engine,
+        )
 
         engine = create_engine(args.engine)
         engine.close()
@@ -181,6 +187,13 @@ def _cmd_run(args) -> int:
         print(f"error: --engine {args.engine} cannot run {args.method!r}: "
               f"its clients exchange state with the live server mid-round; "
               f"use --engine serial or thread", file=sys.stderr)
+        return 2
+    if (getattr(engine, "batches_clients", False)
+            and args.method not in BATCH_SAFE_METHODS):
+        print(f"error: --engine {args.engine} cannot run {args.method!r}: "
+              f"its local step is not a pure loss→backward→SGD "
+              f"update; batch-safe methods: "
+              f"{', '.join(sorted(BATCH_SAFE_METHODS))}", file=sys.stderr)
         return 2
     if args.shards < 1:
         print(f"error: --shards must be >= 1, got {args.shards}",

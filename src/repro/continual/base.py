@@ -23,6 +23,14 @@ class ContinualStrategy:
 
     name = "finetune"
 
+    #: Whether the strategy's training step is pure loss→backward→SGD over
+    #: the model parameters, with no gradient surgery or per-step retained
+    #: state — the precondition for folding clients into one batched replay
+    #: on :class:`~repro.federated.engine.BatchedRoundEngine`.  Strategies
+    #: that override ``post_backward`` / keep per-step state must leave this
+    #: False.
+    batch_safe = False
+
     def __init__(self):
         self.client = None
 
@@ -43,8 +51,13 @@ class ContinualStrategy:
         yb: np.ndarray,
         class_mask: np.ndarray,
     ) -> Tensor:
-        """Training loss for one batch; default is masked cross-entropy."""
-        return F.cross_entropy(model(Tensor(xb)), yb, class_mask=class_mask)
+        """Training loss for one batch; default is masked cross-entropy.
+
+        ``xb`` / ``yb`` / ``class_mask`` may be tensors already registered as
+        tape inputs — a graph capture passes them through unchanged.
+        """
+        xb = xb if isinstance(xb, Tensor) else Tensor(xb)
+        return F.cross_entropy(model(xb), yb, class_mask=class_mask)
 
     def post_backward(
         self,
@@ -72,3 +85,5 @@ class ContinualStrategy:
 
 class FinetuneStrategy(ContinualStrategy):
     """Explicit alias of the do-nothing baseline (pure FedAvg client)."""
+
+    batch_safe = True

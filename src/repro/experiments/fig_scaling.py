@@ -7,7 +7,8 @@ the sharded population subsystem opens up:
 
 * round engines: ``serial`` (reference), ``thread``, ``process`` (GIL-free
   worker processes with worker-rebuilt task data and shared-memory
-  global-state broadcast);
+  global-state broadcast), ``batched`` (clients stacked along a leading
+  axis on a captured graph tape — one batched forward/backward per step);
 * aggregation shards: 1 (the single streaming accumulator) vs K independent
   shard accumulators merged in fixed order.
 
@@ -122,7 +123,7 @@ class FigScalingReport:
 def run_fig_scaling(
     preset: ScalePreset = BENCH,
     populations: tuple[int, ...] | None = None,
-    engines: tuple[str, ...] = ("serial", "thread", "process"),
+    engines: tuple[str, ...] = ("serial", "thread", "process", "batched"),
     shard_counts: tuple[int, ...] = (1, 4, 16),
     method: str = "fedavg",
     rounds: int | None = None,

@@ -5,6 +5,7 @@ from .base import FederatedClient, SGDClient
 from .config import TrainConfig
 from .engine import (
     ENGINES,
+    BatchedRoundEngine,
     ProcessRoundEngine,
     RoundEngine,
     SerialRoundEngine,
@@ -26,6 +27,7 @@ from .participation import (
 from .protocol import ClientUpdate, ClientUpload, RoundOutcome, RoundPlan
 from .registry import (
     ALL_METHODS,
+    BATCH_SAFE_METHODS,
     CONTINUAL_STRATEGIES,
     FCL_METHODS,
     FEDERATED_METHODS,
@@ -47,6 +49,8 @@ from .transport import (
 __all__ = [
     "ALL_METHODS",
     "APFLClient",
+    "BATCH_SAFE_METHODS",
+    "BatchedRoundEngine",
     "CONTINUAL_STRATEGIES",
     "Channel",
     "ClientUpdate",

@@ -38,6 +38,11 @@ class FederatedClient:
     #: round (FLCN sample sharing, FedWEIT's adaptive registry) — those
     #: side effects would be lost across a process boundary.
     process_safe: bool = True
+    #: Whether this client's local training may be folded into one batched
+    #: graph replay alongside other clients (pure loss→backward→SGD, no
+    #: gradient surgery or per-step retained state).  :class:`SGDClient`
+    #: derives this from its strategy.
+    batch_safe: bool = False
 
     def __init__(
         self,
@@ -244,6 +249,13 @@ class SGDClient(FederatedClient):
         self.strategy.bind(self)
         if strategy.name != "finetune":
             self.method_name = strategy.name
+        #: Stats stashed by a batched engine's pre-pass; consumed (and
+        #: cleared) by the next ``local_train`` call instead of retraining.
+        self._pending_batched_stats: dict | None = None
+
+    @property
+    def batch_safe(self) -> bool:  # type: ignore[override]
+        return self.strategy.batch_safe
 
     def begin_task(self, position: int) -> None:
         super().begin_task(position)
@@ -253,6 +265,15 @@ class SGDClient(FederatedClient):
         """Run ``iterations`` SGD steps on the current task."""
         if self.task is None:
             raise RuntimeError("local_train called before begin_task")
+        if self._pending_batched_stats is not None:
+            stats = self._pending_batched_stats
+            self._pending_batched_stats = None
+            if stats["iterations"] != iterations:
+                raise RuntimeError(
+                    f"batched pre-pass trained {stats['iterations']} "
+                    f"iterations but the round asked for {iterations}"
+                )
+            return stats
         self.model.train()
         mask = self.task.class_mask()
         losses = []

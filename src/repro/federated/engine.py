@@ -8,12 +8,18 @@ active clients.  Engines decide how that map executes:
   semantics);
 * :class:`ThreadedRoundEngine` — clients run concurrently on a thread pool;
 * :class:`ProcessRoundEngine` — clients run in worker processes, escaping
-  the GIL for the numpy-light parts of a round.
+  the GIL for the numpy-light parts of a round;
+* :class:`BatchedRoundEngine` — same-architecture clients are **stacked**:
+  the training step is captured once as a static graph tape and replayed
+  with B clients' weights and minibatches along a leading axis, one batched
+  forward/backward + flat SGD update per step
+  (see :mod:`repro.federated.batched`).
 
 Clients are fully independent during a round (each owns its model, optimiser,
 RNG and method state; servers are only touched between phases), so every
 engine produces **bit-identical** results to the serial one — the per-client
-float operations and their within-client order are unchanged, and outputs are
+float operations and their within-client order are unchanged (the batched
+engine's stacked contractions are bit-identical per slice), and outputs are
 reassembled in client order.  Only wall-clock time differs.
 
 Process engines add two contracts on top of the shared ``map`` one:
@@ -32,11 +38,11 @@ Process engines add two contracts on top of the shared ``map`` one:
 Known cost: each map chunk pickles its phase callable, which carries the
 round context (transport channels included).  Channel negotiation state
 must travel — warmup counters decide when delta/sparse uploads engage, so
-re-deriving channels worker-side would break bit-identity — and under a
-``delta``/``sparse`` transport the channels share one dense base state
-whose copy rides along per chunk.  Dense transports (the default) carry no
-base; routing the delta base through a :class:`SharedStateHandle` is a
-ROADMAP follow-on.
+re-deriving channels worker-side would break bit-identity.  Under a
+``delta``/``sparse`` transport the channels' shared dense base is routed
+through a :class:`SharedStateHandle`: map chunks ship a file token, and
+each worker decodes the base once per broadcast instead of every chunk
+carrying its own copy.  Dense transports (the default) carry no base.
 """
 
 from __future__ import annotations
@@ -299,10 +305,56 @@ class ProcessRoundEngine(RoundEngine):
             self._executor = None
 
 
+class BatchedRoundEngine(RoundEngine):
+    """Same-architecture clients run stacked along a leading batch axis.
+
+    A phase callable may expose a ``prepare_batched(engine, items)`` hook;
+    the engine calls it once with the whole item list before the ordinary
+    per-item map.  The trainer's train phase uses the hook to run all
+    participants' local SGD through one captured graph tape
+    (:func:`repro.federated.batched.train_clients_batched`) in chunks of at
+    most ``batch_clients``; the per-item calls then only package results.
+    Phases without the hook (the receive phase) fall through to plain
+    serial execution, so the ``map`` contract is unchanged.
+
+    Only ``batch_safe`` clients may run here — the trainer validates, like
+    it does ``process_safe`` for process engines.
+    """
+
+    name = "batched"
+    #: Trainer-visible marker: clients must be ``batch_safe`` to run here.
+    batches_clients = True
+
+    def __init__(self, batch_clients: int | None = None):
+        if batch_clients is not None and batch_clients < 1:
+            raise ValueError(
+                f"need at least one client per batch, got {batch_clients}"
+            )
+        self.batch_clients = batch_clients
+        self._tape_cache: dict = {}
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        items = list(items)
+        prepare = getattr(fn, "prepare_batched", None)
+        if prepare is not None:
+            prepare(self, items)
+        return [fn(item) for item in items]
+
+    def train_clients(self, clients, iterations: int) -> None:
+        """Run batched local training for ``clients`` (called by the train
+        phase's ``prepare_batched`` hook)."""
+        from .batched import train_clients_batched
+
+        train_clients_batched(
+            clients, iterations, self.batch_clients, self._tape_cache
+        )
+
+
 ENGINES: dict[str, type[RoundEngine]] = {
     "serial": SerialRoundEngine,
     "thread": ThreadedRoundEngine,
     "process": ProcessRoundEngine,
+    "batched": BatchedRoundEngine,
 }
 
 
@@ -311,8 +363,11 @@ def create_engine(
 ) -> RoundEngine:
     """Resolve an engine instance from a spec string, or pass one through.
 
-    Specs read ``"<name>[:<workers>]"`` — ``"serial"``, ``"thread"``,
-    ``"thread:4"``, ``"process"``, ``"process:8"``.  ``max_workers`` is the
+    Specs read ``"<name>[:<arg>]"`` — ``"serial"``, ``"thread"``,
+    ``"thread:4"``, ``"process"``, ``"process:8"``, ``"batched"``,
+    ``"batched:64"``.  The argument is a worker count for thread/process
+    engines and a per-chunk client count for the batched engine (default:
+    all of a round's participants in one chunk).  ``max_workers`` is the
     fallback worker count when the spec does not carry one; ``serial``
     takes no argument.
     """
@@ -323,7 +378,7 @@ def create_engine(
         raise KeyError(
             f"unknown round engine {engine!r}; known: {sorted(ENGINES)}"
         )
-    workers = max_workers
+    workers = max_workers if name != "batched" else None
     if arg:
         if name == "serial":
             raise ValueError("the serial engine takes no worker count")
@@ -340,4 +395,6 @@ def create_engine(
         return SerialRoundEngine()
     if name == "thread":
         return ThreadedRoundEngine(max_workers=workers)
+    if name == "batched":
+        return BatchedRoundEngine(batch_clients=workers)
     return ProcessRoundEngine(max_workers=workers)

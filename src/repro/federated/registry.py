@@ -79,6 +79,27 @@ PROCESS_UNSAFE_METHODS: tuple[str, ...] = tuple(
 )
 
 
+def _batch_safe_methods() -> tuple[str, ...]:
+    """Methods whose local step is a pure loss→backward→SGD update and can
+    therefore run stacked on the batched engine (derived from the strategy
+    classes' ``batch_safe`` flags so it cannot drift from them)."""
+    from ..continual.base import FinetuneStrategy
+
+    safe = []
+    if FinetuneStrategy.batch_safe:
+        safe.append("fedavg")
+    safe.extend(
+        name
+        for name, strategy_cls in CONTINUAL_STRATEGIES.items()
+        if strategy_cls.batch_safe
+    )
+    return tuple(safe)
+
+
+#: Methods the batched round engine accepts (``--engine batched``).
+BATCH_SAFE_METHODS: tuple[str, ...] = _batch_safe_methods()
+
+
 def create_trainer(
     method: str,
     benchmark: FederatedContinualBenchmark,

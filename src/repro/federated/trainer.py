@@ -153,6 +153,12 @@ class _TrainPhase:
             client.detach_data()
         return update, client
 
+    def prepare_batched(self, engine, clients) -> None:
+        """Batched-engine hook: run every participant's local SGD as one
+        stacked graph replay per chunk before the per-client packaging
+        calls above (each then consumes its client's stashed stats)."""
+        engine.train_clients(list(clients), self.ctx.config.iterations_per_round)
+
 
 class _ReceivePhase:
     """One client's global-state download leg of a round.
@@ -261,6 +267,19 @@ class FederatedTrainer:
                 install = getattr(self.engine, "set_data_factory", None)
                 if install is not None:
                     install(data_factory)
+        if getattr(self.engine, "batches_clients", False):
+            unsafe = sorted(
+                {c.method_name for c in clients if not c.batch_safe}
+            )
+            if unsafe:
+                raise ValueError(
+                    f"method(s) {unsafe} keep per-step strategy state or "
+                    f"rewrite gradients and cannot run on the batched "
+                    f"engine; use 'serial', 'thread' or 'process'"
+                )
+        #: Live shared-base handles (delta/sparse transports on a process
+        #: engine); retired once no channel references them any more.
+        self._base_handles: list[StateHandle] = []
         self._ctx = RoundContext(
             config=config,
             transport=self.transport,
@@ -278,7 +297,30 @@ class FederatedTrainer:
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Release the round engine's execution resources (idempotent)."""
+        for handle in self._base_handles:
+            handle.release()
+        self._base_handles = []
         self.engine.close()
+
+    def _retire_base_handles(self) -> None:
+        """Release shared base snapshots no channel references any more.
+
+        Only the receivers of a broadcast adopt the new base handle; a
+        non-participating client's channel may keep pointing at an older
+        one, whose backing file must outlive it.  Identity against the
+        live channels decides when a handle's file can go.
+        """
+        live = {
+            id(channel._base)
+            for channel in self.transport._channels.values()
+        }
+        keep = []
+        for handle in self._base_handles:
+            if id(handle) in live:
+                keep.append(handle)
+            else:
+                handle.release()
+        self._base_handles = keep
 
     def __enter__(self) -> "FederatedTrainer":
         return self
@@ -491,8 +533,14 @@ class FederatedTrainer:
                 handle.release()
             # one shared base snapshot per broadcast, instead of one copy
             # per receiving client; channel bookkeeping stays parent-side so
-            # negotiated warmup/base state survives process rounds
+            # negotiated warmup/base state survives process rounds.  On a
+            # process engine the snapshot is wrapped in a shared-memory
+            # handle so map chunks ship a file token instead of the dense
+            # base — workers decode it once per broadcast.
             shared_base = self.transport.broadcast_base(global_state)
+            if shared_base is not None and self.engine.needs_pickling:
+                shared_base = self.engine.share_state(shared_base)
+                self._base_handles.append(shared_base)
             for slot, (down, units, client) in enumerate(received):
                 if detached is not None and client.data is None:
                     client.attach_data(detached[client.client_id])
@@ -505,6 +553,8 @@ class FederatedTrainer:
                 train_seconds = max(
                     train_seconds, self._train_seconds(client, units)
                 )
+            if self._base_handles:
+                self._retire_base_handles()
         self._resolve_download_accounting(
             outcome, downloads, set(outcome.receivers)
         )

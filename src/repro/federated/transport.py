@@ -115,9 +115,27 @@ class Channel:
         self.fp16 = fp16 and version >= WIRE_V2
         self.link = link
         self.warmup_rounds = warmup_rounds
-        #: Last global state delivered over this link (the delta base).
-        self.base: dict[str, np.ndarray] | None = None
+        # Last global state delivered over this link (the delta base):
+        # a dict, or a resolvable engine StateHandle (see ``base`` below).
+        self._base = None
         self.deliveries = 0
+
+    @property
+    def base(self) -> dict[str, np.ndarray] | None:
+        """Last global state delivered over this link (the delta base).
+
+        Under a process round engine the base arrives as a shared-memory
+        :class:`~repro.federated.engine.StateHandle`; resolving here means
+        a pickled channel ships a file token instead of the dense state,
+        and each worker decodes the base once per broadcast.
+        """
+        base = self._base
+        resolve = getattr(base, "resolve", None)
+        return base if resolve is None else resolve()
+
+    @base.setter
+    def base(self, value) -> None:
+        self._base = value
 
     # ------------------------------------------------------------------
     # upload path
@@ -190,13 +208,14 @@ class Channel:
     def deliver(
         self,
         global_state: Mapping[str, np.ndarray],
-        base: dict[str, np.ndarray] | None = None,
+        base=None,
     ) -> None:
         """Record a broadcast: advances warmup and snapshots the delta base.
 
         ``base`` optionally supplies an already-copied snapshot shared
         across every receiver's channel (one copy per broadcast instead of
-        one per client); decode paths never mutate the base, so sharing is
+        one per client) — either a dict or a resolvable engine
+        ``StateHandle``; decode paths never mutate the base, so sharing is
         safe.  Without it the channel snapshots the state itself.
         """
         if self.upload_mode != "dense":
@@ -205,7 +224,7 @@ class Channel:
                     key: np.array(value, copy=True)
                     for key, value in global_state.items()
                 }
-            self.base = base
+            self._base = base
         self.deliveries += 1
 
     # ------------------------------------------------------------------

@@ -5,14 +5,25 @@ method set does not cover: grouped 2-D convolution (im2col based), max / average
 pooling, batch normalisation, dropout, log-softmax and the cross-entropy losses
 used throughout the FedKNOW reproduction (hard-label, soft-label / distillation,
 and task-masked variants).
+
+Every operator is a registered :class:`~repro.nn.graph.OpDef`, so a model built
+from these functions can be captured on a :class:`~repro.nn.graph.GraphTape`
+and replayed without per-op Python dispatch.  The conv / pool / cross-entropy
+set additionally provides batched implementations (leading client axis,
+einsum contractions) that are bit-identical per slice to the unbatched ops.
+Two operators opt out of capture semantics: ``dropout`` raises under an active
+tape (its mask would be baked stale into the program), and ``batch_norm`` is
+capturable for serial replay (the running buffers are shared state, mutated in
+place exactly as the dynamic op does) but has no batched implementation.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from . import profiler
-from .tensor import Tensor, is_grad_enabled
+from . import graph, profiler
+from .graph import register_op
+from .tensor import Tensor, apply_op
 
 # ---------------------------------------------------------------------------
 # im2col / col2im
@@ -81,6 +92,125 @@ def col2im(
 # ---------------------------------------------------------------------------
 
 
+def _conv2d_fwd(ctx, *arrays, sh, sw, ph, pw, groups):
+    x, weight = arrays[0], arrays[1]
+    bias = arrays[2] if len(arrays) > 2 else None
+    n, c = x.shape[0], x.shape[1]
+    c_out, c_in_g, kh, kw = weight.shape
+    cols, oh, ow = im2col(x, kh, kw, sh, sw, ph, pw)
+    l = oh * ow
+    cog = c_out // groups
+    # (N, G, Cg*kh*kw, L) x (G, CoG, Cg*kh*kw) -> (N, G, CoG, L)
+    cols_g = cols.reshape(n, groups, c_in_g * kh * kw, l)
+    w_g = weight.reshape(groups, cog, c_in_g * kh * kw)
+    out = np.einsum("ngkl,gok->ngol", cols_g, w_g, optimize=True)
+    out = out.reshape(n, c_out, oh, ow)
+    if bias is not None:
+        out = out + bias.reshape(1, c_out, 1, 1)
+    if profiler.is_profiling():
+        profiler.record_op(2.0 * n * c_out * l * c_in_g * kh * kw, float(out.size))
+    ctx["cols_g"] = cols_g
+    ctx["w_g"] = w_g
+    ctx["dims"] = (n, c, groups, cog, l, kh, kw)
+    ctx["conv"] = (sh, sw, ph, pw)
+    ctx["x_shape"] = x.shape
+    ctx["w_shape"] = weight.shape
+    return out
+
+
+def _conv2d_vjp(ctx, g):
+    needs = ctx["needs"]
+    n, c, groups, cog, l, kh, kw = ctx["dims"]
+    sh, sw, ph, pw = ctx["conv"]
+    g_g = g.reshape(n, groups, cog, l)
+    gx = gw = gb = None
+    if len(needs) > 2 and needs[2]:
+        gb = g.sum(axis=(0, 2, 3))
+    if needs[1]:
+        grad_w = np.einsum("ngol,ngkl->gok", g_g, ctx["cols_g"], optimize=True)
+        gw = grad_w.reshape(ctx["w_shape"])
+    if needs[0]:
+        grad_cols = np.einsum("ngol,gok->ngkl", g_g, ctx["w_g"], optimize=True)
+        grad_cols = grad_cols.reshape(n, c * kh * kw, l)
+        gx = col2im(grad_cols, ctx["x_shape"], kh, kw, sh, sw, ph, pw)
+    if len(needs) > 2:
+        return (gx, gw, gb)
+    return (gx, gw)
+
+
+def _conv2d_bfwd(ctx, *arrays, sh, sw, ph, pw, groups):
+    x, weight = arrays[0], arrays[1]
+    bias = arrays[2] if len(arrays) > 2 else None
+    ab = ctx["arg_batched"]
+    if not ab[0] or not ab[1]:
+        raise NotImplementedError(
+            "batched conv2d requires both the input and the weight to carry "
+            "the client axis (constant/frozen weights are not supported)"
+        )
+    b, n, c = x.shape[0], x.shape[1], x.shape[2]
+    c_out, c_in_g, kh, kw = weight.shape[1:]
+    cols, oh, ow = im2col(x.reshape((b * n,) + x.shape[2:]), kh, kw, sh, sw, ph, pw)
+    l = oh * ow
+    cog = c_out // groups
+    k = c_in_g * kh * kw
+    cols_g = cols.reshape(b, n, groups, k, l)
+    w_g = weight.reshape(b, groups, cog, k)
+    # (B,1,G,CoG,K) @ (B,N,G,K,L) -> (B,N,G,CoG,L): a broadcasted batch of
+    # the serial kernel's GEMMs — bit-identical per client slice and much
+    # faster than the einsum route, which copies operands into bmm layout
+    out = np.matmul(w_g[:, None], cols_g)
+    out = out.reshape(b, n, c_out, oh, ow)
+    if bias is not None:
+        bshape = (b, 1, c_out, 1, 1) if ab[2] else (1, 1, c_out, 1, 1)
+        out = out + bias.reshape(bshape)
+    if profiler.is_profiling():
+        profiler.record_op(2.0 * b * n * c_out * l * k, float(out.size))
+    ctx["cols_g"] = cols_g
+    ctx["w_g"] = w_g
+    ctx["dims"] = (n, c, groups, cog, l, kh, kw)
+    ctx["conv"] = (sh, sw, ph, pw)
+    ctx["b"] = b
+    ctx["x_shape"] = x.shape
+    ctx["w_shape"] = weight.shape
+    return out
+
+
+def _conv2d_bvjp(ctx, g):
+    needs = ctx["needs"]
+    n, c, groups, cog, l, kh, kw = ctx["dims"]
+    sh, sw, ph, pw = ctx["conv"]
+    b = ctx["b"]
+    g_g = g.reshape(b, n, groups, cog, l)
+    gx = gw = gb = None
+    if len(needs) > 2 and needs[2]:
+        gb = g.sum(axis=(1, 3, 4))
+    if needs[1]:
+        # contract (N, L) merged, like the serial einsum does — summing the
+        # per-sample partials in any other order drifts off bit-identity
+        k = ctx["w_g"].shape[-1]
+        g2 = np.ascontiguousarray(g_g.transpose(0, 2, 3, 1, 4))
+        g2 = g2.reshape(b, groups, cog, n * l)
+        c2 = np.ascontiguousarray(ctx["cols_g"].transpose(0, 2, 1, 4, 3))
+        c2 = c2.reshape(b, groups, n * l, k)
+        gw = np.matmul(g2, c2).reshape(ctx["w_shape"])
+    if needs[0]:
+        grad_cols = np.matmul(ctx["w_g"][:, None].swapaxes(-1, -2), g_g)
+        grad_cols = grad_cols.reshape(b * n, c * kh * kw, l)
+        x_shape = ctx["x_shape"]
+        gx = col2im(
+            grad_cols, (b * n,) + x_shape[2:], kh, kw, sh, sw, ph, pw
+        ).reshape(x_shape)
+    if len(needs) > 2:
+        return (gx, gw, gb)
+    return (gx, gw)
+
+
+_CONV2D = register_op(
+    "conv2d", _conv2d_fwd, _conv2d_vjp, batched_forward=_conv2d_bfwd,
+    batched_vjp=_conv2d_bvjp, batch_exact=True,
+)
+
+
 def conv2d(
     x: Tensor,
     weight: Tensor,
@@ -97,8 +227,8 @@ def conv2d(
     """
     sh, sw = _pair(stride)
     ph, pw = _pair(padding)
-    n, c, _, _ = x.shape
-    c_out, c_in_g, kh, kw = weight.shape
+    _, c, _, _ = x.shape
+    c_out, c_in_g, _, _ = weight.shape
     if c != c_in_g * groups:
         raise ValueError(
             f"input has {c} channels but weight expects {c_in_g * groups} "
@@ -106,36 +236,8 @@ def conv2d(
         )
     if c_out % groups:
         raise ValueError(f"output channels {c_out} not divisible by groups {groups}")
-
-    cols, oh, ow = im2col(x.data, kh, kw, sh, sw, ph, pw)
-    l = oh * ow
-    cog = c_out // groups
-    # (N, G, Cg*kh*kw, L) x (G, CoG, Cg*kh*kw) -> (N, G, CoG, L)
-    cols_g = cols.reshape(n, groups, c_in_g * kh * kw, l)
-    w_g = weight.data.reshape(groups, cog, c_in_g * kh * kw)
-    out = np.einsum("ngkl,gok->ngol", cols_g, w_g, optimize=True)
-    out = out.reshape(n, c_out, oh, ow)
-    if bias is not None:
-        out = out + bias.data.reshape(1, c_out, 1, 1)
-    if profiler.is_profiling():
-        profiler.record_op(2.0 * n * c_out * l * c_in_g * kh * kw, float(out.size))
-
-    x_shape = x.shape
-
-    def backward(g: np.ndarray) -> None:
-        g_g = g.reshape(n, groups, cog, l)
-        if bias is not None and bias.requires_grad:
-            bias.accumulate_grad(g.sum(axis=(0, 2, 3)))
-        if weight.requires_grad:
-            grad_w = np.einsum("ngol,ngkl->gok", g_g, cols_g, optimize=True)
-            weight.accumulate_grad(grad_w.reshape(weight.shape))
-        if x.requires_grad:
-            grad_cols = np.einsum("ngol,gok->ngkl", g_g, w_g, optimize=True)
-            grad_cols = grad_cols.reshape(n, c * kh * kw, l)
-            x.accumulate_grad(col2im(grad_cols, x_shape, kh, kw, sh, sw, ph, pw))
-
-    parents = (x, weight) if bias is None else (x, weight, bias)
-    return Tensor._make(out, parents, backward)
+    args = (x, weight) if bias is None else (x, weight, bias)
+    return apply_op(_CONV2D, args, sh=sh, sw=sw, ph=ph, pw=pw, groups=groups)
 
 
 # ---------------------------------------------------------------------------
@@ -143,13 +245,9 @@ def conv2d(
 # ---------------------------------------------------------------------------
 
 
-def max_pool2d(x: Tensor, kernel_size=2, stride=None, padding=0) -> Tensor:
-    """Max pooling over spatial windows."""
-    kh, kw = _pair(kernel_size)
-    sh, sw = _pair(stride if stride is not None else kernel_size)
-    ph, pw = _pair(padding)
-    n, c, _, _ = x.shape
-    data = x.data
+def _max_pool2d_fwd(ctx, x, *, kh, kw, sh, sw, ph, pw):
+    n, c = x.shape[0], x.shape[1]
+    data = x
     if ph or pw:
         pad_value = np.finfo(data.dtype).min
         data = np.pad(
@@ -159,25 +257,100 @@ def max_pool2d(x: Tensor, kernel_size=2, stride=None, padding=0) -> Tensor:
     windows = cols.reshape(n, c, kh * kw, oh * ow)
     arg = windows.argmax(axis=2)
     out = np.take_along_axis(windows, arg[:, :, None, :], axis=2)[:, :, 0, :]
-    out = out.reshape(n, c, oh, ow)
+    ctx["arg"] = arg
+    ctx["windows_shape"] = windows.shape
+    ctx["dtype"] = windows.dtype
+    ctx["dims"] = (n, c, oh, ow, kh, kw, sh, sw, ph, pw)
+    ctx["padded_shape"] = data.shape
+    ctx["x_shape"] = x.shape
+    return out.reshape(n, c, oh, ow)
 
-    padded_shape = data.shape
-    x_shape = x.shape
 
-    def backward(g: np.ndarray) -> None:
-        grad_windows = np.zeros_like(windows)
-        np.put_along_axis(
-            grad_windows, arg[:, :, None, :], g.reshape(n, c, 1, oh * ow), axis=2
-        )
-        grad_cols = grad_windows.reshape(n, c * kh * kw, oh * ow)
-        grad_padded = col2im(grad_cols, padded_shape, kh, kw, sh, sw, 0, 0)
-        if ph or pw:
-            grad_padded = grad_padded[
-                :, :, ph : ph + x_shape[2], pw : pw + x_shape[3]
-            ]
-        x.accumulate_grad(grad_padded)
+def _max_pool2d_vjp(ctx, g):
+    n, c, oh, ow, kh, kw, sh, sw, ph, pw = ctx["dims"]
+    x_shape = ctx["x_shape"]
+    grad_windows = np.zeros(ctx["windows_shape"], dtype=ctx["dtype"])
+    np.put_along_axis(
+        grad_windows, ctx["arg"][:, :, None, :], g.reshape(n, c, 1, oh * ow), axis=2
+    )
+    grad_cols = grad_windows.reshape(n, c * kh * kw, oh * ow)
+    grad_padded = col2im(grad_cols, ctx["padded_shape"], kh, kw, sh, sw, 0, 0)
+    if ph or pw:
+        grad_padded = grad_padded[:, :, ph : ph + x_shape[2], pw : pw + x_shape[3]]
+    return (grad_padded,)
 
-    return Tensor._make(out, (x,), backward)
+
+def _max_pool2d_bfwd(ctx, x, *, kh, kw, sh, sw, ph, pw):
+    b = x.shape[0]
+    sub: dict = {}
+    out = _max_pool2d_fwd(
+        sub, x.reshape((-1,) + x.shape[2:]), kh=kh, kw=kw, sh=sh, sw=sw, ph=ph, pw=pw
+    )
+    ctx["sub"] = sub
+    ctx["b"] = b
+    return out.reshape((b, -1) + out.shape[1:])
+
+
+def _max_pool2d_bvjp(ctx, g):
+    gg = _max_pool2d_vjp(ctx["sub"], g.reshape((-1,) + g.shape[2:]))[0]
+    return (gg.reshape((ctx["b"], -1) + gg.shape[1:]),)
+
+
+_MAX_POOL2D = register_op(
+    "max_pool2d", _max_pool2d_fwd, _max_pool2d_vjp,
+    batched_forward=_max_pool2d_bfwd, batched_vjp=_max_pool2d_bvjp,
+    batch_exact=True,
+)
+
+
+def max_pool2d(x: Tensor, kernel_size=2, stride=None, padding=0) -> Tensor:
+    """Max pooling over spatial windows."""
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride if stride is not None else kernel_size)
+    ph, pw = _pair(padding)
+    return apply_op(_MAX_POOL2D, (x,), kh=kh, kw=kw, sh=sh, sw=sw, ph=ph, pw=pw)
+
+
+def _avg_pool2d_fwd(ctx, x, *, kh, kw, sh, sw, ph, pw):
+    n, c = x.shape[0], x.shape[1]
+    cols, oh, ow = im2col(x, kh, kw, sh, sw, ph, pw)
+    windows = cols.reshape(n, c, kh * kw, oh * ow)
+    out = windows.mean(axis=2).reshape(n, c, oh, ow)
+    ctx["dims"] = (n, c, oh, ow, kh, kw, sh, sw, ph, pw)
+    ctx["x_shape"] = x.shape
+    return out
+
+
+def _avg_pool2d_vjp(ctx, g):
+    n, c, oh, ow, kh, kw, sh, sw, ph, pw = ctx["dims"]
+    scale = 1.0 / (kh * kw)
+    g_flat = (g.reshape(n, c, 1, oh * ow) * scale).astype(g.dtype)
+    grad_windows = np.broadcast_to(g_flat, (n, c, kh * kw, oh * ow))
+    grad_cols = np.ascontiguousarray(grad_windows).reshape(n, c * kh * kw, oh * ow)
+    return (col2im(grad_cols, ctx["x_shape"], kh, kw, sh, sw, ph, pw),)
+
+
+def _avg_pool2d_bfwd(ctx, x, *, kh, kw, sh, sw, ph, pw):
+    b = x.shape[0]
+    sub: dict = {}
+    out = _avg_pool2d_fwd(
+        sub, x.reshape((-1,) + x.shape[2:]), kh=kh, kw=kw, sh=sh, sw=sw, ph=ph, pw=pw
+    )
+    ctx["sub"] = sub
+    ctx["b"] = b
+    return out.reshape((b, -1) + out.shape[1:])
+
+
+def _avg_pool2d_bvjp(ctx, g):
+    gg = _avg_pool2d_vjp(ctx["sub"], g.reshape((-1,) + g.shape[2:]))[0]
+    return (gg.reshape((ctx["b"], -1) + gg.shape[1:]),)
+
+
+_AVG_POOL2D = register_op(
+    "avg_pool2d", _avg_pool2d_fwd, _avg_pool2d_vjp,
+    batched_forward=_avg_pool2d_bfwd, batched_vjp=_avg_pool2d_bvjp,
+    batch_exact=True,
+)
 
 
 def avg_pool2d(x: Tensor, kernel_size=2, stride=None, padding=0) -> Tensor:
@@ -185,22 +358,7 @@ def avg_pool2d(x: Tensor, kernel_size=2, stride=None, padding=0) -> Tensor:
     kh, kw = _pair(kernel_size)
     sh, sw = _pair(stride if stride is not None else kernel_size)
     ph, pw = _pair(padding)
-    n, c, _, _ = x.shape
-    cols, oh, ow = im2col(x.data, kh, kw, sh, sw, ph, pw)
-    windows = cols.reshape(n, c, kh * kw, oh * ow)
-    out = windows.mean(axis=2).reshape(n, c, oh, ow)
-    scale = 1.0 / (kh * kw)
-    x_shape = x.shape
-
-    def backward(g: np.ndarray) -> None:
-        g_flat = (g.reshape(n, c, 1, oh * ow) * scale).astype(g.dtype)
-        grad_windows = np.broadcast_to(g_flat, (n, c, kh * kw, oh * ow))
-        grad_cols = np.ascontiguousarray(grad_windows).reshape(
-            n, c * kh * kw, oh * ow
-        )
-        x.accumulate_grad(col2im(grad_cols, x_shape, kh, kw, sh, sw, ph, pw))
-
-    return Tensor._make(out, (x,), backward)
+    return apply_op(_AVG_POOL2D, (x,), kh=kh, kw=kw, sh=sh, sw=sw, ph=ph, pw=pw)
 
 
 def global_avg_pool2d(x: Tensor) -> Tensor:
@@ -211,6 +369,75 @@ def global_avg_pool2d(x: Tensor) -> Tensor:
 # ---------------------------------------------------------------------------
 # normalisation
 # ---------------------------------------------------------------------------
+
+
+def _batch_norm_fwd(
+    ctx, x, gamma, beta, *, running_mean, running_var, training, momentum, eps
+):
+    if x.ndim == 4:
+        axes = (0, 2, 3)
+        shape = (1, -1, 1, 1)
+    elif x.ndim == 2:
+        axes = (0,)
+        shape = (1, -1)
+    else:
+        raise ValueError(f"batch_norm expects 2-D or 4-D input, got {x.ndim}-D")
+
+    if training:
+        mean = x.mean(axis=axes)
+        var = x.var(axis=axes)
+        count = x.size // x.shape[1]
+        unbiased = var * count / max(count - 1, 1)
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * unbiased
+    else:
+        mean = running_mean
+        var = running_var
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x - mean.reshape(shape)) * inv_std.reshape(shape)
+    out = gamma.reshape(shape) * x_hat + beta.reshape(shape)
+    ctx["x_hat"] = x_hat
+    ctx["inv_std"] = inv_std
+    ctx["gamma"] = gamma
+    ctx["axes"] = axes
+    ctx["shape"] = shape
+    ctx["training"] = training
+    ctx["count"] = x.size // x.shape[1]
+    return out.astype(x.dtype)
+
+
+def _batch_norm_vjp(ctx, g):
+    needs = ctx["needs"]
+    axes = ctx["axes"]
+    shape = ctx["shape"]
+    x_hat = ctx["x_hat"]
+    inv_std = ctx["inv_std"]
+    gx = ggamma = gbeta = None
+    if needs[2]:
+        gbeta = g.sum(axis=axes)
+    if needs[1]:
+        ggamma = (g * x_hat).sum(axis=axes)
+    if needs[0]:
+        g_hat = g * ctx["gamma"].reshape(shape)
+        if ctx["training"]:
+            count = ctx["count"]
+            sum_g = g_hat.sum(axis=axes, keepdims=True)
+            sum_gx = (g_hat * x_hat).sum(axis=axes, keepdims=True)
+            grad_x = (
+                inv_std.reshape(shape)
+                / count
+                * (count * g_hat - sum_g - x_hat * sum_gx)
+            )
+        else:
+            grad_x = g_hat * inv_std.reshape(shape)
+        gx = grad_x.astype(g.dtype)
+    return (gx, ggamma, gbeta)
+
+
+_BATCH_NORM = register_op("batch_norm", _batch_norm_fwd, _batch_norm_vjp)
 
 
 def batch_norm(
@@ -226,60 +453,37 @@ def batch_norm(
     """Batch normalisation over the channel axis for 2-D or 4-D inputs.
 
     ``running_mean`` / ``running_var`` are plain numpy buffers updated in place
-    during training (they carry no gradient).
+    during training (they carry no gradient).  Under capture the buffers and
+    the ``training`` flag are baked into the program, so a replay updates the
+    same buffers the dynamic op would; the op has no batched implementation
+    (per-client running state cannot share one contraction).
     """
-    if x.ndim == 4:
-        axes = (0, 2, 3)
-        shape = (1, -1, 1, 1)
-    elif x.ndim == 2:
-        axes = (0,)
-        shape = (1, -1)
-    else:
-        raise ValueError(f"batch_norm expects 2-D or 4-D input, got {x.ndim}-D")
-
-    if training:
-        mean = x.data.mean(axis=axes)
-        var = x.data.var(axis=axes)
-        count = x.data.size // x.data.shape[1]
-        unbiased = var * count / max(count - 1, 1)
-        running_mean *= 1.0 - momentum
-        running_mean += momentum * mean
-        running_var *= 1.0 - momentum
-        running_var += momentum * unbiased
-    else:
-        mean = running_mean
-        var = running_var
-
-    inv_std = 1.0 / np.sqrt(var + eps)
-    x_hat = (x.data - mean.reshape(shape)) * inv_std.reshape(shape)
-    out = gamma.data.reshape(shape) * x_hat + beta.data.reshape(shape)
-
-    def backward(g: np.ndarray) -> None:
-        if beta.requires_grad:
-            beta.accumulate_grad(g.sum(axis=axes))
-        if gamma.requires_grad:
-            gamma.accumulate_grad((g * x_hat).sum(axis=axes))
-        if x.requires_grad:
-            g_hat = g * gamma.data.reshape(shape)
-            if training:
-                count = x.data.size // x.data.shape[1]
-                sum_g = g_hat.sum(axis=axes, keepdims=True)
-                sum_gx = (g_hat * x_hat).sum(axis=axes, keepdims=True)
-                grad_x = (
-                    inv_std.reshape(shape)
-                    / count
-                    * (count * g_hat - sum_g - x_hat * sum_gx)
-                )
-            else:
-                grad_x = g_hat * inv_std.reshape(shape)
-            x.accumulate_grad(grad_x.astype(g.dtype))
-
-    return Tensor._make(out.astype(x.data.dtype), (x, gamma, beta), backward)
+    return apply_op(
+        _BATCH_NORM,
+        (x, gamma, beta),
+        running_mean=running_mean,
+        running_var=running_var,
+        training=training,
+        momentum=momentum,
+        eps=eps,
+    )
 
 
 # ---------------------------------------------------------------------------
 # regularisation
 # ---------------------------------------------------------------------------
+
+
+def _dropout_fwd(ctx, x, *, mask):
+    ctx["mask"] = mask
+    return x * mask
+
+
+def _dropout_vjp(ctx, g):
+    return (g * ctx["mask"],)
+
+
+_DROPOUT = register_op("dropout", _dropout_fwd, _dropout_vjp)
 
 
 def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
@@ -288,14 +492,15 @@ def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Te
         return x
     if not 0.0 <= p < 1.0:
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if graph.active_tape() is not None:
+        raise NotImplementedError(
+            "dropout cannot be captured on a GraphTape: the random mask would "
+            "be baked into the replayed program; capture in eval mode or use "
+            "a model without dropout"
+        )
     keep = 1.0 - p
     mask = (rng.random(x.shape) < keep).astype(x.data.dtype) / keep
-    out = x.data * mask
-
-    def backward(g: np.ndarray) -> None:
-        x.accumulate_grad(g * mask)
-
-    return Tensor._make(out, (x,), backward)
+    return apply_op(_DROPOUT, (x,), mask=mask)
 
 
 # ---------------------------------------------------------------------------
@@ -308,26 +513,42 @@ def _log_softmax(logits: np.ndarray) -> np.ndarray:
     return shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
 
 
+def _log_softmax_fwd(ctx, x):
+    out = _log_softmax(x)
+    ctx["softmax"] = np.exp(out)
+    return out
+
+
+def _log_softmax_vjp(ctx, g):
+    return (g - ctx["softmax"] * g.sum(axis=1, keepdims=True),)
+
+
+_LOG_SOFTMAX = register_op("log_softmax", _log_softmax_fwd, _log_softmax_vjp)
+
+
 def log_softmax(x: Tensor) -> Tensor:
     """Row-wise log-softmax (over axis 1)."""
-    out = _log_softmax(x.data)
-    softmax = np.exp(out)
+    return apply_op(_LOG_SOFTMAX, (x,))
 
-    def backward(g: np.ndarray) -> None:
-        x.accumulate_grad(g - softmax * g.sum(axis=1, keepdims=True))
 
-    return Tensor._make(out, (x,), backward)
+def _softmax_fwd(ctx, x):
+    out = np.exp(_log_softmax(x))
+    ctx["out"] = out
+    return out
+
+
+def _softmax_vjp(ctx, g):
+    out = ctx["out"]
+    dot = (g * out).sum(axis=1, keepdims=True)
+    return (out * (g - dot),)
+
+
+_SOFTMAX = register_op("softmax", _softmax_fwd, _softmax_vjp)
 
 
 def softmax(x: Tensor) -> Tensor:
     """Row-wise softmax (over axis 1)."""
-    out = np.exp(_log_softmax(x.data))
-
-    def backward(g: np.ndarray) -> None:
-        dot = (g * out).sum(axis=1, keepdims=True)
-        x.accumulate_grad(out * (g - dot))
-
-    return Tensor._make(out, (x,), backward)
+    return apply_op(_SOFTMAX, (x,))
 
 
 def _apply_class_mask(logits: np.ndarray, class_mask: np.ndarray | None) -> np.ndarray:
@@ -337,35 +558,126 @@ def _apply_class_mask(logits: np.ndarray, class_mask: np.ndarray | None) -> np.n
     return masked.astype(logits.dtype)
 
 
+def _cross_entropy_fwd(ctx, *arrays):
+    logits, labels = arrays[0], arrays[1]
+    class_mask = arrays[2] if len(arrays) > 2 else None
+    n = logits.shape[0]
+    masked = _apply_class_mask(logits, class_mask)
+    logp = _log_softmax(masked)
+    loss = -logp[np.arange(n), labels].mean()
+    ctx["probs"] = np.exp(logp)
+    ctx["labels"] = labels
+    ctx["mask"] = class_mask
+    ctx["n"] = n
+    ctx["dtype"] = logits.dtype
+    return np.asarray(loss, dtype=logits.dtype)
+
+
+def _cross_entropy_vjp(ctx, g):
+    n = ctx["n"]
+    grad = ctx["probs"].copy()
+    grad[np.arange(n), ctx["labels"]] -= 1.0
+    grad *= g / n
+    if ctx["mask"] is not None:
+        grad[:, ~ctx["mask"]] = 0.0
+    return (grad.astype(ctx["dtype"]),) + (None,) * (len(ctx["needs"]) - 1)
+
+
+def _cross_entropy_bfwd(ctx, *arrays):
+    logits, labels = arrays[0], arrays[1]
+    class_mask = arrays[2] if len(arrays) > 2 else None
+    n = logits.shape[1]
+    if class_mask is not None:
+        mask3 = class_mask[:, None, :] if ctx["arg_batched"][2] else class_mask[None, None, :]
+        masked = np.where(mask3, logits, np.float32(-1e9)).astype(logits.dtype)
+    else:
+        masked = logits
+    shifted = masked - masked.max(axis=-1, keepdims=True)
+    logp = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    picked = np.take_along_axis(logp, labels[..., None], axis=-1)[..., 0]
+    loss = -picked.mean(axis=-1)
+    ctx["probs"] = np.exp(logp)
+    ctx["labels"] = labels
+    ctx["mask"] = class_mask
+    ctx["mask_batched"] = ctx["arg_batched"][2] if class_mask is not None else False
+    ctx["n"] = n
+    ctx["dtype"] = logits.dtype
+    return loss.astype(logits.dtype)
+
+
+def _cross_entropy_bvjp(ctx, g):
+    n = ctx["n"]
+    labels = ctx["labels"]
+    grad = ctx["probs"].copy()
+    idx = labels[..., None]
+    np.put_along_axis(grad, idx, np.take_along_axis(grad, idx, axis=-1) - 1.0, axis=-1)
+    grad *= (g / n)[:, None, None]
+    mask = ctx["mask"]
+    if mask is not None:
+        mask3 = mask[:, None, :] if ctx["mask_batched"] else mask[None, None, :]
+        grad = np.where(mask3, grad, np.float32(0.0))
+    return (grad.astype(ctx["dtype"]),) + (None,) * (len(ctx["needs"]) - 1)
+
+
+_CROSS_ENTROPY = register_op(
+    "cross_entropy", _cross_entropy_fwd, _cross_entropy_vjp,
+    batched_forward=_cross_entropy_bfwd, batched_vjp=_cross_entropy_bvjp,
+    batch_exact=True,
+)
+
+
 def cross_entropy(
     logits: Tensor,
-    labels: np.ndarray,
-    class_mask: np.ndarray | None = None,
+    labels,
+    class_mask=None,
 ) -> Tensor:
     """Mean cross-entropy between ``logits`` and integer ``labels``.
 
     ``class_mask`` (bool, shape ``(num_classes,)``) restricts the softmax to a
     task's classes — the task-incremental evaluation protocol used throughout
-    the paper's benchmarks.
+    the paper's benchmarks.  ``labels`` / ``class_mask`` may be passed as
+    (non-grad) tensors so a capture treats them as per-replay inputs.
     """
-    labels = np.asarray(labels)
+    labels_arr = labels.data if isinstance(labels, Tensor) else np.asarray(labels)
     n = logits.shape[0]
-    if labels.shape != (n,):
-        raise ValueError(f"labels shape {labels.shape} does not match batch {n}")
-    masked = _apply_class_mask(logits.data, class_mask)
+    if labels_arr.shape != (n,):
+        raise ValueError(f"labels shape {labels_arr.shape} does not match batch {n}")
+    if not isinstance(labels, Tensor):
+        labels = Tensor(labels_arr, dtype=labels_arr.dtype)
+    if class_mask is None:
+        return apply_op(_CROSS_ENTROPY, (logits, labels))
+    if not isinstance(class_mask, Tensor):
+        mask_arr = np.asarray(class_mask)
+        class_mask = Tensor(mask_arr, dtype=mask_arr.dtype)
+    return apply_op(_CROSS_ENTROPY, (logits, labels, class_mask))
+
+
+def _soft_cross_entropy_fwd(ctx, logits, *, target_probs, class_mask):
+    n = logits.shape[0]
+    masked = _apply_class_mask(logits, class_mask)
     logp = _log_softmax(masked)
-    loss = -logp[np.arange(n), labels].mean()
-    probs = np.exp(logp)
+    if class_mask is not None:
+        loss = -(target_probs[:, class_mask] * logp[:, class_mask]).sum() / n
+    else:
+        loss = -(target_probs * logp).sum() / n
+    ctx["probs"] = np.exp(logp)
+    ctx["target_probs"] = target_probs
+    ctx["mask"] = class_mask
+    ctx["n"] = n
+    ctx["dtype"] = logits.dtype
+    return np.asarray(loss, dtype=logits.dtype)
 
-    def backward(g: np.ndarray) -> None:
-        grad = probs.copy()
-        grad[np.arange(n), labels] -= 1.0
-        grad *= g / n
-        if class_mask is not None:
-            grad[:, ~class_mask] = 0.0
-        logits.accumulate_grad(grad.astype(logits.data.dtype))
 
-    return Tensor._make(np.asarray(loss, dtype=logits.data.dtype), (logits,), backward)
+def _soft_cross_entropy_vjp(ctx, g):
+    grad = (ctx["probs"] - ctx["target_probs"]) * (g / ctx["n"])
+    if ctx["mask"] is not None:
+        grad[:, ~ctx["mask"]] = 0.0
+    return (grad.astype(ctx["dtype"]),)
+
+
+_SOFT_CROSS_ENTROPY = register_op(
+    "soft_cross_entropy", _soft_cross_entropy_fwd, _soft_cross_entropy_vjp
+)
 
 
 def soft_cross_entropy(
@@ -385,22 +697,12 @@ def soft_cross_entropy(
         raise ValueError(
             f"target shape {target_probs.shape} != logits shape {logits.shape}"
         )
-    n = logits.shape[0]
-    masked = _apply_class_mask(logits.data, class_mask)
-    logp = _log_softmax(masked)
-    if class_mask is not None:
-        loss = -(target_probs[:, class_mask] * logp[:, class_mask]).sum() / n
-    else:
-        loss = -(target_probs * logp).sum() / n
-    probs = np.exp(logp)
-
-    def backward(g: np.ndarray) -> None:
-        grad = (probs - target_probs) * (g / n)
-        if class_mask is not None:
-            grad[:, ~class_mask] = 0.0
-        logits.accumulate_grad(grad.astype(logits.data.dtype))
-
-    return Tensor._make(np.asarray(loss, dtype=logits.data.dtype), (logits,), backward)
+    return apply_op(
+        _SOFT_CROSS_ENTROPY,
+        (logits,),
+        target_probs=target_probs,
+        class_mask=class_mask,
+    )
 
 
 def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:

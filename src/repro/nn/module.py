@@ -97,6 +97,14 @@ class Module:
         """Total number of scalar trainable parameters."""
         return sum(p.size for p in self.parameters())
 
+    def flat_parameter_view(self):
+        """A :class:`~repro.nn.vector.FlatParamView` over this module's
+        parameters in ``named_parameters`` order (the canonical flat layout
+        used by replayed optimiser steps and the batched round engine)."""
+        from .vector import FlatParamView
+
+        return FlatParamView(self.parameters())
+
     # ------------------------------------------------------------------
     # state dict
     # ------------------------------------------------------------------

@@ -66,6 +66,54 @@ class SGD:
                 grad = grad + self.momentum * velocity if self.nesterov else velocity
             param.data -= self.lr * grad
 
+    # ------------------------------------------------------------------
+    # flat-view interop (replayed / batched steps)
+    # ------------------------------------------------------------------
+    def step_flat(self, view, grad: np.ndarray) -> None:
+        """Apply one update from a flat gradient vector.
+
+        ``view`` is a :class:`~repro.nn.vector.FlatParamView` over exactly
+        this optimiser's parameters.  The whole update is three array ops on
+        ``(D,)`` buffers instead of a per-parameter Python loop — the
+        replayed-step fast path.  Gradients of exactly-zero are applied like
+        any other (a replayed graph always produces a gradient for every
+        parameter), so this matches :meth:`step` whenever every parameter
+        received a gradient.  Velocity state is kept in the same
+        per-parameter arrays ``step`` uses, gathered and scattered around
+        the flat update.
+        """
+        w = view.gather()
+        if self.momentum:
+            velocity = self.velocity_to_flat(view)
+            sgd_update_flat(
+                w, grad, velocity, self.lr, self.momentum,
+                self.weight_decay, self.nesterov,
+            )
+            self.velocity_from_flat(view, velocity)
+        else:
+            sgd_update_flat(
+                w, grad, None, self.lr, 0.0, self.weight_decay, self.nesterov
+            )
+        view.scatter(w)
+
+    def velocity_to_flat(self, view, out: np.ndarray | None = None) -> np.ndarray:
+        """Gather momentum state into a flat ``(D,)`` buffer (zeros where unset)."""
+        if out is None:
+            out = np.empty(view.total, dtype=np.float32)
+        for v, sl in zip(self._velocity, view.slices):
+            if v is None:
+                out[sl] = 0.0
+            else:
+                out[sl] = v.reshape(-1)
+        return out
+
+    def velocity_from_flat(self, view, flat: np.ndarray) -> None:
+        """Scatter a flat ``(D,)`` buffer back into per-parameter velocity."""
+        self._velocity = [
+            flat[sl].reshape(shape).copy()
+            for sl, shape in zip(view.slices, view.shapes)
+        ]
+
     def state_dict(self) -> dict:
         return {
             "lr": self.lr,
@@ -79,6 +127,31 @@ class SGD:
         self.momentum = state["momentum"]
         self.weight_decay = state["weight_decay"]
         self._velocity = [None if v is None else v.copy() for v in state["velocity"]]
+
+
+def sgd_update_flat(
+    w: np.ndarray,
+    grad: np.ndarray,
+    velocity: np.ndarray | None,
+    lr,
+    momentum: float = 0.0,
+    weight_decay: float = 0.0,
+    nesterov: bool = False,
+) -> None:
+    """SGD update on flat buffers, in place on ``w`` (and ``velocity``).
+
+    Exactly the arithmetic of :meth:`SGD.step`, expressed on ``(D,)`` — or,
+    stacked, ``(B, D)`` — float32 buffers.  ``lr`` may be a python float or a
+    float32 ``(B, 1)`` column of per-client learning rates; numpy's weak
+    scalar promotion keeps both bit-identical to the per-parameter update.
+    """
+    if weight_decay:
+        grad = grad + weight_decay * w
+    if momentum:
+        velocity *= momentum
+        velocity += grad
+        grad = grad + momentum * velocity if nesterov else velocity
+    w -= lr * grad
 
 
 def clip_grad_norm(params: Sequence[Parameter], max_norm: float) -> float:

@@ -14,11 +14,17 @@ _active: list["OpProfiler"] = []
 
 
 class OpProfiler:
-    """Accumulates FLOPs and activation elements while active."""
+    """Accumulates FLOPs, activation elements and op dispatches while active.
+
+    ``dispatches`` counts trips through the dynamic per-op dispatch point
+    (``apply_op``); a replayed :class:`~repro.nn.graph.GraphTape` executes
+    op functions directly and therefore records zero dispatches.
+    """
 
     def __init__(self):
         self.flops = 0.0
         self.activation_elems = 0.0
+        self.dispatches = 0
 
     def add(self, flops: float, activation_elems: float) -> None:
         self.flops += flops
@@ -36,6 +42,12 @@ def record_op(flops: float, activation_elems: float) -> None:
     """Called by instrumented ops; no-op when no profiler is active."""
     for profiler in _active:
         profiler.add(flops, activation_elems)
+
+
+def record_dispatch() -> None:
+    """Called once per dynamic op dispatch; no-op when no profiler is active."""
+    for profiler in _active:
+        profiler.dispatches += 1
 
 
 def is_profiling() -> bool:

@@ -55,6 +55,83 @@ def vector_to_gradients(vector: np.ndarray, params: Sequence[Parameter]) -> None
         offset += param.size
 
 
+class FlatParamView:
+    """A flat float32 view over an ordered parameter list.
+
+    Precomputes the offset/slice of every parameter in the concatenated
+    vector so a replayed optimiser step is a handful of array ops on one
+    ``(D,)`` buffer — or, stacked, on a ``(B, D)`` buffer holding ``B``
+    clients' weights.  The view itself holds no data; ``gather`` / ``scatter``
+    copy between the parameter tensors and caller-owned flat buffers (numpy
+    cannot alias non-contiguous parameter storage into one vector).
+    """
+
+    def __init__(self, params: Sequence[Parameter]):
+        self.params: list[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("FlatParamView over an empty parameter list")
+        self.shapes = [p.data.shape for p in self.params]
+        self.sizes = [int(p.data.size) for p in self.params]
+        offsets = [0]
+        for size in self.sizes:
+            offsets.append(offsets[-1] + size)
+        self.slices = [
+            slice(a, b) for a, b in zip(offsets[:-1], offsets[1:])
+        ]
+        self.total = offsets[-1]
+
+    def _params(self, params) -> list:
+        return self.params if params is None else list(params)
+
+    def gather(
+        self, out: np.ndarray | None = None, params: Sequence[Parameter] | None = None
+    ) -> np.ndarray:
+        """Copy parameter values into a flat ``(D,)`` float32 buffer."""
+        if out is None:
+            out = np.empty(self.total, dtype=np.float32)
+        for p, sl in zip(self._params(params), self.slices):
+            out[sl] = p.data.reshape(-1)
+        return out
+
+    def scatter(
+        self, flat: np.ndarray, params: Sequence[Parameter] | None = None
+    ) -> None:
+        """Write a flat ``(D,)`` buffer back into the parameter tensors."""
+        for p, sl, shape in zip(self._params(params), self.slices, self.shapes):
+            p.data[...] = flat[sl].reshape(shape)
+
+    def gather_grads(
+        self, out: np.ndarray | None = None, params: Sequence[Parameter] | None = None
+    ) -> np.ndarray:
+        """Copy gradients into a flat ``(D,)`` buffer (zeros where ``None``)."""
+        if out is None:
+            out = np.empty(self.total, dtype=np.float32)
+        for p, sl in zip(self._params(params), self.slices):
+            if p.grad is None:
+                out[sl] = 0.0
+            else:
+                out[sl] = p.grad.reshape(-1)
+        return out
+
+    # -- stacked (B, D) <-> per-slot stacked arrays ---------------------
+    def scatter_stacked(
+        self, flat2d: np.ndarray, arrays: Sequence[np.ndarray]
+    ) -> None:
+        """Write a ``(B, D)`` buffer into per-slot ``(B,) + shape`` arrays."""
+        b = flat2d.shape[0]
+        for arr, sl, shape in zip(arrays, self.slices, self.shapes):
+            arr[...] = flat2d[:, sl].reshape((b,) + shape)
+
+    def gather_stacked(
+        self, arrays: Sequence[np.ndarray], out: np.ndarray
+    ) -> np.ndarray:
+        """Copy per-slot ``(B,) + shape`` arrays into a ``(B, D)`` buffer."""
+        b = out.shape[0]
+        for arr, sl in zip(arrays, self.slices):
+            out[:, sl] = arr.reshape(b, -1)
+        return out
+
+
 def model_gradient(model: Module) -> np.ndarray:
     """Flat gradient vector of a model's parameters."""
     return gradients_to_vector(model.parameters())

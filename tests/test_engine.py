@@ -9,6 +9,7 @@ from repro.data import build_benchmark, cifar100_like
 from repro.edge import jetson_cluster
 from repro.federated import (
     ENGINES,
+    BatchedRoundEngine,
     ProcessRoundEngine,
     SerialRoundEngine,
     ThreadedRoundEngine,
@@ -31,10 +32,12 @@ def config():
 
 class TestEngineApi:
     def test_registry(self):
-        assert set(ENGINES) == {"serial", "thread", "process"}
+        assert set(ENGINES) == {"serial", "thread", "process", "batched"}
         assert isinstance(create_engine("serial"), SerialRoundEngine)
         assert isinstance(create_engine("thread"), ThreadedRoundEngine)
         assert isinstance(create_engine("process"), ProcessRoundEngine)
+        assert isinstance(create_engine("batched"), BatchedRoundEngine)
+        assert create_engine("batched:4").batch_clients == 4
 
     def test_unknown_engine_raises(self):
         with pytest.raises(KeyError):

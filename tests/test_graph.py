@@ -1,0 +1,289 @@
+"""Tests for the static graph tape (:mod:`repro.nn.graph`).
+
+Three contracts:
+
+* **replay equivalence** — for every registered op, a program captured on a
+  :class:`GraphTape` replays bit-identically to the dynamic closure-based
+  autograd (loss and every leaf gradient);
+* **batched equivalence** — for every op with a batched implementation, a
+  batched replay of B independent leaf/input sets matches B per-slice
+  replays (bit-identical when the tape is ``batch_exact``);
+* **capture semantics** — detach stays a no-copy view, parameter shape
+  changes invalidate the tape loudly, and replay eliminates the per-op
+  dispatch the dynamic tape pays (the profiler's ``dispatches`` counter).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.nn.graph import OPS, GraphTape
+from repro.nn.profiler import OpProfiler
+from repro.nn.tensor import concat, stack
+
+
+def _f(rng, *shape, lo=-1.0, hi=1.0):
+    return rng.uniform(lo, hi, size=shape).astype(np.float32)
+
+
+class Case:
+    """One op's equivalence scenario.
+
+    ``make(rng)`` returns ``(leaf_arrays, input_arrays)`` — float leaves
+    become grad-carrying tape params, named inputs become per-replay tape
+    inputs.  ``build(leaves, inputs)`` applies the op (plus whatever it
+    needs around it) on the corresponding tensors.
+    """
+
+    def __init__(self, make, build):
+        self.make = make
+        self.build = build
+
+
+def _bn_case(rng):
+    return [_f(rng, 4, 3), _f(rng, 3), _f(rng, 3)], {}
+
+
+def _bn_build(leaves, inputs):
+    x, gamma, beta = leaves
+    # fresh running buffers per run: they are updated in place
+    return F.batch_norm(
+        x, gamma, beta, np.zeros(3, np.float32), np.ones(3, np.float32),
+        training=True,
+    )
+
+
+CASES: dict[str, Case] = {
+    "add": Case(lambda r: ([_f(r, 2, 3), _f(r, 3)], {}),
+                lambda ls, ins: ls[0] + ls[1]),
+    "sub": Case(lambda r: ([_f(r, 2, 3), _f(r, 2, 3)], {}),
+                lambda ls, ins: ls[0] - ls[1]),
+    "mul": Case(lambda r: ([_f(r, 2, 3), _f(r, 2, 3)], {}),
+                lambda ls, ins: ls[0] * ls[1]),
+    "div": Case(lambda r: ([_f(r, 2, 3), _f(r, 2, 3, lo=0.5, hi=1.5)], {}),
+                lambda ls, ins: ls[0] / ls[1]),
+    "neg": Case(lambda r: ([_f(r, 2, 3)], {}), lambda ls, ins: -ls[0]),
+    "pow": Case(lambda r: ([_f(r, 2, 3)], {}), lambda ls, ins: ls[0] ** 3),
+    "matmul": Case(lambda r: ([_f(r, 2, 3), _f(r, 3, 4)], {}),
+                   lambda ls, ins: ls[0] @ ls[1]),
+    "relu": Case(lambda r: ([_f(r, 2, 3)], {}), lambda ls, ins: ls[0].relu()),
+    "sigmoid": Case(lambda r: ([_f(r, 2, 3)], {}),
+                    lambda ls, ins: ls[0].sigmoid()),
+    "tanh": Case(lambda r: ([_f(r, 2, 3)], {}), lambda ls, ins: ls[0].tanh()),
+    "exp": Case(lambda r: ([_f(r, 2, 3)], {}), lambda ls, ins: ls[0].exp()),
+    "log": Case(lambda r: ([_f(r, 2, 3, lo=0.5, hi=2.0)], {}),
+                lambda ls, ins: ls[0].log()),
+    "sqrt": Case(lambda r: ([_f(r, 2, 3, lo=0.5, hi=2.0)], {}),
+                 lambda ls, ins: ls[0].sqrt()),
+    "abs": Case(lambda r: ([_f(r, 2, 3)], {}), lambda ls, ins: ls[0].abs()),
+    "sum": Case(lambda r: ([_f(r, 2, 3)], {}),
+                lambda ls, ins: ls[0].sum(axis=1)),
+    "max": Case(lambda r: ([_f(r, 2, 3)], {}),
+                lambda ls, ins: ls[0].max(axis=1)),
+    "reshape": Case(lambda r: ([_f(r, 2, 3)], {}),
+                    lambda ls, ins: ls[0].reshape((3, 2))),
+    "transpose": Case(lambda r: ([_f(r, 2, 3)], {}),
+                      lambda ls, ins: ls[0].transpose((1, 0))),
+    "getitem": Case(lambda r: ([_f(r, 4, 3)], {}),
+                    lambda ls, ins: ls[0][1:, :2]),
+    "detach": Case(lambda r: ([_f(r, 2, 3)], {}),
+                   lambda ls, ins: ls[0] * ls[0].detach()),
+    "concat": Case(lambda r: ([_f(r, 2, 3), _f(r, 4, 3)], {}),
+                   lambda ls, ins: concat(ls, axis=0)),
+    "stack": Case(lambda r: ([_f(r, 2, 3), _f(r, 2, 3)], {}),
+                  lambda ls, ins: stack(ls, axis=1)),
+    # a real six_cnn layer shape: large enough that the serial einsum
+    # dispatches to the same BLAS contraction the batched matmul uses
+    # (below einsum's optimize threshold the two round differently)
+    "conv2d": Case(
+        lambda r: ([_f(r, 2, 16, 8, 8), _f(r, 32, 16, 3, 3), _f(r, 32)], {}),
+        lambda ls, ins: F.conv2d(ls[0], ls[1], ls[2], stride=1, padding=1),
+    ),
+    "max_pool2d": Case(lambda r: ([_f(r, 2, 3, 4, 4)], {}),
+                       lambda ls, ins: F.max_pool2d(ls[0], 2)),
+    "avg_pool2d": Case(lambda r: ([_f(r, 2, 3, 4, 4)], {}),
+                       lambda ls, ins: F.avg_pool2d(ls[0], 2)),
+    "batch_norm": Case(_bn_case, _bn_build),
+    "softmax": Case(lambda r: ([_f(r, 4, 6)], {}),
+                    lambda ls, ins: F.softmax(ls[0])),
+    "log_softmax": Case(lambda r: ([_f(r, 4, 6)], {}),
+                        lambda ls, ins: F.log_softmax(ls[0])),
+    "cross_entropy": Case(
+        lambda r: ([_f(r, 4, 6)],
+                   {"y": r.integers(0, 3, size=4).astype(np.int64),
+                    "mask": np.array([1, 1, 1, 0, 0, 0], dtype=bool)}),
+        lambda ls, ins: F.cross_entropy(ls[0], ins["y"],
+                                        class_mask=ins["mask"]),
+    ),
+    "soft_cross_entropy": Case(
+        lambda r: ([_f(r, 4, 6)], {}),
+        lambda ls, ins: F.soft_cross_entropy(
+            ls[0], np.full((4, 6), 1 / 6, dtype=np.float32)
+        ),
+    ),
+    "dropout": Case(
+        lambda r: ([_f(r, 4, 6)], {}),
+        lambda ls, ins: F.dropout(ls[0], 0.5, training=True,
+                                  rng=np.random.default_rng(7)),
+    ),
+}
+
+BATCHED_OPS = sorted(
+    name for name, op in OPS.items() if op.batched_forward is not None
+)
+
+
+def _run_dynamic(case, rng):
+    leaf_arrays, input_arrays = case.make(rng)
+    leaves = [Tensor(a.copy(), requires_grad=True) for a in leaf_arrays]
+    inputs = {k: Tensor(v.copy(), dtype=v.dtype)
+              for k, v in input_arrays.items()}
+    out = case.build(leaves, inputs)
+    out.backward(np.ones_like(out.data))
+    return out.data.copy(), [
+        None if leaf.grad is None else leaf.grad.copy() for leaf in leaves
+    ]
+
+
+def _capture(case, rng):
+    leaf_arrays, input_arrays = case.make(rng)
+    leaves = [Tensor(a.copy(), requires_grad=True) for a in leaf_arrays]
+    inputs = {k: Tensor(v.copy(), dtype=v.dtype)
+              for k, v in input_arrays.items()}
+    tape = GraphTape()
+    with tape.capture():
+        for name, tensor in inputs.items():
+            tape.add_input(name, tensor)
+        tape.set_output(case.build(leaves, inputs))
+    return tape, leaves, {k: v.data for k, v in inputs.items()}
+
+
+class TestReplayEquivalence:
+    def test_every_registered_op_has_a_case(self):
+        assert set(CASES) == set(OPS), (
+            "per-op replay-equivalence coverage drifted from the registry: "
+            f"missing={sorted(set(OPS) - set(CASES))} "
+            f"stale={sorted(set(CASES) - set(OPS))}"
+        )
+
+    @pytest.mark.parametrize("name", sorted(OPS))
+    def test_replay_matches_dynamic(self, name):
+        case = CASES[name]
+        if name == "dropout":
+            # the random mask would be baked into the program; the capture
+            # must refuse rather than silently replay one mask forever
+            with pytest.raises(NotImplementedError, match="dropout"):
+                _capture(case, np.random.default_rng(0))
+            return
+        dyn_out, dyn_grads = _run_dynamic(case, np.random.default_rng(0))
+        tape, leaves, input_arrays = _capture(case, np.random.default_rng(0))
+        assert name in {node.op.name for node in tape.nodes}
+        rep_out, rep_grads = tape.replay_grad(input_arrays)
+        by_leaf = {id(ps.ref): g
+                   for ps, g in zip(tape.param_slots, rep_grads)}
+        assert np.array_equal(dyn_out, rep_out)
+        for leaf, dyn_grad in zip(leaves, dyn_grads):
+            rep_grad = by_leaf.get(id(leaf))
+            if dyn_grad is None:
+                assert rep_grad is None
+            else:
+                assert rep_grad is not None
+                assert np.array_equal(dyn_grad, rep_grad)
+
+    @pytest.mark.parametrize("name", BATCHED_OPS)
+    def test_batched_replay_matches_per_slice(self, name):
+        case = CASES[name]
+        b = 3
+        rng = np.random.default_rng(1)
+        sets = [case.make(rng) for _ in range(b)]
+        tape, leaves, _ = _capture(
+            case, np.random.default_rng(1)
+        )
+        leaf_index = {id(leaf): i for i, leaf in enumerate(leaves)}
+        slot_leaf = [leaf_index[id(ps.ref)] for ps in tape.param_slots]
+        per_slice = [
+            tape.replay_grad(
+                dict(sets[i][1]),
+                params=[sets[i][0][j] for j in slot_leaf],
+            )
+            for i in range(b)
+        ]
+        stacked_inputs = {
+            k: np.stack([sets[i][1][k] for i in range(b)])
+            for k in sets[0][1]
+        }
+        stacked_params = [
+            np.stack([sets[i][0][j] for i in range(b)]) for j in slot_leaf
+        ]
+        out, grads = tape.replay_grad_batched(
+            stacked_inputs, stacked_params, b
+        )
+        same = np.array_equal if tape.batch_exact else (
+            lambda x, y: np.allclose(x, y, rtol=1e-5, atol=1e-6)
+        )
+        for i in range(b):
+            slice_out, slice_grads = per_slice[i]
+            assert same(out[i], slice_out)
+            for slot, slice_grad in enumerate(slice_grads):
+                if slice_grad is None:
+                    assert grads[slot] is None
+                else:
+                    assert same(grads[slot][i], slice_grad)
+
+
+class TestCaptureSemantics:
+    def test_detach_is_no_copy_under_capture(self):
+        base = Tensor(np.arange(6, dtype=np.float32), requires_grad=True)
+        plain = base.detach()
+        assert np.shares_memory(plain.data, base.data)
+        assert not plain.requires_grad
+        tape = GraphTape()
+        with tape.capture():
+            captured = base.detach()
+        assert np.shares_memory(captured.data, base.data)
+        assert not captured.requires_grad
+
+    def _simple_tape(self):
+        w = Tensor(np.ones((3,), np.float32), requires_grad=True)
+        x = Tensor(np.ones((3,), np.float32))
+        tape = GraphTape()
+        with tape.capture():
+            tape.add_input("x", x)
+            tape.set_output((w * x).sum())
+        return tape, x.data
+
+    def test_param_shape_change_invalidates_tape(self):
+        tape, x = self._simple_tape()
+        with pytest.raises(RuntimeError, match="GraphTape invalidated"):
+            tape.replay_grad({"x": x}, params=[np.ones((4,), np.float32)])
+
+    def test_param_count_change_invalidates_tape(self):
+        tape, x = self._simple_tape()
+        with pytest.raises(RuntimeError, match="GraphTape invalidated"):
+            tape.replay_grad({"x": x}, params=[])
+
+    def test_replay_eliminates_per_op_dispatch(self):
+        model = build_model("six_cnn", 10, input_shape=(3, 8, 8),
+                            rng=np.random.default_rng(0))
+        model.train()
+        x = np.zeros((2, 3, 8, 8), np.float32)
+        y = np.zeros((2,), np.int64)
+        with OpProfiler() as dynamic:
+            F.cross_entropy(model(Tensor(x)), y).backward()
+        assert dynamic.dispatches > 0
+        xt = Tensor(x)
+        yt = Tensor(y, dtype=y.dtype)
+        tape = GraphTape()
+        with tape.capture():
+            tape.add_input("x", xt)
+            tape.add_input("y", yt)
+            tape.set_output(F.cross_entropy(model(xt), yt))
+        # capture records exactly the program the dynamic tape dispatched
+        assert len(tape.nodes) == dynamic.dispatches
+        with OpProfiler() as replayed:
+            tape.replay_grad({"x": x, "y": y})
+        assert replayed.dispatches == 0
