@@ -36,6 +36,7 @@ from repro.federated import (
     create_trainer,
 )
 from repro.federated.batched import capture_client_tape, train_chunk
+from repro.federated.simulation import PopulationSimulator
 from repro.utils.serialization import (
     decode_state,
     decode_state_v2,
@@ -225,6 +226,16 @@ def hot_path_cases() -> dict[str, float]:
             lambda: create_scenario("class-inc").build(
                 scenario_spec, num_clients=64, rng=np.random.default_rng(0)
             )
+        ),
+        # event-driven population serving: 20k fixed clients through three
+        # overlapping rounds — gates the simulator's event-loop scheduling
+        # throughput (bench_micro asserts the absolute >= 10^4 clients/s bar)
+        "eventsim_20k": best_seconds(
+            lambda: PopulationSimulator(
+                20_000, population="fixed", num_rounds=3, shards=16,
+                max_staleness=2, seed=0,
+            ).run(),
+            repeats=3,
         ),
         # the client-side hot path: one 64-client local-training round on
         # the serial loop vs the batched captured-tape engine (the batched

@@ -2,10 +2,14 @@
 
 Commands
 --------
-``run``     train one method on one dataset and print its metrics;
-``figure``  regenerate a paper table/figure (fig4 ... fig10, table1, ablations);
-``search``  the SVHN hyperparameter search for FedKNOW (Section V-B);
-``list``    enumerate available methods / datasets / models / figures.
+``run``      train one method on one dataset and print its metrics;
+``figure``   regenerate a paper table/figure (fig4 ... fig10, table1,
+             ablations);
+``simulate`` run the event-driven population simulator (no training):
+             arrival/churn scheduling throughput at up to millions of
+             simulated clients;
+``search``   the SVHN hyperparameter search for FedKNOW (Section V-B);
+``list``     enumerate available methods / datasets / models / figures.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ from .experiments import (
     run_fig8,
     run_fig9,
     run_fig10,
+    run_fig_eventsim,
     run_fig_scaling,
     run_fig_scenarios,
     run_k_ablation,
@@ -65,6 +70,7 @@ FIGURES = {
     "fig10": lambda preset: str(run_fig10(preset=preset)),
     "fig-scenarios": lambda preset: str(run_fig_scenarios(preset=preset)),
     "fig-scaling": lambda preset: str(run_fig_scaling(preset=preset)),
+    "fig-eventsim": lambda preset: str(run_fig_eventsim(preset=preset)),
     "ablations": lambda preset: "\n\n".join(
         str(fn(preset=preset))
         for fn in (
@@ -118,6 +124,18 @@ def _build_parser() -> argparse.ArgumentParser:
                             "drawn from each device's network link)")
     run_p.add_argument("--deadline", type=float, default=None,
                        help="shorthand for --participation deadline:<seconds>")
+    run_p.add_argument("--max-staleness", type=int, default=None,
+                       help="bound on straggler carry for deadline policies: "
+                            "updates pending more than K rounds are evicted "
+                            "(shorthand for a ',max=K' participation option; "
+                            "default 1, the one-round carry)")
+    run_p.add_argument("--population", default=None,
+                       help="arrival/churn process for the event-driven "
+                            "trainer: 'fixed[,churn=ON/OFF]', 'uniform:<T>', "
+                            "'pareto:<alpha>[,scale=S][,churn=ON/OFF]', or "
+                            "'lognormal:<sigma>...'; clients join and leave "
+                            "in virtual time (default: the synchronous "
+                            "fixed-roster trainer)")
     run_p.add_argument("--wire", default="v1", choices=("v1", "v2"),
                        help="negotiated wire-format version: v1 (dense/"
                             "sparse records) or v2 (adds delta encoding, "
@@ -140,6 +158,31 @@ def _build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("name", choices=sorted(FIGURES))
     fig_p.add_argument("--preset", default="bench",
                        choices=("unit", "bench", "paper"))
+
+    sim_p = sub.add_parser(
+        "simulate",
+        help="event-driven population simulation (scheduling only, "
+             "no model training)",
+    )
+    sim_p.add_argument("--clients", type=int, default=100_000,
+                       help="simulated population size (default 100000)")
+    sim_p.add_argument("--population", default="pareto:1.5",
+                       help="arrival/churn spec, e.g. "
+                            "'pareto:1.5,scale=0.001,churn=60/120' "
+                            "(default pareto:1.5)")
+    sim_p.add_argument("--rounds", type=int, default=10)
+    sim_p.add_argument("--shards", type=int, default=16,
+                       help="shard-local staleness cut-offs partition the "
+                            "population into this many reporting shards")
+    sim_p.add_argument("--max-staleness", type=int, default=2,
+                       help="uploads later than this many of their shard's "
+                            "round closes are evicted (default 2)")
+    sim_p.add_argument("--deadline", default="auto",
+                       help="'auto' (slack x each client's own nominal round "
+                            "time) or a fixed per-round budget in seconds")
+    sim_p.add_argument("--slack", type=float, default=1.5,
+                       help="deadline slack multiplier under --deadline auto")
+    sim_p.add_argument("--seed", type=int, default=0)
 
     search_p = sub.add_parser("search", help="FedKNOW rho x k search on SVHN")
     search_p.add_argument("--preset", default="bench",
@@ -167,6 +210,25 @@ def _cmd_run(args) -> int:
         f"deadline:{args.deadline:g}" if args.deadline is not None
         else args.participation
     )
+    if args.max_staleness is not None:
+        if not participation.startswith("deadline"):
+            print("error: --max-staleness needs a deadline participation "
+                  f"policy, got {participation!r}", file=sys.stderr)
+            return 2
+        if args.max_staleness < 1:
+            print(f"error: --max-staleness must be >= 1, got "
+                  f"{args.max_staleness}", file=sys.stderr)
+            return 2
+        participation += f",max={args.max_staleness}"
+    if args.population is not None:
+        try:
+            from .edge import create_population
+
+            create_population(args.population)
+        except (KeyError, ValueError) as error:
+            message = error.args[0] if error.args else error
+            print(f"error: invalid --population: {message}", file=sys.stderr)
+            return 2
     if args.fp16 and args.wire != "v2":
         print("error: --fp16 requires --wire v2", file=sys.stderr)
         return 2
@@ -219,6 +281,7 @@ def _cmd_run(args) -> int:
         cluster=cluster, seed=args.seed, use_cache=False, engine=args.engine,
         participation=participation, transport=transport,
         scenario=args.scenario, shards=args.shards,
+        population=args.population,
     )
     stages = np.arange(1, len(result.accuracy_curve) + 1)
     print(format_series(
@@ -245,15 +308,71 @@ def _cmd_run(args) -> int:
         ))
     if result.participation != "full":
         print(format_table(
-            ["rounds", "planned", "reported", "stale"],
+            ["rounds", "planned", "reported", "stale", "evicted"],
             [[
                 len(result.rounds),
                 result.total_planned_clients,
                 result.total_reported_clients,
                 result.total_stale_clients,
+                result.total_evicted_clients,
             ]],
             title="participation (client-rounds)",
         ))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .federated import PopulationSimulator
+
+    if args.clients < 1:
+        print(f"error: --clients must be >= 1, got {args.clients}",
+              file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}",
+              file=sys.stderr)
+        return 2
+    if args.max_staleness < 1:
+        print(f"error: --max-staleness must be >= 1, got "
+              f"{args.max_staleness}", file=sys.stderr)
+        return 2
+    deadline: float | str = args.deadline
+    if deadline != "auto":
+        try:
+            deadline = float(deadline)
+        except ValueError:
+            print(f"error: --deadline must be 'auto' or a number, got "
+                  f"{args.deadline!r}", file=sys.stderr)
+            return 2
+    try:
+        simulator = PopulationSimulator(
+            args.clients,
+            population=args.population,
+            num_rounds=args.rounds,
+            shards=args.shards,
+            max_staleness=args.max_staleness,
+            deadline=deadline,
+            slack=args.slack,
+            seed=args.seed,
+        )
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    report = simulator.run()
+    print(report)
+    rows = [
+        [r.round_index, round(r.open_seconds, 2), round(r.close_seconds, 2),
+         r.active, r.planned, r.reported, r.stale, r.evicted, r.lost,
+         "yes" if r.skipped else ""]
+        for r in report.rounds
+    ]
+    print(format_table(
+        ["round", "open_s", "close_s", "active", "planned", "reported",
+         "stale", "evicted", "lost", "skipped"],
+        rows,
+        title="per-round serving",
+    ))
     return 0
 
 
@@ -288,6 +407,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
     if args.command == "search":
         return _cmd_search(args)
     return _cmd_list()

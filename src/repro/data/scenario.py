@@ -211,6 +211,56 @@ class DirichletPartitioner(Partitioner):
         return pool[keep], counts[keep]
 
 
+class PowerLawPartitioner(Partitioner):
+    """Quantity skew: class picks match the paper's range allocation, but
+    each task's sample budget follows a power-law draw.
+
+    The budget fraction is ``u ** (1 / alpha)`` with ``u ~ U(0, 1)``, i.e.
+    ``P[fraction <= x] = x ** alpha``: small ``alpha`` gives a federation
+    where most clients hold a handful of samples and a heavy tail holds
+    nearly the full budget — the standard quantity-skew partition.  Label
+    composition stays balanced (same per-class count within a client), so
+    the knob isolates data *volume* heterogeneity from label shift.
+    """
+
+    name = "powerlaw"
+
+    def __init__(
+        self,
+        alpha: float = 0.5,
+        classes_per_client: tuple[int, int] = (2, 5),
+    ):
+        if not alpha > 0:
+            raise ValueError(f"powerlaw alpha must be positive, got {alpha}")
+        low, high = classes_per_client
+        if not 1 <= low <= high:
+            raise ValueError(
+                f"invalid classes_per_client range {classes_per_client}"
+            )
+        self.alpha = alpha
+        self.classes_per_client = (low, high)
+
+    def describe(self) -> str:
+        return f"powerlaw:{self.alpha:g}"
+
+    def allocate(
+        self, pool: np.ndarray, rng: np.random.Generator, spec: DatasetSpec
+    ) -> tuple[np.ndarray, int]:
+        low, high = self.classes_per_client
+        low = min(low, len(pool))
+        high = min(high, len(pool))
+        if low < 1:
+            raise ValueError(
+                f"task class pool of size {len(pool)} admits no valid "
+                f"allocation for classes_per_client={self.classes_per_client}"
+            )
+        count = int(rng.integers(low, high + 1))
+        chosen = np.sort(rng.choice(pool, size=count, replace=False))
+        fraction = float(rng.uniform()) ** (1.0 / self.alpha)
+        per_class = max(int(round(fraction * spec.train_per_class)), 2)
+        return chosen, per_class
+
+
 # ----------------------------------------------------------------------
 # scenarios
 # ----------------------------------------------------------------------
@@ -582,6 +632,36 @@ class LabelShiftScenario(Scenario):
         return f"label-shift:dirichlet:{self.alpha:g}"
 
 
+class QuantitySkewScenario(Scenario):
+    """Class-incremental tasks with power-law sample-volume skew.
+
+    Task structure matches ``class-inc`` (contiguous class blocks, 2–5
+    classes per client), but each client's sample budget is drawn from the
+    :class:`PowerLawPartitioner`'s ``P[f <= x] = x ** alpha`` law — the
+    quantity-skew federation where participation value is dominated by a
+    heavy-tailed minority of data-rich clients.
+    """
+
+    name = "quantity-skew"
+
+    def __init__(self, alpha: float = 0.5):
+        self.partitioner = PowerLawPartitioner(alpha)
+        self.alpha = self.partitioner.alpha
+
+    @classmethod
+    def from_spec(cls, args, kwargs):
+        args = list(args)
+        if args and args[0] == "powerlaw":
+            args.pop(0)
+        alpha = _numeric_arg(
+            "quantity-skew", "alpha", args, kwargs, default=0.5
+        )
+        return cls(alpha=alpha)
+
+    def describe(self) -> str:
+        return f"quantity-skew:powerlaw:{self.alpha:g}"
+
+
 class BlurryScenario(Scenario):
     """Blurry task boundaries: class pools leak across adjacent tasks.
 
@@ -650,6 +730,7 @@ SCENARIOS: dict[str, type[Scenario]] = {
     "class-inc": ClassIncrementalScenario,
     "domain-inc": DomainIncrementalScenario,
     "label-shift": LabelShiftScenario,
+    "quantity-skew": QuantitySkewScenario,
     "blurry": BlurryScenario,
     "async-arrival": AsyncArrivalScenario,
 }

@@ -1,5 +1,12 @@
-"""Edge substrate: device profiles, cost projection, network and clusters."""
+"""Edge substrate: device profiles, cost projection, network, clusters,
+and population arrival/churn processes."""
 
+from .arrivals import (
+    CHURN_SIGMA,
+    PopulationModel,
+    PopulationSchedule,
+    create_population,
+)
 from .cluster import (
     EdgeCluster,
     jetson_cluster,
@@ -38,6 +45,7 @@ from .network import (
 
 __all__ = [
     "BYTES_PER_PARAM",
+    "CHURN_SIGMA",
     "DEVICE_CATALOG",
     "DeviceProfile",
     "EdgeCluster",
@@ -52,6 +60,8 @@ __all__ = [
     "ModelCostModel",
     "NetworkLink",
     "NetworkModel",
+    "PopulationModel",
+    "PopulationSchedule",
     "RASPBERRY_PI_2GB",
     "RASPBERRY_PI_4GB",
     "RASPBERRY_PI_8GB",
@@ -59,6 +69,7 @@ __all__ = [
     "REFERENCE_SAMPLE_BYTES",
     "ReferenceModel",
     "TRAIN_FLOPS_MULTIPLIER",
+    "create_population",
     "format_bandwidth",
     "get_device",
     "jetson_cluster",

@@ -24,7 +24,14 @@ from .fig5_comm_volume import (
     run_fig5_wire,
 )
 from .fig6_bandwidth import Fig6Report, comm_seconds_under_bandwidth, run_fig6
-from .fig_scaling import FigScalingReport, ScalingRow, run_fig_scaling
+from .fig_scaling import (
+    FigEventSimReport,
+    FigScalingReport,
+    ScalingRow,
+    SimScalingRow,
+    run_fig_eventsim,
+    run_fig_scaling,
+)
 from .fig_scenarios import (
     SCENARIO_FAMILIES,
     FigScenariosReport,
@@ -48,6 +55,7 @@ __all__ = [
     "Fig5Report",
     "Fig5WireReport",
     "Fig6Report",
+    "FigEventSimReport",
     "FigScalingReport",
     "FigScenariosReport",
     "Fig7Report",
@@ -81,6 +89,7 @@ __all__ = [
     "run_fig7",
     "run_fig8",
     "run_fig9",
+    "run_fig_eventsim",
     "run_fig_scaling",
     "run_fig_scenarios",
     "run_k_ablation",

@@ -40,6 +40,7 @@ from ..data.scenario import ClientDataFactory, create_scenario
 from ..data.specs import cifar100_like
 from ..federated.config import TrainConfig
 from ..federated.registry import create_trainer
+from ..federated.simulation import PopulationSimulator
 from .config import BENCH, ScalePreset
 from .reporting import format_table
 
@@ -53,6 +54,17 @@ PRESET_POPULATIONS: dict[str, tuple[int, ...]] = {
 }
 
 PRESET_ROUNDS: dict[str, int] = {"unit": 2, "bench": 3, "paper": 5}
+
+#: Populations for the event-driven serving sweep (clients in virtual
+#: time, no model training): the paper preset covers the ROADMAP's
+#: million-client asynchronous-serving target.
+PRESET_SIM_POPULATIONS: dict[str, tuple[int, ...]] = {
+    "unit": (1_000, 10_000),
+    "bench": (10_000, 100_000),
+    "paper": (100_000, 1_000_000),
+}
+
+PRESET_SIM_ROUNDS: dict[str, int] = {"unit": 5, "bench": 10, "paper": 10}
 
 
 def _peak_rss_mb() -> float:
@@ -118,6 +130,124 @@ class FigScalingReport:
                 f"({self.cpus} CPU{'s' if self.cpus != 1 else ''})"
             ),
         )
+
+
+@dataclass
+class SimScalingRow:
+    """One (population-size, population-spec) event-simulation measurement."""
+
+    population: int
+    spec: str
+    max_staleness: int
+    rounds: int
+    virtual_seconds: float
+    wall_seconds: float
+    rounds_per_sec: float
+    clients_per_sec: float
+    peak_rss_mb: float
+    peak_present: int
+    evicted: int
+    lost: int
+    staleness: str
+
+
+@dataclass
+class FigEventSimReport:
+    """Event-driven serving throughput vs population size."""
+
+    rows: list[SimScalingRow] = field(default_factory=list)
+    cpus: int = field(default_factory=lambda: os.cpu_count() or 1)
+
+    def __str__(self) -> str:
+        return format_table(
+            ["clients", "population", "maxstale", "rounds", "virtual_s",
+             "wall_s", "rounds/s", "clients/s", "peak_rss_mb", "present",
+             "staleness"],
+            [
+                [
+                    row.population,
+                    row.spec,
+                    row.max_staleness,
+                    row.rounds,
+                    round(row.virtual_seconds, 1),
+                    round(row.wall_seconds, 2),
+                    round(row.rounds_per_sec, 2),
+                    int(row.clients_per_sec),
+                    round(row.peak_rss_mb, 1),
+                    row.peak_present,
+                    row.staleness,
+                ]
+                for row in self.rows
+            ],
+            title=(
+                f"fig-eventsim: asynchronous serving throughput vs "
+                f"population ({self.cpus} CPU"
+                f"{'s' if self.cpus != 1 else ''})"
+            ),
+        )
+
+
+def run_fig_eventsim(
+    preset: ScalePreset = BENCH,
+    populations: tuple[int, ...] | None = None,
+    population_specs: tuple[str, ...] = (
+        "fixed",
+        "pareto:1.5,scale=0.001,churn=60/120",
+    ),
+    max_staleness: int = 2,
+    shards: int = 16,
+    rounds: int | None = None,
+    seed: int = 0,
+) -> FigEventSimReport:
+    """Measure the event-driven simulator's scheduling throughput.
+
+    Unlike :func:`run_fig_scaling` no model trains here: the sweep
+    exercises the *serving* side — priority-queue event scheduling, churn,
+    shard-local staleness cut-offs — at populations far beyond what
+    per-client trainer state admits (10^5–10^6 clients).  Each row reports
+    wall-clock rounds/sec, scheduling throughput in client round-slots/sec,
+    peak RSS, and the staleness histogram of aggregated uploads
+    (``s:count``, plus ``evict:n`` for updates dropped past the bound).
+    """
+    populations = (
+        populations
+        if populations is not None
+        else PRESET_SIM_POPULATIONS.get(
+            preset.name, PRESET_SIM_POPULATIONS["bench"]
+        )
+    )
+    if rounds is None:
+        rounds = PRESET_SIM_ROUNDS.get(preset.name, 10)
+    report = FigEventSimReport()
+    for population in populations:
+        for spec in population_specs:
+            sim = PopulationSimulator(
+                population,
+                population=spec,
+                num_rounds=rounds,
+                shards=shards,
+                max_staleness=max_staleness,
+                seed=seed,
+            )
+            measured = sim.run()
+            report.rows.append(
+                SimScalingRow(
+                    population=population,
+                    spec=measured.population,
+                    max_staleness=max_staleness,
+                    rounds=len(measured.rounds),
+                    virtual_seconds=measured.virtual_seconds,
+                    wall_seconds=measured.wall_seconds,
+                    rounds_per_sec=measured.rounds_per_second,
+                    clients_per_sec=measured.clients_per_second,
+                    peak_rss_mb=_peak_rss_mb(),
+                    peak_present=measured.peak_present,
+                    evicted=measured.evicted,
+                    lost=measured.lost,
+                    staleness=measured.histogram_label(),
+                )
+            )
+    return report
 
 
 def run_fig_scaling(

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..data.scenario import ClientDataFactory, Scenario, create_scenario
 from ..data.specs import DatasetSpec
+from ..edge.arrivals import PopulationModel, create_population
 from ..edge.cluster import EdgeCluster
 from ..edge.network import NetworkModel
 from ..federated.participation import ParticipationPolicy
@@ -61,6 +62,7 @@ def _cache_key(
     transport: str,
     scenario: str = "class-inc",
     shards: int = 1,
+    population: str | None = None,
 ) -> tuple:
     cluster_key = (
         tuple(d.name for d in cluster.devices) if cluster is not None else None
@@ -90,6 +92,7 @@ def _cache_key(
         transport,
         scenario,
         shards,
+        population,
     )
 
 
@@ -108,6 +111,7 @@ def run_single(
     transport: str | Transport | None = None,
     scenario: str | Scenario | None = None,
     shards: int = 1,
+    population: str | PopulationModel | None = None,
 ) -> RunResult:
     """Train ``method`` on ``spec`` at ``preset`` scale and return its metrics.
 
@@ -126,6 +130,11 @@ def run_single(
     cache key too.  ``scenario`` selects the data scenario family
     ("class-inc", "domain-inc:drift=0.3", ...; ``None`` is the paper's
     class-incremental default) and is likewise part of the cache key.
+    ``population`` ("fixed", "pareto:1.5,churn=300/600", ...) switches to
+    the event-driven trainer whose client presence follows that
+    arrival/churn process; it changes who trains each round, so its
+    canonical spec joins the cache key (``None`` keeps the synchronous
+    trainer).
     Passing a :class:`ParticipationPolicy`, :class:`Transport`, or
     :class:`Scenario` *instance* bypasses the cache entirely — instances
     may carry non-canonical state (sampling RNG, pending stragglers,
@@ -154,10 +163,14 @@ def run_single(
         scenario_obj = scenario
     else:
         scenario_obj = create_scenario(scenario)
+    population_key = (
+        create_population(population).describe()
+        if population is not None else None
+    )
     key = _cache_key(
         method, scaled, preset, seed, cluster, network,
         model_kwargs, method_kwargs, participation_key, transport_key,
-        scenario_obj.describe(), shards,
+        scenario_obj.describe(), shards, population_key,
     )
     if use_cache and key in _CACHE:
         return _CACHE[key]
@@ -186,6 +199,7 @@ def run_single(
         transport=transport,
         shards=shards,
         data_factory=data_factory,
+        population=population,
     ) as trainer:
         result = trainer.run()
     if use_cache:

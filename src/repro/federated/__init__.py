@@ -36,6 +36,16 @@ from .registry import (
 )
 from .server import MERGE_SEGMENTS, FedAvgServer, FLCNServer, StreamingAccumulator
 from .sharding import ShardedAggregator, shard_slices
+from .simulation import (
+    AsyncRoundLoop,
+    Event,
+    EventDrivenTrainer,
+    EventKind,
+    EventQueue,
+    PopulationSimulator,
+    SimReport,
+    SimRound,
+)
 from .trainer import FederatedTrainer, RoundContext
 from .transport import (
     UPLOAD_MODES,
@@ -49,6 +59,7 @@ from .transport import (
 __all__ = [
     "ALL_METHODS",
     "APFLClient",
+    "AsyncRoundLoop",
     "BATCH_SAFE_METHODS",
     "BatchedRoundEngine",
     "CONTINUAL_STRATEGIES",
@@ -57,17 +68,24 @@ __all__ = [
     "ClientUpload",
     "DeadlineParticipation",
     "ENGINES",
+    "Event",
+    "EventDrivenTrainer",
+    "EventKind",
+    "EventQueue",
     "FullParticipation",
     "MERGE_SEGMENTS",
     "POLICIES",
     "PROCESS_UNSAFE_METHODS",
     "ParticipationPolicy",
+    "PopulationSimulator",
     "ProcessRoundEngine",
     "RoundContext",
     "RoundEngine",
     "RoundOutcome",
     "RoundPlan",
     "ShardedAggregator",
+    "SimReport",
+    "SimRound",
     "StateHandle",
     "StreamingAccumulator",
     "Transport",

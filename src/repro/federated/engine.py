@@ -36,7 +36,11 @@ Process engines add two contracts on top of the shared ``map`` one:
   worker decodes it once per round, however many of its clients download.
 
 Known cost: each map chunk pickles its phase callable, which carries the
-round context (transport channels included).  Channel negotiation state
+round context (transport channels included).  Chunks cross the boundary
+with pickle protocol 5: weight arrays travel **out-of-band** — raw buffer
+bytes through a tmpfs-backed file, metadata through the pool's pipe — once
+a chunk's buffers reach :data:`OOB_MIN_BYTES` (tiny payloads stay in-band).
+Channel negotiation state
 must travel — warmup counters decide when delta/sparse uploads engage, so
 re-deriving channels worker-side would break bit-identity.  Under a
 ``delta``/``sparse`` transport the channels' shared dense base is routed
@@ -48,6 +52,7 @@ carrying its own copy.  Dense transports (the default) carry no base.
 from __future__ import annotations
 
 import os
+import pickle
 import tempfile
 import uuid
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -97,6 +102,76 @@ def worker_client_data(client_id: int):
         benchmark = _DATA_FACTORY()
         _DATA_CACHE = {data.client_id: data for data in benchmark.clients}
     return _DATA_CACHE[client_id]
+
+
+# ----------------------------------------------------------------------
+# out-of-band chunk serialization (pickle protocol 5)
+# ----------------------------------------------------------------------
+#: Below this many raw buffer bytes a chunk stays in-band: one pickle blob
+#: through the pool's own pipe, no file round-trip.  Tiny payloads (the
+#: benchmark gate's synthetic rounds, small models) keep their fast path.
+OOB_MIN_BYTES = 64 * 1024
+
+
+def _dumps_oob(obj, min_bytes: int = OOB_MIN_BYTES):
+    """Pickle ``obj``, routing large array buffers around the pickle stream.
+
+    Returns ``(meta, path, sizes)``: protocol-5 metadata bytes plus, when
+    the out-of-band buffers total at least ``min_bytes``, a tmpfs-backed
+    file holding the raw buffer bytes concatenated in pickle order
+    (``path is None`` and the buffers stay in-band otherwise).  Keeping
+    weight arrays out of the pickle stream skips pickle's framing/copy of
+    the bulk payload on both ends — the worker maps them straight out of
+    one contiguous read.
+    """
+    buffers: list[pickle.PickleBuffer] = []
+    meta = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+    views = [buffer.raw() for buffer in buffers]
+    if sum(view.nbytes for view in views) < min_bytes:
+        return pickle.dumps(obj, protocol=5), None, ()
+    shm_dir = "/dev/shm" if os.path.isdir("/dev/shm") else None
+    fd, path = tempfile.mkstemp(
+        prefix="repro-oob-", suffix=".buffers", dir=shm_dir
+    )
+    sizes = []
+    with os.fdopen(fd, "wb") as handle:
+        for view in views:
+            handle.write(view)
+            sizes.append(view.nbytes)
+    return meta, path, tuple(sizes)
+
+
+def _loads_oob(meta: bytes, path: str | None, sizes: tuple[int, ...]):
+    """Inverse of :func:`_dumps_oob`; consumes (unlinks) the buffer file.
+
+    Out-of-band buffers are rebuilt over one writable ``bytearray`` so the
+    reconstructed arrays are mutable (clients update weights in place);
+    arrays share that backing store, which is safe because each chunk is
+    consumed by exactly one side.
+    """
+    if path is None:
+        return pickle.loads(meta)
+    try:
+        with open(path, "rb") as handle:
+            raw = bytearray(handle.read())
+    finally:
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
+    view = memoryview(raw)
+    buffers = []
+    offset = 0
+    for size in sizes:
+        buffers.append(view[offset:offset + size])
+        offset += size
+    return pickle.loads(meta, buffers=buffers)
+
+
+def _run_oob_chunk(meta: bytes, path: str | None, sizes: tuple[int, ...]):
+    """Worker-side chunk runner: decode, apply, re-encode out-of-band."""
+    fn, chunk = _loads_oob(meta, path, sizes)
+    return _dumps_oob([fn(item) for item in chunk])
 
 
 # ----------------------------------------------------------------------
@@ -285,10 +360,22 @@ class ProcessRoundEngine(RoundEngine):
         items = list(items)
         if not items:
             return []
-        # chunking amortizes the per-task pickle of ``fn`` (which carries the
-        # round context) over several clients
+        # chunking amortizes the per-chunk pickle of ``fn`` (which carries
+        # the round context) over several clients; each chunk crosses the
+        # process boundary with its weight arrays out-of-band
+        # (see :func:`_dumps_oob`)
         chunksize = max(1, len(items) // (self.max_workers * 4))
-        return list(self._pool().map(fn, items, chunksize=chunksize))
+        pool = self._pool()
+        futures = [
+            pool.submit(
+                _run_oob_chunk, *_dumps_oob((fn, items[i:i + chunksize]))
+            )
+            for i in range(0, len(items), chunksize)
+        ]
+        results: list[R] = []
+        for future in futures:
+            results.extend(_loads_oob(*future.result()))
+        return results
 
     def begin_task(self, position: int) -> None:
         # workers are rebuilt per task: fresh processes drop the finished

@@ -15,16 +15,19 @@ pure executor.  Three policies ship:
   aggregate is broadcast to everyone (or, optionally, to participants only);
 * :class:`DeadlineParticipation` — everyone not already straggling trains;
   updates whose simulated train + upload time misses the deadline are
-  carried to the next round and aggregated there at weight
-  ``num_samples * staleness_discount ** staleness``.
+  carried and aggregated late at weight
+  ``num_samples * staleness_discount ** staleness``, unless they are more
+  than ``max_staleness`` rounds late, in which case they are evicted.
 
 Policies are addressed by compact specs — ``"full"``, ``"sampled:0.5"``,
-``"deadline:30"`` — resolved by :func:`create_policy` (the CLI's
-``--participation`` flag passes these through verbatim).
+``"deadline:30"``, ``"deadline:auto,max=3"`` — resolved by
+:func:`create_policy` (the CLI's ``--participation`` flag passes these
+through verbatim).
 """
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 import numpy as np
@@ -61,6 +64,16 @@ class ParticipationPolicy:
     ) -> RoundOutcome:
         """Sort the round's fresh updates into the round's outcome."""
         raise NotImplementedError
+
+    def drop_pending(self, client_id: int) -> bool:
+        """Discard any in-flight straggler work held for ``client_id``.
+
+        Event-driven serving calls this when a client departs mid-round so
+        its never-to-arrive upload cannot hold up future round closes.
+        Returns whether anything was dropped; policies without carry state
+        have nothing to drop.
+        """
+        return False
 
 
 class FullParticipation(ParticipationPolicy):
@@ -144,11 +157,24 @@ class DeadlineParticipation(ParticipationPolicy):
 
     Every client without an in-flight straggler update trains each round.
     Updates whose simulated train + upload time fits the deadline aggregate
-    immediately; the rest become stragglers — their update is consumed the
-    *next* round at ``staleness = 1`` (weight discounted by
-    ``staleness_discount``), after which the straggler downloads the fresh
-    global state and rejoins training.  Pending straggler work is dropped at
-    task boundaries (it was computed against a finished task).
+    immediately; the rest become stragglers whose carry is bounded by
+    ``max_staleness``:
+
+    * ``max_staleness=1`` (the default) keeps the original one-round carry
+      model exactly: every miss is consumed the *next* round at
+      ``staleness = 1`` (weight discounted by ``staleness_discount``),
+      however late the upload actually was, and nothing is ever evicted.
+    * ``max_staleness=K > 1`` switches to the measured-lateness model: a
+      miss is ``ceil(sim_seconds / deadline) - 1`` rounds late (its own
+      deadline for ``auto`` policies), is consumed that many rounds later at
+      the matching staleness discount — and is **evicted** (dropped without
+      aggregating, counted in :attr:`RoundOutcome.evicted`) when it is more
+      than ``K`` rounds late.  Evicted clients download the fresh global
+      state so they rejoin training the next round.
+
+    After a straggler's update is consumed (or evicted) the client downloads
+    the fresh global state and rejoins training.  Pending straggler work is
+    dropped at task boundaries (it was computed against a finished task).
 
     Deadlines come in two forms:
 
@@ -172,6 +198,7 @@ class DeadlineParticipation(ParticipationPolicy):
         staleness_discount: float = 0.5,
         auto: bool = False,
         slack: float = 2.0,
+        max_staleness: int = 1,
     ):
         if auto == (deadline_seconds is not None):
             raise ValueError(
@@ -188,12 +215,19 @@ class DeadlineParticipation(ParticipationPolicy):
             raise ValueError(
                 f"staleness_discount must be in [0, 1], got {staleness_discount}"
             )
+        if not isinstance(max_staleness, int) or max_staleness < 1:
+            raise ValueError(
+                f"max_staleness must be an integer >= 1, got {max_staleness!r}"
+            )
         self.deadline_seconds = deadline_seconds
         self.auto = auto
         self.slack = slack
         self.staleness_discount = staleness_discount
+        self.max_staleness = max_staleness
         self._client_deadlines: dict[int, float] | None = None
         self._pending: dict[int, ClientUpdate] = {}
+        #: Round index at which each pending update becomes consumable.
+        self._due: dict[int, int] = {}
 
     def describe(self) -> str:
         if self.auto:
@@ -204,6 +238,8 @@ class DeadlineParticipation(ParticipationPolicy):
             base = f"deadline:{self.deadline_seconds:g}"
         if self.staleness_discount != 0.5:
             base += f",discount={self.staleness_discount:g}"
+        if self.max_staleness != 1:
+            base += f",max={self.max_staleness}"
         return base
 
     @property
@@ -242,6 +278,11 @@ class DeadlineParticipation(ParticipationPolicy):
 
     def begin_task(self, position: int) -> None:
         self._pending.clear()
+        self._due.clear()
+
+    def drop_pending(self, client_id: int) -> bool:
+        self._due.pop(client_id, None)
+        return self._pending.pop(client_id, None) is not None
 
     def plan_round(
         self, position: int, round_index: int, active_ids: Sequence[int]
@@ -266,22 +307,43 @@ class DeadlineParticipation(ParticipationPolicy):
         fresh: Sequence[ClientUpdate],
         active_ids: Sequence[int],
     ) -> RoundOutcome:
-        stale_now = [self._pending.pop(i) for i in sorted(self._pending)]
+        due = [
+            i for i in sorted(self._pending)
+            if self._due[i] <= plan.round_index
+        ]
+        stale_now = [self._pending.pop(i) for i in due]
+        for client_id in due:
+            del self._due[client_id]
         reported: list[ClientUpdate] = []
+        evicted: list[int] = []
         for update in fresh:
-            if update.sim_seconds <= self.deadline_for(update.client_id):
+            deadline = self.deadline_for(update.client_id)
+            if update.sim_seconds <= deadline:
                 reported.append(update)
+                continue
+            if self.max_staleness == 1:
+                # legacy one-round carry: every miss is consumed next round
+                rounds_late = 1
             else:
-                update.staleness = 1
-                self._pending[update.client_id] = update
+                rounds_late = max(
+                    1, math.ceil(update.sim_seconds / deadline) - 1
+                )
+                if rounds_late > self.max_staleness:
+                    evicted.append(update.client_id)
+                    continue
+            update.staleness = rounds_late
+            self._pending[update.client_id] = update
+            self._due[update.client_id] = plan.round_index + rounds_late
+        # evicted clients re-sync (their local model diverged for nothing),
+        # so they appear among the receivers alongside every aggregated id
         return RoundOutcome(
             plan=plan,
             updates=reported + stale_now,
             reported=tuple(u.client_id for u in reported),
             stale=tuple(u.client_id for u in stale_now),
-            receivers=tuple(
-                u.client_id for u in reported + stale_now
-            ),
+            evicted=tuple(evicted),
+            receivers=tuple(u.client_id for u in reported + stale_now)
+            + tuple(evicted),
         )
 
 
@@ -292,14 +354,43 @@ POLICIES: dict[str, type[ParticipationPolicy]] = {
 }
 
 
+def _deadline_options(policy: str, arg: str) -> tuple[str, dict]:
+    """Split ``,key=value`` suffixes off a deadline spec's argument.
+
+    Accepted keys: ``discount`` (staleness discount) and ``max``
+    (``max_staleness``), in any order — e.g. ``"30,max=3,discount=0.25"``.
+    """
+    arg, *extras = arg.split(",")
+    kwargs: dict = {}
+    for extra in extras:
+        key, eq, value = extra.partition("=")
+        if not eq or key not in ("discount", "max"):
+            raise ValueError(
+                f"policy spec {policy!r} has an unknown option {extra!r}; "
+                f"deadline options are 'discount=<d>' and 'max=<K>'"
+            )
+        try:
+            if key == "discount":
+                kwargs["staleness_discount"] = float(value)
+            else:
+                kwargs["max_staleness"] = int(value)
+        except ValueError:
+            raise ValueError(
+                f"policy spec {policy!r} has a non-numeric value for "
+                f"{key!r}: {value!r}"
+            ) from None
+    return arg, kwargs
+
+
 def create_policy(
     policy: str | ParticipationPolicy, seed: int = 0
 ) -> ParticipationPolicy:
     """Resolve a policy instance from a spec string, or pass one through.
 
     Specs: ``"full"``, ``"sampled:<fraction>"``, ``"deadline:<seconds>"``,
-    ``"deadline:auto[:<slack>]"``.  ``seed`` feeds the sampled policy's RNG
-    so runs are reproducible.
+    ``"deadline:auto[:<slack>]"`` — deadline specs optionally followed by
+    ``,discount=<d>`` and/or ``,max=<K>`` (bounded straggler carry).
+    ``seed`` feeds the sampled policy's RNG so runs are reproducible.
     """
     if isinstance(policy, ParticipationPolicy):
         return policy
@@ -317,6 +408,9 @@ def create_policy(
             f"policy {name!r} needs an argument, e.g. "
             f"'sampled:0.5', 'deadline:30' or 'deadline:auto'"
         )
+    kwargs: dict = {}
+    if name == "deadline":
+        arg, kwargs = _deadline_options(policy, arg)
     if name == "deadline" and (arg == "auto" or arg.startswith("auto:")):
         _, _, slack_arg = arg.partition(":")
         slack = 2.0
@@ -328,7 +422,7 @@ def create_policy(
                     f"policy spec {policy!r} has a non-numeric slack "
                     f"{slack_arg!r}"
                 ) from None
-        return DeadlineParticipation(auto=True, slack=slack)
+        return DeadlineParticipation(auto=True, slack=slack, **kwargs)
     try:
         value = float(arg)
     except ValueError:
@@ -337,4 +431,4 @@ def create_policy(
         ) from None
     if name == "sampled":
         return SampledParticipation(value, rng=np.random.default_rng(seed))
-    return DeadlineParticipation(value)
+    return DeadlineParticipation(value, **kwargs)

@@ -92,5 +92,8 @@ class RoundOutcome:
     reported: tuple[int, ...] = ()
     #: Ids whose straggler update from an earlier round is consumed now.
     stale: tuple[int, ...] = ()
+    #: Ids whose straggler update exceeded the policy's ``max_staleness``
+    #: and was dropped without ever aggregating.
+    evicted: tuple[int, ...] = ()
     #: Ids that download the aggregated global state at round end.
     receivers: tuple[int, ...] = ()

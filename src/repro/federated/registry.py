@@ -33,6 +33,7 @@ from ..continual import (
     MASStrategy,
 )
 from ..data.federated import FederatedContinualBenchmark
+from ..edge.arrivals import PopulationModel
 from ..edge.cluster import EdgeCluster
 from ..edge.cost import ModelCostModel
 from ..edge.network import NetworkModel
@@ -116,6 +117,7 @@ def create_trainer(
     transport: str | Transport | None = None,
     shards: int = 1,
     data_factory=None,
+    population: str | PopulationModel | None = None,
 ) -> FederatedTrainer:
     """Build a :class:`FederatedTrainer` running ``method`` on ``benchmark``.
 
@@ -123,7 +125,12 @@ def create_trainer(
     ``"process[:W]"``); ``shards`` > 1 partitions each round's aggregation
     across that many streaming shard accumulators; ``data_factory`` is the
     picklable :class:`~repro.data.scenario.ClientDataFactory` process
-    engines use to rebuild task data inside workers.
+    engines use to rebuild task data inside workers.  ``population``
+    (a spec like ``"pareto:1.5,churn=300/600"`` or a
+    :class:`~repro.edge.arrivals.PopulationModel`) switches to the
+    event-driven :class:`~repro.federated.simulation.EventDrivenTrainer`,
+    whose client presence follows that arrival/churn process in virtual
+    time; ``None`` keeps the synchronous trainer.
     """
     # imported here to avoid a circular import (core.client uses federated.base)
     from ..core.client import FedKnowClient
@@ -204,7 +211,14 @@ def create_trainer(
         cost_model = ModelCostModel(
             clients[0].model, spec.model_name, dataset_name=spec.name
         )
-    return FederatedTrainer(
+    trainer_cls: type[FederatedTrainer] = FederatedTrainer
+    trainer_kwargs: dict = {}
+    if population is not None:
+        from .simulation import EventDrivenTrainer
+
+        trainer_cls = EventDrivenTrainer
+        trainer_kwargs["population"] = population
+    return trainer_cls(
         server=server,
         clients=clients,
         config=config,
@@ -219,4 +233,5 @@ def create_trainer(
         scenario=benchmark.scenario,
         shards=shards,
         data_factory=data_factory,
+        **trainer_kwargs,
     )

@@ -71,7 +71,7 @@ from .engine import (
     worker_client_data,
 )
 from .participation import ParticipationPolicy, create_policy
-from .protocol import ClientUpdate, RoundOutcome
+from .protocol import ClientUpdate, RoundOutcome, RoundPlan
 from .server import FedAvgServer
 from .sharding import ShardedAggregator
 from .transport import Channel, Transport, create_transport
@@ -477,6 +477,7 @@ class FederatedTrainer:
             by_id[client.client_id] = client
             fresh.append(update)
         outcome = self.policy.collect(plan, fresh, active_ids)
+        outcome = self._finalize_outcome(plan, fresh, outcome)
 
         # synchronous barrier: the round waits for its slowest trainer, but a
         # reporting deadline caps that wait (stragglers finish off-round)
@@ -581,10 +582,26 @@ class FederatedTrainer:
             reported_clients=len(outcome.reported),
             stale_clients=len(outcome.stale),
             raw_upload_bytes=raw_up_total,
+            evicted=len(outcome.evicted),
             shard_reported=shard_reported,
             merge_seconds=merge_seconds,
             skipped=skipped,
         )
+
+    def _finalize_outcome(
+        self,
+        plan: "RoundPlan",
+        fresh: list[ClientUpdate],
+        outcome: RoundOutcome,
+    ) -> RoundOutcome:
+        """Hook between the policy's verdict and aggregation.
+
+        The synchronous trainer passes the outcome through untouched; the
+        event-driven trainer overrides this to advance virtual time over the
+        round's events and to drop updates/receivers belonging to clients
+        that departed mid-round.
+        """
+        return outcome
 
     def _begin_position(self, position: int) -> list[FederatedClient]:
         """Advance every active client to task ``position``; returns them."""

@@ -44,6 +44,7 @@ def result_to_dict(result: RunResult) -> dict:
                 "planned_clients": r.planned_clients,
                 "reported_clients": r.reported_clients,
                 "stale_clients": r.stale_clients,
+                "evicted": r.evicted,
                 "raw_upload_bytes": r.raw_upload_bytes,
                 "shard_reported": list(r.shard_reported),
                 "merge_seconds": r.merge_seconds,
@@ -79,6 +80,8 @@ def result_from_dict(payload: dict) -> RunResult:
             planned_clients=r.get("planned_clients", -1),
             reported_clients=r.get("reported_clients", -1),
             stale_clients=r.get("stale_clients", 0),
+            # absent in payloads written before bounded straggler carry
+            evicted=r.get("evicted", 0),
             # absent in payloads written before the transport redesign
             raw_upload_bytes=r.get("raw_upload_bytes", -1),
             # absent in payloads written before the sharded population

@@ -33,6 +33,9 @@ class RoundRecord:
     planned_clients: int = -1
     reported_clients: int = -1
     stale_clients: int = 0
+    #: Straggler updates dropped this round for exceeding the policy's
+    #: ``max_staleness`` carry bound (0 under the default one-round carry).
+    evicted: int = 0
     #: What the round's uploads would have cost as dense v1 (the transport
     #: compression baseline); defaults to ``upload_bytes`` (no compression).
     raw_upload_bytes: int = -1
@@ -181,6 +184,11 @@ class RunResult:
     @property
     def total_stale_clients(self) -> int:
         return int(sum(r.stale_clients for r in self.rounds))
+
+    @property
+    def total_evicted_clients(self) -> int:
+        """Straggler updates dropped for exceeding ``max_staleness``."""
+        return int(sum(r.evicted for r in self.rounds))
 
     @property
     def skipped_rounds(self) -> int:

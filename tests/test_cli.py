@@ -139,7 +139,7 @@ class TestFigure:
     def test_figures_catalogue_complete(self):
         for name in ("fig4", "fig5", "fig5-wire", "fig6", "fig7", "fig8",
                      "fig9", "fig10", "table1", "ablations", "fig4-hetero",
-                     "fig-scenarios", "fig-scaling"):
+                     "fig-scenarios", "fig-scaling", "fig-eventsim"):
             assert name in FIGURES
 
     def test_fig5_unit(self, capsys):
@@ -154,6 +154,60 @@ class TestFigure:
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure", "fig99"])
+
+
+class TestSimulate:
+    def test_simulate_prints_report(self, capsys):
+        code = main([
+            "simulate", "--clients", "2000",
+            "--population", "pareto:1.5,scale=0.01,churn=60/120",
+            "--rounds", "3", "--shards", "4", "--max-staleness", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "eventsim: 2000 clients" in out
+        assert "per-round serving" in out
+
+    def test_simulate_rejects_bad_spec(self, capsys):
+        code = main(["simulate", "--clients", "10",
+                     "--population", "weibull:2"])
+        assert code == 2
+        assert "population" in capsys.readouterr().err
+
+    def test_simulate_rejects_bad_deadline(self, capsys):
+        code = main(["simulate", "--clients", "10", "--deadline", "soon"])
+        assert code == 2
+        assert "deadline" in capsys.readouterr().err
+
+
+class TestPopulationFlags:
+    def test_run_with_population_and_max_staleness(self, capsys):
+        code = main([
+            "run", "--method", "fedavg", "--dataset", "cifar100",
+            "--preset", "unit", "--clients", "3", "--tasks", "2",
+            "--population", "fixed,churn=20/30",
+            "--participation", "deadline:auto", "--max-staleness", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "deadline:auto,max=3" in out
+        assert "evicted" in out
+
+    def test_max_staleness_needs_deadline_policy(self, capsys):
+        code = main([
+            "run", "--method", "fedavg", "--dataset", "cifar100",
+            "--preset", "unit", "--max-staleness", "2",
+        ])
+        assert code == 2
+        assert "max-staleness" in capsys.readouterr().err
+
+    def test_invalid_population_rejected(self, capsys):
+        code = main([
+            "run", "--method", "fedavg", "--dataset", "cifar100",
+            "--preset", "unit", "--population", "pareto",
+        ])
+        assert code == 2
+        assert "population" in capsys.readouterr().err
 
 
 class TestSearchCommand:

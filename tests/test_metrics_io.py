@@ -54,6 +54,18 @@ class TestDictRoundTrip:
         assert restored.scenario == "class-inc"
         assert restored.upload_compression == 1.0
 
+    def test_round_trip_preserves_evicted(self, result):
+        result.rounds[0].evicted = 3
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.rounds[0].evicted == 3
+        assert restored.rounds[1].evicted == 0
+        assert restored.total_evicted_clients == 3
+        # payloads written before bounded straggler carry lack the field
+        payload = result_to_dict(result)
+        for record in payload["rounds"]:
+            del record["evicted"]
+        assert result_from_dict(payload).total_evicted_clients == 0
+
     def test_round_trip_preserves_scenario(self, result):
         result.scenario = "blurry:overlap=0.2"
         restored = result_from_dict(result_to_dict(result))

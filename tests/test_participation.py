@@ -255,6 +255,91 @@ class TestDeadlinePolicy:
         assert policy.plan_round(1, 0, [0, 1]).participants == (0, 1)
 
 
+class TestMaxStaleness:
+    def test_spec_round_trips(self):
+        for spec_str in ("deadline:30,max=3", "deadline:auto,max=2",
+                         "deadline:auto:1.5,max=4",
+                         "deadline:30,discount=0.25,max=2"):
+            policy = create_policy(spec_str)
+            assert create_policy(policy.describe()).describe() == \
+                policy.describe()
+        assert create_policy("deadline:30,max=3").max_staleness == 3
+        # the default bound is omitted from the canonical spec
+        assert create_policy("deadline:30").describe() == "deadline:30"
+        assert create_policy("deadline:30,max=1").describe() == "deadline:30"
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            create_policy("deadline:30,max=0")
+        with pytest.raises(ValueError):
+            create_policy("deadline:30,max=x")
+        with pytest.raises(ValueError):
+            create_policy("deadline:30,patience=2")
+        with pytest.raises(ValueError):
+            DeadlineParticipation(10.0, max_staleness=0)
+
+    def test_default_bound_keeps_one_round_carry(self):
+        """``max=1`` (the default) is the legacy semantics: every straggler
+        carries exactly one round at staleness 1, however late it is."""
+        policy = DeadlineParticipation(10.0)
+        active = [0, 1]
+        plan0 = policy.plan_round(0, 0, active)
+        very_late = make_update(1, 2.0, num_samples=4, sim_seconds=500.0)
+        out0 = policy.collect(
+            plan0, [make_update(0, 1.0, 4, 5.0), very_late], active
+        )
+        assert out0.evicted == ()
+        assert very_late.staleness == 1
+        plan1 = policy.plan_round(0, 1, active)
+        out1 = policy.collect(plan1, [make_update(0, 1.0, 4, 5.0)], active)
+        assert out1.stale == (1,)
+        assert very_late in out1.updates
+
+    def test_measured_lateness_and_eviction(self):
+        """``max=K`` measures rounds of lateness and evicts past the bound."""
+        policy = DeadlineParticipation(10.0, max_staleness=2)
+        active = [0, 1, 2, 3]
+        plan0 = policy.plan_round(0, 0, active)
+        u1 = make_update(1, 2.0, num_samples=4, sim_seconds=15.0)  # 1 late
+        u2 = make_update(2, 3.0, num_samples=4, sim_seconds=25.0)  # 2 late
+        u3 = make_update(3, 4.0, num_samples=4, sim_seconds=35.0)  # 3 late
+        out0 = policy.collect(
+            plan0, [make_update(0, 1.0, 4, 5.0), u1, u2, u3], active
+        )
+        assert out0.reported == (0,)
+        assert out0.evicted == (3,)
+        # evicted clients re-sync: they receive the new global state
+        assert 3 in out0.receivers
+        assert u1.staleness == 1 and u2.staleness == 2
+
+        # round 1: only the 1-round-late straggler is due
+        plan1 = policy.plan_round(0, 1, active)
+        assert set(plan1.participants) == {0, 3}
+        out1 = policy.collect(plan1, [make_update(0, 1.0, 4, 5.0)], active)
+        assert out1.stale == (1,)
+        assert u1 in out1.updates and u2 not in out1.updates
+
+        # round 2: the 2-rounds-late straggler joins
+        plan2 = policy.plan_round(0, 2, active)
+        out2 = policy.collect(plan2, [make_update(0, 1.0, 4, 5.0)], active)
+        assert out2.stale == (2,)
+        assert u2 in out2.updates
+
+    def test_drop_pending_forfeits_carry(self):
+        """A departed client's pending straggler update never aggregates."""
+        policy = DeadlineParticipation(10.0, max_staleness=2)
+        active = [0, 1]
+        plan0 = policy.plan_round(0, 0, active)
+        late = make_update(1, 2.0, num_samples=4, sim_seconds=15.0)
+        policy.collect(plan0, [make_update(0, 1.0, 4, 5.0), late], active)
+        assert policy.drop_pending(1) is True
+        assert policy.drop_pending(1) is False  # idempotent
+        plan1 = policy.plan_round(0, 1, active)
+        out1 = policy.collect(plan1, [make_update(0, 1.0, 4, 5.0)], active)
+        assert out1.stale == ()
+        assert late not in out1.updates
+
+
 def reference_run(trainer, num_positions=None) -> RunResult:
     """The pre-redesign trainer loop (parallel states/weights/losses lists).
 

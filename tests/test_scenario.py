@@ -24,6 +24,7 @@ FAMILIES = (
     "class-inc",
     "domain-inc:drift=0.3",
     "label-shift:dirichlet:0.3",
+    "quantity-skew:powerlaw:0.5",
     "blurry:overlap=0.2",
     "async-arrival",
 )

@@ -1,0 +1,365 @@
+"""Tests for the event-driven population simulator.
+
+Covers the deterministic event queue, the arrival/churn process, the
+lightweight million-client round loop (shard-local staleness cut-offs,
+evictions, lost in-flight uploads), and the full-fidelity
+:class:`EventDrivenTrainer` — including the **degenerate regression pin**:
+under the ``fixed`` population the event-driven trainer must reproduce the
+synchronous trainer's round stream bit-identically, across scenario
+families and participation policies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import cifar100_like, create_scenario
+from repro.edge import (
+    CHURN_SIGMA,
+    PopulationModel,
+    create_population,
+)
+from repro.federated import (
+    AsyncRoundLoop,
+    EventDrivenTrainer,
+    EventKind,
+    EventQueue,
+    FederatedTrainer,
+    PopulationSimulator,
+    SimReport,
+    TrainConfig,
+    create_trainer,
+)
+
+
+class TestEventQueue:
+    def test_orders_by_time_then_push_order(self):
+        queue = EventQueue()
+        queue.push(2.0, EventKind.ROUND_CLOSE)
+        queue.push(1.0, EventKind.ARRIVAL, client=7)
+        queue.push(1.0, EventKind.DEPARTURE, client=7)  # same-time tie
+        queue.push(0.5, EventKind.ARRIVAL, client=3)
+        kinds = []
+        while queue:
+            event = queue.pop()
+            kinds.append(event.kind)
+        assert kinds == [
+            EventKind.ARRIVAL, EventKind.ARRIVAL, EventKind.DEPARTURE,
+            EventKind.ROUND_CLOSE,
+        ]
+        assert queue.pushed == 4
+
+    def test_peek_and_len(self):
+        queue = EventQueue()
+        assert queue.peek() is None and not queue
+        queue.push(1.0, EventKind.ARRIVAL)
+        assert queue.peek().time == 1.0
+        assert len(queue) == 1 and bool(queue)
+
+
+class TestPopulationSpecs:
+    @pytest.mark.parametrize("spec", [
+        "fixed",
+        "fixed,churn=300/600",
+        "uniform:600",
+        "pareto:1.5",
+        "pareto:1.5,scale=0.2,churn=300/600",
+        "lognormal:0.8,scale=2",
+    ])
+    def test_describe_round_trips(self, spec):
+        model = create_population(spec)
+        assert create_population(model.describe()).describe() == \
+            model.describe()
+
+    def test_instance_passthrough(self):
+        model = PopulationModel(family="pareto", shape=1.5)
+        assert create_population(model) is model
+
+    @pytest.mark.parametrize("bad", [
+        "weibull:2",            # unknown family
+        "fixed:5",              # fixed takes no argument
+        "fixed,scale=2",        # ... nor a scale
+        "pareto",               # missing shape
+        "pareto:0.5",           # infinite-mean regime rejected
+        "uniform:0",            # empty horizon
+        "pareto:1.5,churn=300", # malformed churn pair
+        "pareto:1.5,rate=2",    # unknown option
+    ])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises((KeyError, ValueError)):
+            create_population(bad)
+
+    def test_degenerate_is_fixed_without_churn(self):
+        assert create_population("fixed").degenerate
+        assert not create_population("fixed,churn=10/20").degenerate
+        assert not create_population("pareto:1.5").degenerate
+
+    def test_schedule_deterministic_and_seed_sensitive(self):
+        model = create_population("pareto:1.5,churn=300/600")
+        a = model.schedule(500, seed=3)
+        b = model.schedule(500, seed=3)
+        c = model.schedule(500, seed=4)
+        assert np.array_equal(a.arrival, b.arrival)
+        assert np.array_equal(a.session, b.session)
+        assert not np.array_equal(a.arrival, c.arrival)
+
+    def test_churn_durations_mean_corrected(self):
+        """Log-normal churn draws must average to the spec's means."""
+        schedule = create_population("fixed,churn=300/600").schedule(
+            20_000, seed=0
+        )
+        assert schedule.session.mean() == pytest.approx(300, rel=0.05)
+        assert schedule.offtime.mean() == pytest.approx(600, rel=0.05)
+        assert CHURN_SIGMA > 0  # dispersion actually applied
+
+    def test_present_at_follows_cycle(self):
+        schedule = create_population("fixed,churn=10/10").schedule(8, seed=0)
+        assert schedule.present_at(0.0).all()
+        # at each client's own mid-off-time phase it is offline
+        t = schedule.session + schedule.offtime / 2
+        online = np.array([
+            schedule.present_at(float(t[i]))[i] for i in range(8)
+        ])
+        assert not online.any()
+
+
+def _uniform_loop(n, train, upload, deadline, **kwargs):
+    schedule = create_population("fixed").schedule(n, seed=0)
+    return AsyncRoundLoop(
+        schedule,
+        np.full(n, train), np.full(n, upload), np.full(n, deadline),
+        jitter_sigma=0.0, **kwargs,
+    )
+
+
+class TestAsyncRoundLoop:
+    def run(self, loop):
+        report = SimReport(
+            num_clients=loop.schedule.num_clients, population="test",
+            shards=len(loop.shard_deadline),
+            max_staleness=loop.max_staleness,
+        )
+        return loop.run(report)
+
+    def test_everyone_fresh_under_generous_deadline(self):
+        report = self.run(
+            _uniform_loop(10, 1.0, 1.0, 5.0, num_rounds=3)
+        )
+        assert [r.reported for r in report.rounds] == [10, 10, 10]
+        assert report.staleness_hist == {0: 30}
+        assert report.evicted == 0 and report.lost == 0
+        assert not any(r.skipped for r in report.rounds)
+        # rounds close at their deadline, back to back
+        assert [r.close_seconds for r in report.rounds] == [5.0, 10.0, 15.0]
+
+    def test_shard_local_staleness(self):
+        """A slow client in a fast-cutoff shard aggregates one round late."""
+        schedule = create_population("fixed").schedule(2, seed=0)
+        loop = AsyncRoundLoop(
+            schedule,
+            np.array([1.0, 2.5]),      # train
+            np.array([1.0, 2.5]),      # upload: client 1 finishes at t=5
+            np.array([10.0, 0.1]),     # client 1's shard closes at t=0.1
+            shards=2, max_staleness=2, num_rounds=2, jitter_sigma=0.0,
+        )
+        report = self.run(loop)
+        # client 0 is fresh both rounds; client 1's upload lands after its
+        # own shard's cut-off but before the next close -> staleness 1
+        assert report.staleness_hist[0] == 2
+        assert report.staleness_hist[1] >= 1
+        assert report.evicted == 0
+
+    def test_eviction_past_the_bound(self):
+        schedule = create_population("fixed").schedule(2, seed=0)
+        loop = AsyncRoundLoop(
+            schedule,
+            np.array([1.0, 12.0]),     # client 1 uploads at t=24
+            np.array([1.0, 12.0]),
+            np.array([10.0, 0.1]),     # its shard closed twice by then
+            shards=2, max_staleness=1, num_rounds=4, jitter_sigma=0.0,
+        )
+        report = self.run(loop)
+        assert report.evicted >= 1
+        assert 2 not in report.staleness_hist  # never aggregates at 2+
+
+    def test_churn_loses_inflight_uploads(self):
+        sim = PopulationSimulator(
+            5_000, population="pareto:1.5,scale=0.001,churn=10/20",
+            num_rounds=5, shards=4, max_staleness=2, seed=0,
+        )
+        report = sim.run()
+        assert report.lost > 0
+        assert report.peak_present <= 5_000
+        # departures can only lose uploads that were actually scheduled
+        assert report.lost < report.scheduled
+
+    def test_deterministic_across_runs(self):
+        def fields():
+            sim = PopulationSimulator(
+                3_000, population="pareto:1.5,scale=0.002,churn=30/60",
+                num_rounds=4, shards=8, max_staleness=2, seed=7,
+            )
+            report = sim.run()
+            return (
+                [(r.active, r.planned, r.reported, r.stale, r.evicted,
+                  r.lost, r.close_seconds, r.skipped)
+                 for r in report.rounds],
+                dict(report.staleness_hist),
+                report.events,
+            )
+        assert fields() == fields()
+
+    def test_round_zero_skipped_before_first_arrival(self):
+        sim = PopulationSimulator(
+            1_000, population="pareto:1.5,scale=0.01", num_rounds=3, seed=0,
+        )
+        report = sim.run()
+        assert report.rounds[0].planned == 0
+        assert report.rounds[0].skipped
+        assert report.rounds[-1].planned > 0
+
+    def test_rejects_mismatched_arrays(self):
+        schedule = create_population("fixed").schedule(4, seed=0)
+        with pytest.raises(ValueError):
+            AsyncRoundLoop(
+                schedule, np.ones(3), np.ones(4), np.ones(4)
+            )
+        with pytest.raises(ValueError):
+            AsyncRoundLoop(
+                schedule, np.ones(4), np.ones(4), np.ones(4), max_staleness=0
+            )
+
+
+@pytest.fixture
+def spec():
+    return cifar100_like(train_per_class=8, test_per_class=4).with_tasks(2)
+
+
+@pytest.fixture
+def config():
+    return TrainConfig(batch_size=8, lr=0.02, rounds_per_task=2,
+                       iterations_per_round=3)
+
+
+def build_trainer(spec, config, population, participation=None,
+                  scenario="class-inc", num_clients=4):
+    scen = create_scenario(scenario)
+    bench = scen.build(spec, num_clients=num_clients,
+                       rng=np.random.default_rng(0))
+    return create_trainer(
+        "fedavg", bench, config, participation=participation,
+        population=population,
+    )
+
+
+class TestRegistryDispatch:
+    def test_population_selects_event_driven_trainer(self, spec, config):
+        with build_trainer(spec, config, None) as trainer:
+            assert type(trainer) is FederatedTrainer
+        with build_trainer(spec, config, "fixed") as trainer:
+            assert isinstance(trainer, EventDrivenTrainer)
+            assert trainer.population.degenerate
+
+
+class TestDegeneratePin:
+    """The regression pin: ``fixed`` population == synchronous trainer,
+    bit for bit, across scenario families and participation policies."""
+
+    @pytest.mark.parametrize("scenario", [
+        "class-inc", "label-shift:dirichlet:0.3",
+    ])
+    @pytest.mark.parametrize("participation", [
+        None, "deadline:auto", "sampled:0.5",
+    ])
+    def test_round_stream_bit_identical(self, spec, config, scenario,
+                                        participation):
+        with build_trainer(spec, config, None, participation,
+                           scenario) as trainer:
+            reference = trainer.run()
+        with build_trainer(spec, config, "fixed", participation,
+                           scenario) as trainer:
+            event_driven = trainer.run()
+        assert reference.rounds == event_driven.rounds
+        assert np.array_equal(
+            reference.accuracy_matrix, event_driven.accuracy_matrix,
+            equal_nan=True,
+        )
+
+
+class TestChurnTrainer:
+    def test_deadline_auto_never_deadlocks_under_churn(self, spec, config):
+        """Clients departing between scheduling and reporting forfeit their
+        uploads; round closes never wait for a client that left."""
+        with build_trainer(spec, config, "fixed,churn=20/20",
+                           "deadline:auto", num_clients=6) as trainer:
+            result = trainer.run()
+            closes = list(trainer.round_closes)
+        assert len(result.rounds) == 4
+        # virtual time advances monotonically through every close
+        assert closes == sorted(closes)
+        for record in result.rounds:
+            assert record.reported_clients <= record.active_clients
+        # churn actually bit: somebody was offline or forfeited somewhere
+        assert any(
+            r.reported_clients < r.active_clients or r.active_clients < 6
+            for r in result.rounds
+        )
+
+    def test_churn_run_deterministic(self, spec, config):
+        def run():
+            with build_trainer(spec, config, "uniform:30,churn=15/30",
+                               "deadline:auto", num_clients=5) as trainer:
+                return trainer.run().rounds, list(trainer.round_closes)
+        rounds_a, closes_a = run()
+        rounds_b, closes_b = run()
+        assert rounds_a == rounds_b
+        assert closes_a == closes_b
+
+    def test_everyone_offline_records_skipped_round(self, spec, config):
+        """Sessions of ~0.5s against a 10s round deadline: by the second
+        round everyone is offline (returns ~500s later), so the round must
+        be recorded as skipped — not deadlock, not raise — and the clock
+        must jump to the next arrival."""
+        with build_trainer(spec, config, "fixed,churn=0.5/500",
+                           "deadline:10", num_clients=3) as trainer:
+            result = trainer.run()
+        offline = [
+            r for r in result.rounds if r.skipped and r.active_clients == 0
+        ]
+        assert offline, "expected a nobody-online skipped round"
+        for record in offline:
+            assert record.reported_clients == 0
+            assert record.upload_bytes == 0
+            assert np.isnan(record.mean_loss)
+
+    def test_late_joiners_begin_mid_sequence(self, spec, config):
+        """Uniform arrivals over a long horizon: clients that join after
+        round 0 still train (their begin_task rides the lazy stream)."""
+        with build_trainer(spec, config, "uniform:30", "deadline:auto",
+                           num_clients=6) as trainer:
+            result = trainer.run()
+            arrivals = trainer.schedule.arrival
+            closes = list(trainer.round_closes)
+        # somebody genuinely arrived after the first round closed
+        assert arrivals.max() > closes[1]
+        # and the federation grew across rounds within the first stage
+        actives = [r.active_clients for r in result.rounds[:2]]
+        assert actives[0] <= actives[1]
+
+    def test_arrivals_never_reached_raises(self, spec, config):
+        with pytest.raises(ValueError):
+            # impossible spec caught at parse time, not deadlock at run time
+            build_trainer(spec, config, "uniform:-5")
+
+
+class TestEvictionEndToEnd:
+    def test_bounded_carry_records_evictions(self, spec, config):
+        """A tight fixed deadline with max=1 measured lateness evicts
+        grossly late stragglers and re-syncs them."""
+        with build_trainer(spec, config, "fixed",
+                           "deadline:0.005,max=2",
+                           num_clients=4) as trainer:
+            result = trainer.run()
+        total = sum(r.evicted for r in result.rounds)
+        assert result.total_evicted_clients == total
