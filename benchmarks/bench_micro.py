@@ -156,6 +156,39 @@ def test_process_round_8_clients(benchmark, process_engine):
 
 
 @pytest.fixture(scope="module")
+def socket_engine():
+    from repro.serve import SocketRoundEngine
+
+    engine = SocketRoundEngine(max_workers=2)
+    engine.map(_process_round_work, range(8))  # spawn + handshake once
+    yield engine
+    engine.close()
+
+
+def test_socket_round_8c(benchmark, socket_engine, process_engine):
+    """The same 8-item round over the serve subsystem's framed TCP
+    protocol.  Asserts the socket engine's acceptance bar — per-round
+    framing overhead within 1.5x of the process engine's tmpfs file IPC
+    (best-of-5 on each side)."""
+    process_engine.map(_process_round_work, range(8))  # warm both sides
+
+    def socket_round():
+        return socket_engine.map(_process_round_work, range(8))
+
+    def process_round():
+        return process_engine.map(_process_round_work, range(8))
+
+    socket_best = min(_seconds(socket_round) for _ in range(5))
+    process_best = min(_seconds(process_round) for _ in range(5))
+    results = benchmark(socket_round)
+    assert len(results) == 8
+    assert socket_best <= 1.5 * process_best, (
+        f"socket round {socket_best:.4f}s > 1.5x process round "
+        f"{process_best:.4f}s"
+    )
+
+
+@pytest.fixture(scope="module")
 def round_64c():
     """Two 64-client fedavg populations (serial reference + batched) on a
     dispatch-bound workload: small inputs and minibatches make python

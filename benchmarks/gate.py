@@ -37,6 +37,7 @@ from repro.federated import (
 )
 from repro.federated.batched import capture_client_tape, train_chunk
 from repro.federated.simulation import PopulationSimulator
+from repro.serve import SocketRoundEngine
 from repro.utils.serialization import (
     decode_state,
     decode_state_v2,
@@ -193,6 +194,14 @@ def hot_path_cases() -> dict[str, float]:
         )
     finally:
         process_engine.close()
+    socket_engine = SocketRoundEngine(max_workers=2)
+    try:
+        socket_engine.map(_gate_round_work, range(8))  # spawn + handshake
+        socket_round_8c = best_seconds(
+            lambda: socket_engine.map(_gate_round_work, range(8))
+        )
+    finally:
+        socket_engine.close()
     return {
         "encode_state": best_seconds(lambda: encode_state(state)),
         "decode_state": best_seconds(lambda: decode_state(payload)),
@@ -220,6 +229,7 @@ def hot_path_cases() -> dict[str, float]:
         # dispatch + pickle/IPC overhead of one small process-engine round
         # (the pool is warm; measures the per-round tax, not spawn)
         "process_round_8c": process_round_8c,
+        "socket_round_8c": socket_round_8c,
         # lazy scenario construction must stay O(clients): the 64-client
         # stream build may not silently start materializing task arrays
         "scenario_stream_64c": best_seconds(

@@ -9,6 +9,10 @@ Commands
              arrival/churn scheduling throughput at up to millions of
              simulated clients;
 ``search``   the SVHN hyperparameter search for FedKNOW (Section V-B);
+``serve``    start a long-lived socket federation service and drive rounds
+             over whatever workers connect;
+``worker``   connect a worker process to a running ``repro serve`` (or any
+             listening socket engine) and serve phases until released;
 ``list``     enumerate available methods / datasets / models / figures.
 """
 
@@ -101,9 +105,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--engine", default="serial",
                        help="round engine: 'serial', 'thread[:W]', "
                             "'process[:W]' — W workers of concurrent client "
-                            "execution — or 'batched[:B]' — B clients "
-                            "stacked per captured-graph replay (identical "
-                            "metrics, faster wall clock)")
+                            "execution — 'batched[:B]' — B clients "
+                            "stacked per captured-graph replay — or "
+                            "'socket[:W]' — W socket-connected worker "
+                            "processes with sticky client affinity "
+                            "(identical metrics, faster wall clock)")
     run_p.add_argument("--shards", type=int, default=1,
                        help="partition each round's aggregation across this "
                             "many streaming shard accumulators (identical "
@@ -187,6 +193,55 @@ def _build_parser() -> argparse.ArgumentParser:
     search_p = sub.add_parser("search", help="FedKNOW rho x k search on SVHN")
     search_p.add_argument("--preset", default="bench",
                           choices=("unit", "bench", "paper"))
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="long-lived socket federation service: listens for "
+             "`repro worker` connections and serves aggregation rounds",
+    )
+    serve_p.add_argument("--method", default="fedavg",
+                         choices=sorted(ALL_METHODS))
+    serve_p.add_argument("--dataset", default="cifar100",
+                         choices=sorted(ALL_SPECS))
+    serve_p.add_argument("--preset", default="bench",
+                         choices=("unit", "bench", "paper"))
+    serve_p.add_argument("--clients", type=int, default=None)
+    serve_p.add_argument("--tasks", type=int, default=None)
+    serve_p.add_argument("--seed", type=int, default=0)
+    serve_p.add_argument("--workers", type=int, default=2,
+                         help="worker connections to wait for before the "
+                              "first round (later joiners are admitted at "
+                              "round boundaries)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=0,
+                         help="listening port (0 binds an ephemeral port; "
+                              "the bound address is printed at startup)")
+    serve_p.add_argument("--shards", type=int, default=1,
+                         help="shard aggregation across this many segment "
+                              "groups; eligible segment partials are "
+                              "accumulated on the workers that retained the "
+                              "round's updates")
+    serve_p.add_argument("--participation", default=None,
+                         help="participation policy spec (see `repro run`)")
+    serve_p.add_argument("--transport", default=None,
+                         help="transport spec, e.g. 'v1:dense' or "
+                              "'v2:delta:0.1' (see `repro run`)")
+    serve_p.add_argument("--scenario", default="class-inc")
+    serve_p.add_argument("--timeout", type=float, default=60.0,
+                         help="seconds to wait for --workers connections")
+
+    worker_p = sub.add_parser(
+        "worker",
+        help="connect a worker process to a running `repro serve`",
+    )
+    worker_p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                          help="address printed by `repro serve`")
+    worker_p.add_argument("--retries", type=int, default=10,
+                          help="connection attempts before giving up "
+                               "(exponential backoff between attempts)")
+    worker_p.add_argument("--assume-remote", action="store_true",
+                          help="skip the shared-tmpfs probe and take framed "
+                               "state broadcasts even on the server's host")
 
     sub.add_parser("list", help="list methods, datasets, models and figures")
     return parser
@@ -376,6 +431,78 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve import FederationServer, RpcError
+
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}",
+              file=sys.stderr)
+        return 2
+    server = FederationServer(
+        args.method, args.dataset, args.preset,
+        num_workers=args.workers, host=args.host, port=args.port,
+        clients=args.clients, tasks=args.tasks, seed=args.seed,
+        shards=args.shards, participation=args.participation,
+        transport=args.transport, scenario=args.scenario,
+    )
+    try:
+        host, port = server.address
+        print(f"serving {args.method} on {args.dataset} ({args.preset}) "
+              f"at {host}:{port}")
+        print(f"attach workers with: repro worker --connect {host}:{port}")
+        try:
+            server.wait_for_workers(timeout=args.timeout)
+        except RpcError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        result = server.run()
+        stages = np.arange(1, len(result.accuracy_curve) + 1)
+        print(format_series(
+            f"{args.method} on {args.dataset} ({args.preset})",
+            stages, np.round(result.accuracy_curve, 3),
+            x_name="tasks", y_name="accuracy",
+        ))
+        summary = result.summary()
+        print(format_table(list(summary), [list(summary.values())]))
+    finally:
+        server.close()
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from .serve import ConnectionClosed, RpcError, run_worker
+
+    host, _, port_text = args.connect.rpartition(":")
+    try:
+        port = int(port_text)
+        if not host:
+            raise ValueError
+    except ValueError:
+        print(f"error: --connect wants HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+    try:
+        worker_id = run_worker(
+            host, port,
+            attempts=args.retries,
+            assume_remote=args.assume_remote,
+        )
+    except ConnectionClosed:
+        # the server went away mid-session; the service survives worker
+        # loss, so the symmetric exit is clean too
+        print("server closed the connection", file=sys.stderr)
+        return 0
+    except (RpcError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"worker {worker_id} released by server")
+    return 0
+
+
 def _cmd_figure(args) -> int:
     print(FIGURES[args.name](get_preset(args.preset)))
     return 0
@@ -387,11 +514,14 @@ def _cmd_search(args) -> int:
 
 
 def _cmd_list() -> int:
+    from .federated.engine import ENGINE_SPECS
+
     print(format_table(
         ["kind", "names"],
         [
             ["methods", ", ".join(sorted(ALL_METHODS))],
             ["datasets", ", ".join(sorted(ALL_SPECS))],
+            ["engines", ", ".join(ENGINE_SPECS)],
             ["scenarios", ", ".join(available_scenarios())],
             ["models", ", ".join(available_models())],
             ["figures", ", ".join(sorted(FIGURES))],
@@ -411,6 +541,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "search":
         return _cmd_search(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     return _cmd_list()
 
 

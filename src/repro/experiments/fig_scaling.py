@@ -8,7 +8,9 @@ the sharded population subsystem opens up:
 * round engines: ``serial`` (reference), ``thread``, ``process`` (GIL-free
   worker processes with worker-rebuilt task data and shared-memory
   global-state broadcast), ``batched`` (clients stacked along a leading
-  axis on a captured graph tape — one batched forward/backward per step);
+  axis on a captured graph tape — one batched forward/backward per step),
+  ``socket`` (the serve subsystem's framed-TCP workers with sticky
+  client affinity — clients cross the wire once per task, not per round);
 * aggregation shards: 1 (the single streaming accumulator) vs K independent
   shard accumulators merged in fixed order.
 
@@ -253,7 +255,9 @@ def run_fig_eventsim(
 def run_fig_scaling(
     preset: ScalePreset = BENCH,
     populations: tuple[int, ...] | None = None,
-    engines: tuple[str, ...] = ("serial", "thread", "process", "batched"),
+    engines: tuple[str, ...] = (
+        "serial", "thread", "process", "batched", "socket"
+    ),
     shard_counts: tuple[int, ...] = (1, 4, 16),
     method: str = "fedavg",
     rounds: int | None = None,

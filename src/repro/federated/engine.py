@@ -252,6 +252,11 @@ class RoundEngine:
     #: True when ``map`` crosses a process boundary: phase callables and
     #: items must pickle, and item mutations only survive via return values.
     needs_pickling = False
+    #: True when a worker failure can lose individual items: ``map`` then
+    #: returns ``None`` in the lost items' slots instead of raising, and
+    #: callers must tolerate (the trainer drops the lost clients from the
+    #: round and records them).  In-process engines never lose items.
+    may_lose_items = False
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
         """Apply ``fn`` to every item; results follow the input order."""
@@ -366,16 +371,49 @@ class ProcessRoundEngine(RoundEngine):
         # (see :func:`_dumps_oob`)
         chunksize = max(1, len(items) // (self.max_workers * 4))
         pool = self._pool()
-        futures = [
-            pool.submit(
-                _run_oob_chunk, *_dumps_oob((fn, items[i:i + chunksize]))
-            )
-            for i in range(0, len(items), chunksize)
-        ]
-        results: list[R] = []
-        for future in futures:
-            results.extend(_loads_oob(*future.result()))
-        return results
+        futures = []
+        try:
+            for i in range(0, len(items), chunksize):
+                meta, path, sizes = _dumps_oob((fn, items[i:i + chunksize]))
+                futures.append(
+                    (pool.submit(_run_oob_chunk, meta, path, sizes), path)
+                )
+            results: list[R] = []
+            for future, _ in futures:
+                results.extend(_loads_oob(*future.result()))
+            return results
+        except BaseException:
+            self._reap_chunks(futures)
+            raise
+
+    def _reap_chunks(self, futures) -> None:
+        """Unlink every tmpfs chunk file a failed round left behind.
+
+        A worker that dies mid-round (``BrokenProcessPool``) strands two
+        kinds of out-of-band files: request files of chunks never picked up
+        (or killed before :func:`_loads_oob` consumed them), and response
+        files of chunks that completed but were never collected.  Both
+        unlink idempotently — consumed files are already gone.  The broken
+        pool is dropped so the next round (if any) starts a fresh one.
+        """
+        for future, request_path in futures:
+            future.cancel()
+            if request_path is not None:
+                try:
+                    os.unlink(request_path)
+                except FileNotFoundError:
+                    pass
+            if future.done() and not future.cancelled():
+                try:
+                    _, response_path, _ = future.result()
+                except BaseException:
+                    continue
+                if response_path is not None:
+                    try:
+                        os.unlink(response_path)
+                    except FileNotFoundError:
+                        pass
+        self.close()
 
     def begin_task(self, position: int) -> None:
         # workers are rebuilt per task: fresh processes drop the finished
@@ -444,6 +482,13 @@ ENGINES: dict[str, type[RoundEngine]] = {
     "batched": BatchedRoundEngine,
 }
 
+#: Every engine spec name ``create_engine`` accepts, with its argument
+#: shape — the "socket" engine lives in :mod:`repro.serve.engine` and is
+#: resolved lazily to keep the federated core import-light.
+ENGINE_SPECS: tuple[str, ...] = (
+    "serial", "thread[:W]", "process[:W]", "batched[:B]", "socket[:W]",
+)
+
 
 def create_engine(
     engine: str | RoundEngine, max_workers: int | None = None
@@ -452,18 +497,20 @@ def create_engine(
 
     Specs read ``"<name>[:<arg>]"`` — ``"serial"``, ``"thread"``,
     ``"thread:4"``, ``"process"``, ``"process:8"``, ``"batched"``,
-    ``"batched:64"``.  The argument is a worker count for thread/process
-    engines and a per-chunk client count for the batched engine (default:
-    all of a round's participants in one chunk).  ``max_workers`` is the
-    fallback worker count when the spec does not carry one; ``serial``
-    takes no argument.
+    ``"batched:64"``, ``"socket"``, ``"socket:4"``.  The argument is a
+    worker count for thread/process/socket engines and a per-chunk client
+    count for the batched engine (default: all of a round's participants in
+    one chunk).  ``max_workers`` is the fallback worker count when the spec
+    does not carry one; ``serial`` takes no argument.  Unknown or malformed
+    specs raise :class:`ValueError` with the full catalogue.
     """
     if isinstance(engine, RoundEngine):
         return engine
     name, _, arg = engine.partition(":")
-    if name not in ENGINES:
-        raise KeyError(
-            f"unknown round engine {engine!r}; known: {sorted(ENGINES)}"
+    known = sorted(set(ENGINES) | {"socket"})
+    if name not in known:
+        raise ValueError(
+            f"unknown round engine {engine!r}; known: {known}"
         )
     workers = max_workers if name != "batched" else None
     if arg:
@@ -484,4 +531,9 @@ def create_engine(
         return ThreadedRoundEngine(max_workers=workers)
     if name == "batched":
         return BatchedRoundEngine(batch_clients=workers)
+    if name == "socket":
+        # imported lazily: repro.serve depends on this module
+        from ..serve.engine import SocketRoundEngine
+
+        return SocketRoundEngine(max_workers=workers)
     return ProcessRoundEngine(max_workers=workers)

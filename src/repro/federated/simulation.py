@@ -534,6 +534,10 @@ class EventDrivenTrainer(FederatedTrainer):
         )
         self.queue = EventQueue()
         self.clock = 0.0
+        #: Virtual open time of every round, in order: the clock when the
+        #: round was planned — the previous round's close plus its
+        #: broadcast's slowest simulated downlink (see ``_after_broadcast``).
+        self.round_opens: list[float] = []
         #: Virtual close time of every executed round, in order.
         self.round_closes: list[float] = []
         self.events_processed = 0
@@ -647,6 +651,7 @@ class EventDrivenTrainer(FederatedTrainer):
 
     def _skipped_round(self, position: int, round_index: int) -> RoundRecord:
         """Nobody is online: advance virtual time to the next event."""
+        self.round_opens.append(self.clock)
         if self.queue:
             event = self.queue.pop()
             self.clock = max(self.clock, event.time)
@@ -667,6 +672,24 @@ class EventDrivenTrainer(FederatedTrainer):
             skipped=True,
         )
 
+    def _after_broadcast(self, downloads, receiver_ids) -> None:
+        """Advance virtual time by the broadcast's slowest downlink.
+
+        The round's close (``_finalize_outcome``) already waited on the
+        upload legs; the next round can only open once every receiver holds
+        the new global state, so the clock moves by the slowest receiver's
+        simulated ``download_seconds`` over its own :class:`NetworkLink`.
+        Clients that were lost or departed mid-round never appear in
+        ``downloads`` and cannot hold the next round open.
+        """
+        delay = 0.0
+        for client_id, num_bytes in downloads.items():
+            link = self._channel_for(
+                self.clients[self._client_index[client_id]]
+            ).link
+            delay = max(delay, link.download_seconds(num_bytes))
+        self.clock += delay
+
     def _finalize_outcome(
         self,
         plan: RoundPlan,
@@ -674,6 +697,7 @@ class EventDrivenTrainer(FederatedTrainer):
         outcome: RoundOutcome,
     ) -> RoundOutcome:
         opened = self.clock
+        self.round_opens.append(opened)
         self._forfeited = set()
         self._upload_ends = {}
         for update in fresh:

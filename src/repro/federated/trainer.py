@@ -236,18 +236,26 @@ class FederatedTrainer:
         # configured (identical math — regression-tested); serial and
         # process round engines accumulate shards sequentially (shipping
         # shard partials across a process boundary costs more than the
-        # accumulation itself)
-        self.aggregator = (
-            ShardedAggregator(
+        # accumulation itself).  Socket engines invert that trade: their
+        # workers already hold the round's dense update states, so segment
+        # partials are accumulated remotely and only float64 sums cross
+        # the wire (fixed merge tree — still bit-identical).
+        if shards <= 1:
+            self.aggregator = None
+        elif getattr(self.engine, "remote_partials", False):
+            from ..serve.server import RemoteShardedAggregator
+
+            self.aggregator = RemoteShardedAggregator(
+                server, shards, socket_engine=self.engine
+            )
+        else:
+            self.aggregator = ShardedAggregator(
                 server,
                 shards,
                 engine=self.engine
                 if isinstance(self.engine, ThreadedRoundEngine)
                 else None,
             )
-            if shards > 1
-            else None
-        )
         self.policy = create_policy(
             participation if participation is not None else config.participation,
             seed=config.seed,
@@ -469,20 +477,30 @@ class FederatedTrainer:
         finally:
             self._restore_data(participants, detached)
         fresh: list[ClientUpdate] = []
-        for slot, (update, client) in enumerate(mapped):
+        trained: list[tuple[FederatedClient, ClientUpdate]] = []
+        lost: set[int] = set()
+        for slot, result in enumerate(mapped):
+            if result is None:
+                # a worker died mid-phase (``may_lose_items`` engines): the
+                # client's round work is gone; the policy replans the round
+                # with whoever did report
+                lost.add(participants[slot].client_id)
+                continue
+            update, client = result
             if detached is not None and client.data is None:
                 client.attach_data(detached[client.client_id])
             client = self._adopt(client)
             participants[slot] = client
             by_id[client.client_id] = client
             fresh.append(update)
+            trained.append((client, update))
         outcome = self.policy.collect(plan, fresh, active_ids)
         outcome = self._finalize_outcome(plan, fresh, outcome)
 
         # synchronous barrier: the round waits for its slowest trainer, but a
         # reporting deadline caps that wait (stragglers finish off-round)
         train_seconds = 0.0
-        for client, update in zip(participants, fresh):
+        for client, update in trained:
             train_seconds = max(
                 train_seconds, self._train_seconds(client, update.compute_units)
             )
@@ -542,7 +560,13 @@ class FederatedTrainer:
             if shared_base is not None and self.engine.needs_pickling:
                 shared_base = self.engine.share_state(shared_base)
                 self._base_handles.append(shared_base)
-            for slot, (down, units, client) in enumerate(received):
+            for slot, result in enumerate(received):
+                if result is None:
+                    # lost mid-download: the client never received the
+                    # state, so its channel is not delivered to either
+                    lost.add(receivers[slot].client_id)
+                    continue
+                down, units, client = result
                 if detached is not None and client.data is None:
                     client.attach_data(detached[client.client_id])
                 client = self._adopt(client)
@@ -557,8 +581,9 @@ class FederatedTrainer:
             if self._base_handles:
                 self._retire_base_handles()
         self._resolve_download_accounting(
-            outcome, downloads, set(outcome.receivers)
+            outcome, downloads, set(outcome.receivers) - lost
         )
+        self._after_broadcast(downloads, outcome.receivers)
 
         per_client_up = up_total / max(len(outcome.updates), 1)
         per_client_down = down_total / max(len(receivers), 1)
@@ -586,7 +611,19 @@ class FederatedTrainer:
             shard_reported=shard_reported,
             merge_seconds=merge_seconds,
             skipped=skipped,
+            lost=len(lost),
         )
+
+    def _after_broadcast(
+        self, downloads: dict[int, int], receiver_ids
+    ) -> None:
+        """Hook after the round's broadcast/download leg completes.
+
+        The synchronous trainer does nothing; the event-driven trainer
+        advances virtual time by the broadcast's slowest simulated
+        downlink, so the next round opens only once every receiver holds
+        the new global state.
+        """
 
     def _finalize_outcome(
         self,
@@ -621,6 +658,27 @@ class FederatedTrainer:
         self.engine.begin_task(position)
         return active
 
+    def _sync_engine_clients(self) -> None:
+        """Adopt authoritative client replicas held by the engine, if any.
+
+        Sticky-affinity engines (:class:`~repro.serve.engine.SocketRoundEngine`)
+        keep the live client replicas on their workers between rounds, so
+        the parent's copies go stale during a task.  Before anything reads
+        client state outside a round (end-of-task evaluation, knowledge
+        extraction), the workers' replicas are collected and adopted; task
+        data stays parent-side when the replicas travel without it.
+        """
+        collect = getattr(self.engine, "collect_clients", None)
+        if collect is None:
+            return
+        for client in collect():
+            index = self._client_index.get(client.client_id)
+            if index is None:
+                continue
+            if client.data is None and self.clients[index].data is not None:
+                client.attach_data(self.clients[index].data)
+            self._adopt(client)
+
     def run_task(
         self, position: int, num_rounds: int | None = None
     ) -> list[RoundRecord]:
@@ -634,10 +692,12 @@ class FederatedTrainer:
         self._begin_position(position)
         if num_rounds is None:
             num_rounds = self.config.rounds_per_task
-        return [
+        records = [
             self._run_round(position, round_index)
             for round_index in range(num_rounds)
         ]
+        self._sync_engine_clients()
+        return records
 
     def run(self, num_positions: int | None = None) -> RunResult:
         """Run the full task sequence; returns the collected metrics.
@@ -656,6 +716,7 @@ class FederatedTrainer:
             self._begin_position(position)
             for round_index in range(self.config.rounds_per_task):
                 rounds.append(self._run_round(position, round_index))
+            self._sync_engine_clients()
             for client in self.active_clients():
                 client.end_task()
                 client.take_compute_units()

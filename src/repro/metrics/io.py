@@ -49,6 +49,7 @@ def result_to_dict(result: RunResult) -> dict:
                 "shard_reported": list(r.shard_reported),
                 "merge_seconds": r.merge_seconds,
                 "skipped": r.skipped,
+                "lost": r.lost,
             }
             for r in result.rounds
         ],
@@ -89,6 +90,8 @@ def result_from_dict(payload: dict) -> RunResult:
             shard_reported=tuple(r.get("shard_reported", ())),
             merge_seconds=r.get("merge_seconds", 0.0),
             skipped=r.get("skipped", False),
+            # absent in payloads written before the socket federation service
+            lost=r.get("lost", 0),
         )
         for r in payload["rounds"]
     ]

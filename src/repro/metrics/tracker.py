@@ -46,6 +46,9 @@ class RoundRecord:
     #: True when nobody reported and no straggler work was pending: the
     #: global model was left untouched and aggregation never ran.
     skipped: bool = False
+    #: Planned clients whose worker died mid-round (socket engine); their
+    #: round work was dropped and the policy replanned with the survivors.
+    lost: int = 0
 
     def __post_init__(self):
         if self.planned_clients < 0:

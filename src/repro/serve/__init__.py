@@ -1,0 +1,50 @@
+"""repro.serve — the socket federation service.
+
+A long-lived :class:`FederationServer` serves aggregation rounds to
+socket-connected worker processes over the framed protocol in
+:mod:`repro.serve.rpc`.  The :class:`SocketRoundEngine` implements the
+ordinary :class:`~repro.federated.engine.RoundEngine` contract, so
+trainers, participation policies, transports and metrics work unchanged —
+and bit-identically to the serial engine — while clients stay pinned to
+their worker between rounds (sticky affinity) and shard aggregation pulls
+segment partials from the workers that retained the round's updates.
+
+Start a service with ``repro serve`` and attach workers with
+``repro worker --connect HOST:PORT`` (see the README's Serving section),
+or use ``create_trainer(..., engine="socket:W")`` for a self-managed
+worker pool on one host.
+"""
+
+from .engine import ServeStateHandle, SocketRoundEngine
+from .rpc import (
+    MAGIC,
+    PROTOCOL_VERSION,
+    Connection,
+    ConnectionClosed,
+    MessageType,
+    ProtocolError,
+    RemoteError,
+    RpcError,
+    connect_with_retry,
+)
+from .server import FederationServer, RemoteShardedAggregator
+from .worker import ClientRef, WorkerSession, run_worker
+
+__all__ = [
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "ClientRef",
+    "Connection",
+    "ConnectionClosed",
+    "FederationServer",
+    "MessageType",
+    "ProtocolError",
+    "RemoteError",
+    "RemoteShardedAggregator",
+    "RpcError",
+    "ServeStateHandle",
+    "SocketRoundEngine",
+    "WorkerSession",
+    "connect_with_retry",
+    "run_worker",
+]

@@ -218,3 +218,51 @@ class TestSearchCommand:
         code = main(["search", "--preset", "unit"])
         assert code == 0
         assert "best" in capsys.readouterr().out
+
+
+class TestServeCommands:
+    def test_list_shows_engines(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "engines" in out
+        assert "socket[:W]" in out
+        assert "process[:W]" in out
+
+    def test_invalid_engine_rejected_with_clear_message(self, capsys):
+        code = main([
+            "run", "--method", "fedavg", "--dataset", "svhn",
+            "--preset", "unit", "--engine", "quantum",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "invalid --engine" in err
+        assert "quantum" in err
+        assert "socket" in err  # the error lists the known engines
+
+    def test_socket_engine_accepted_by_run(self, capsys):
+        code = main([
+            "run", "--method", "fedavg", "--dataset", "svhn",
+            "--preset", "unit", "--engine", "socket:2",
+        ])
+        assert code == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_worker_rejects_malformed_connect(self, capsys):
+        code = main(["worker", "--connect", "nonsense"])
+        assert code == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_worker_reports_unreachable_server(self, capsys):
+        probe_code = main([
+            "worker", "--connect", "127.0.0.1:1", "--retries", "1",
+        ])
+        assert probe_code == 1
+        assert "could not connect" in capsys.readouterr().err
+
+    def test_serve_validates_worker_count(self, capsys):
+        code = main([
+            "serve", "--method", "fedavg", "--dataset", "cifar100",
+            "--preset", "unit", "--workers", "0",
+        ])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err

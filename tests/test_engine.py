@@ -40,7 +40,7 @@ class TestEngineApi:
         assert create_engine("batched:4").batch_clients == 4
 
     def test_unknown_engine_raises(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="unknown round engine"):
             create_engine("quantum")
 
     def test_worker_count_specs(self):
@@ -139,6 +139,48 @@ class TestOutOfBandChunks:
         for got, want in zip(results, expected):
             assert np.array_equal(got, want)
             got[0] = -1.0  # mutable on the parent side too
+
+
+def _bomb(item):
+    """Kills the worker process outright — no exception, no cleanup."""
+    import os
+
+    os._exit(1)
+
+
+def _shm_round_files() -> set[str]:
+    import glob
+
+    return set(glob.glob("/dev/shm/repro-oob-*")) | set(
+        glob.glob("/dev/shm/repro-broadcast-*")
+    )
+
+
+class TestWorkerCrashCleanup:
+    def test_mid_round_crash_leaves_no_shm_files(self):
+        """A worker that dies mid-round (SIGKILL-style ``os._exit``) must
+        not leak tmpfs request/response buffer files: the engine reaps the
+        round's pending chunks before re-raising the pool failure."""
+        before = _shm_round_files()
+        engine = ProcessRoundEngine(max_workers=2)
+        # large items force every chunk's request out-of-band into /dev/shm
+        items = [np.zeros(50_000, dtype=np.float64) for _ in range(6)]
+        with pytest.raises(Exception):
+            engine.map(_bomb, items)
+        engine.close()
+        leaked = _shm_round_files() - before
+        assert not leaked, f"crashed round leaked tmpfs files: {leaked}"
+
+    def test_engine_closed_after_crash(self):
+        before = _shm_round_files()
+        engine = ProcessRoundEngine(max_workers=2)
+        items = [np.zeros(50_000, dtype=np.float64) for _ in range(4)]
+        with pytest.raises(Exception):
+            engine.map(_bomb, items)
+        # the broken pool was torn down; close() again stays a no-op
+        engine.close()
+        engine.close()
+        assert _shm_round_files() - before == set()
 
 
 def run_with_engine(spec, config, method, engine):

@@ -342,7 +342,7 @@ class TestChurnTrainer:
             arrivals = trainer.schedule.arrival
             closes = list(trainer.round_closes)
         # somebody genuinely arrived after the first round closed
-        assert arrivals.max() > closes[1]
+        assert arrivals.max() > closes[0]
         # and the federation grew across rounds within the first stage
         actives = [r.active_clients for r in result.rounds[:2]]
         assert actives[0] <= actives[1]
@@ -351,6 +351,75 @@ class TestChurnTrainer:
         with pytest.raises(ValueError):
             # impossible spec caught at parse time, not deadlock at run time
             build_trainer(spec, config, "uniform:-5")
+
+
+class TestLatencyDrivenOpens:
+    """Round opens follow the simulated network round trip: close waits on
+    the slowest upload leg, and the next open waits on the broadcast's
+    slowest download leg."""
+
+    def build(self, spec, config, network, num_clients=3):
+        scen = create_scenario("class-inc")
+        bench = scen.build(spec, num_clients=num_clients,
+                           rng=np.random.default_rng(0))
+        return create_trainer(
+            "fedavg", bench, config, population="fixed",
+            with_cost_model=False, network=network,
+        )
+
+    def test_degenerate_all_unit_latency_pin(self, spec, config):
+        """The regression pin: infinite bandwidth + a 1-second protocol
+        latency (charged on the upload leg) and no cost model make every
+        round's trip exactly one virtual second — opens [0, 1, 2, ...],
+        closes [1, 2, 3, ...], downloads free."""
+        import math
+
+        from repro.edge.network import NetworkModel
+
+        network = NetworkModel(
+            bandwidth_bytes_per_second=math.inf, round_latency_seconds=1.0
+        )
+        with self.build(spec, config, network) as trainer:
+            trainer.run()
+            opens = list(trainer.round_opens)
+            closes = list(trainer.round_closes)
+        assert len(opens) == len(closes) == 4  # 2 tasks x 2 rounds
+        assert opens == [float(i) for i in range(4)]
+        assert closes == [float(i + 1) for i in range(4)]
+
+    def test_finite_downlink_delays_next_open(self, spec, config):
+        """With finite bandwidth the next round opens exactly one
+        broadcast-download after the previous close (uniform links: every
+        receiver downloads the same bytes at the same rate)."""
+        from repro.edge.network import NetworkModel
+
+        bandwidth = 1e6
+        network = NetworkModel(
+            bandwidth_bytes_per_second=bandwidth, round_latency_seconds=0.0
+        )
+        with self.build(spec, config, network) as trainer:
+            result = trainer.run()
+            opens = list(trainer.round_opens)
+            closes = list(trainer.round_closes)
+        for index, record in enumerate(result.rounds[:-1]):
+            receivers = record.reported_clients
+            per_client_down = record.download_bytes / receivers
+            expected = closes[index] + per_client_down / bandwidth
+            assert opens[index + 1] == pytest.approx(expected, rel=1e-12)
+        # the download leg genuinely delayed something
+        assert any(
+            opens[i + 1] > closes[i] for i in range(len(closes) - 1)
+        )
+
+    def test_opens_and_closes_stay_paired_under_churn(self, spec, config):
+        with build_trainer(spec, config, "fixed,churn=0.5/500",
+                           "deadline:10", num_clients=3) as trainer:
+            trainer.run()
+            opens = list(trainer.round_opens)
+            closes = list(trainer.round_closes)
+        assert len(opens) == len(closes)
+        assert all(o <= c for o, c in zip(opens, closes))
+        assert opens == sorted(opens)
 
 
 class TestEvictionEndToEnd:
