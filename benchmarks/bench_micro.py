@@ -13,6 +13,7 @@ import numpy as np
 import pytest
 
 from repro.core import GradientIntegrator, GradientRestorer, KnowledgeExtractor
+from repro.curv import FisherSelector
 from repro.core.qp import solve_nnqp_active_set, solve_nnqp_projected_gradient
 from repro.data import build_benchmark, cifar100_like, create_scenario
 from repro.federated import (
@@ -60,6 +61,38 @@ def test_knowledge_extraction(benchmark, setting):
     extractor = KnowledgeExtractor(ratio=0.10)
     knowledge = benchmark(lambda: extractor.extract(model, task))
     assert knowledge.num_retained() > 0
+
+
+def test_fisher_select_64c(benchmark, setting):
+    """Fisher-scored signature extraction on a 64-sample curvature estimate,
+    gated at <= 2x the magnitude extraction (best-of-5 each side).  The
+    Fisher diagonal rides the batched tape replay (two chunk-64 replays),
+    so its scoring overhead must stay a fraction of the extraction's
+    pruned-finetune cost rather than multiplying it."""
+    _, task, model, scratch = setting
+    magnitude = KnowledgeExtractor(ratio=0.10, finetune_iterations=20)
+    fisher = KnowledgeExtractor(
+        ratio=0.10, finetune_iterations=20,
+        selector=FisherSelector(max_samples=64, chunk=64),
+    )
+
+    def magnitude_extract():
+        return magnitude.extract(model, task, scratch=scratch,
+                                 rng=np.random.default_rng(0))
+
+    def fisher_extract():
+        return fisher.extract(model, task, scratch=scratch,
+                              rng=np.random.default_rng(0))
+
+    magnitude_extract(), fisher_extract()  # warm both paths
+    fisher_best = min(_seconds(fisher_extract) for _ in range(5))
+    magnitude_best = min(_seconds(magnitude_extract) for _ in range(5))
+    knowledge = benchmark(fisher_extract)
+    assert knowledge.num_retained() > 0
+    assert fisher_best <= 2.0 * magnitude_best, (
+        f"fisher selection {fisher_best:.4f}s > 2x magnitude selection "
+        f"{magnitude_best:.4f}s"
+    )
 
 
 def test_gradient_restoration(benchmark, setting):

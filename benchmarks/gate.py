@@ -152,6 +152,43 @@ def _local_round_cases() -> dict[str, float]:
         batched.close()
 
 
+def _selector_cases() -> dict[str, float]:
+    """Signature-knowledge selection: magnitude vs Fisher-scored extraction
+    (64-sample diagonal-Fisher estimate, hence "64c").  The magnitude case
+    is recorded alongside the Fisher one so baselines.json documents the
+    scoring-overhead ratio the ``fisher_select_64c`` bench asserts stays
+    <= 2x."""
+    from repro.core import KnowledgeExtractor
+    from repro.curv import FisherSelector
+    from repro.data import build_benchmark
+    from repro.models import build_model
+
+    spec = cifar100_like(train_per_class=16, test_per_class=4).with_tasks(2)
+    bench = build_benchmark(spec, num_clients=1, rng=np.random.default_rng(0))
+    task = bench.clients[0].tasks[0]
+    model = build_model(spec.model_name, spec.num_classes,
+                        rng=np.random.default_rng(0))
+    scratch = build_model(spec.model_name, spec.num_classes,
+                          rng=np.random.default_rng(0))
+    magnitude = KnowledgeExtractor(ratio=0.10, finetune_iterations=20)
+    fisher = KnowledgeExtractor(
+        ratio=0.10, finetune_iterations=20,
+        selector=FisherSelector(max_samples=64, chunk=64),
+    )
+    return {
+        "magnitude_select_64c": best_seconds(
+            lambda: magnitude.extract(model, task, scratch=scratch,
+                                      rng=np.random.default_rng(0)),
+            repeats=3,
+        ),
+        "fisher_select_64c": best_seconds(
+            lambda: fisher.extract(model, task, scratch=scratch,
+                                   rng=np.random.default_rng(0)),
+            repeats=3,
+        ),
+    }
+
+
 def hot_path_cases() -> dict[str, float]:
     """Measure each gated hot path; returns name -> best seconds."""
     state = model_state()
@@ -247,6 +284,9 @@ def hot_path_cases() -> dict[str, float]:
             ).run(),
             repeats=3,
         ),
+        # signature-knowledge selection: magnitude vs Fisher-scored
+        # extraction — gates the curvature scorer's tape-replay overhead
+        **_selector_cases(),
         # the client-side hot path: one 64-client local-training round on
         # the serial loop vs the batched captured-tape engine (the batched
         # baseline must stay well under serial_round_64c / 4)

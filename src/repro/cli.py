@@ -39,6 +39,7 @@ from .experiments import (
     run_fig8,
     run_fig9,
     run_fig10,
+    run_fig_curvature,
     run_fig_eventsim,
     run_fig_scaling,
     run_fig_scenarios,
@@ -73,6 +74,7 @@ FIGURES = {
     "fig9": lambda preset: str(run_fig9(preset=preset)),
     "fig10": lambda preset: str(run_fig10(preset=preset)),
     "fig-scenarios": lambda preset: str(run_fig_scenarios(preset=preset)),
+    "fig-curvature": lambda preset: str(run_fig_curvature(preset=preset)),
     "fig-scaling": lambda preset: str(run_fig_scaling(preset=preset)),
     "fig-eventsim": lambda preset: str(run_fig_eventsim(preset=preset)),
     "ablations": lambda preset: "\n\n".join(
@@ -120,6 +122,13 @@ def _build_parser() -> argparse.ArgumentParser:
                             "setup), 'domain-inc[:drift=R]', "
                             "'label-shift:dirichlet:A', 'blurry[:overlap=R]', "
                             "or 'async-arrival'")
+    run_p.add_argument("--selector", default=None,
+                       help="signature-knowledge scoring rule for the "
+                            "extracting methods: 'magnitude' (the paper's "
+                            "top-|w| rule), 'fisher' (diagonal-Fisher "
+                            "saliency F*w^2), or 'hybrid:<mix>' (a convex "
+                            "blend; mix in [0,1] weights fisher); default: "
+                            "the method's own default")
     run_p.add_argument("--participation", default="full",
                        help="participation policy: 'full', "
                             "'sampled:<fraction>' (a random fraction of "
@@ -331,12 +340,20 @@ def _cmd_run(args) -> int:
         message = error.args[0] if error.args else error
         print(f"error: invalid --scenario: {message}", file=sys.stderr)
         return 2
+    try:
+        from .federated import resolve_selector
+
+        resolve_selector(args.method, args.selector)
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        print(f"error: invalid --selector: {message}", file=sys.stderr)
+        return 2
     result = run_single(
         args.method, get_spec(args.dataset), preset,
         cluster=cluster, seed=args.seed, use_cache=False, engine=args.engine,
         participation=participation, transport=transport,
         scenario=args.scenario, shards=args.shards,
-        population=args.population,
+        population=args.population, selector=args.selector,
     )
     stages = np.arange(1, len(result.accuracy_curve) + 1)
     print(format_series(
@@ -514,6 +531,7 @@ def _cmd_search(args) -> int:
 
 
 def _cmd_list() -> int:
+    from .curv.selector import SELECTOR_SPECS
     from .federated.engine import ENGINE_SPECS
 
     print(format_table(
@@ -522,6 +540,7 @@ def _cmd_list() -> int:
             ["methods", ", ".join(sorted(ALL_METHODS))],
             ["datasets", ", ".join(sorted(ALL_SPECS))],
             ["engines", ", ".join(ENGINE_SPECS)],
+            ["selectors", ", ".join(SELECTOR_SPECS)],
             ["scenarios", ", ".join(available_scenarios())],
             ["models", ", ".join(available_models())],
             ["figures", ", ".join(sorted(FIGURES))],

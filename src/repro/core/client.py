@@ -48,6 +48,7 @@ class FedKnowClient(FederatedClient):
         model_factory: Callable[[], ImageClassifier],
         fedknow: FedKnowConfig | None = None,
         rng: np.random.Generator | None = None,
+        selector: str | None = None,
     ):
         super().__init__(client_id, data, model, config, rng)
         self.fedknow = fedknow or FedKnowConfig()
@@ -55,6 +56,7 @@ class FedKnowClient(FederatedClient):
             ratio=self.fedknow.knowledge_ratio,
             finetune_iterations=self.fedknow.extraction_finetune_iterations,
             finetune_lr=self.fedknow.extraction_finetune_lr,
+            selector=selector,
         )
         self.store = KnowledgeStore()
         self._scratch = model_factory()

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..curv.selector import SignatureSelector, create_selector
 from ..data.federated import ClientTask
 from ..models.base import ImageClassifier
 from ..nn import functional as F
@@ -86,7 +87,14 @@ class TaskKnowledge:
 
 
 class KnowledgeExtractor:
-    """Extracts top-``rho`` magnitude weights as a task's signature knowledge."""
+    """Extracts the top-``rho`` scored weights as a task's signature knowledge.
+
+    ``selector`` picks the scoring criterion — a spec string
+    (``magnitude`` / ``fisher`` / ``hybrid:<mix>``), a
+    :class:`~repro.curv.selector.SignatureSelector` instance, or ``None``
+    for the paper's magnitude criterion (bit-identical to the pre-seam
+    extractor).
+    """
 
     def __init__(
         self,
@@ -94,6 +102,7 @@ class KnowledgeExtractor:
         finetune_iterations: int = 0,
         finetune_lr: float = 0.005,
         finetune_batch: int = 16,
+        selector: str | SignatureSelector | None = None,
     ):
         if not 0.0 < ratio <= 1.0:
             raise ValueError(f"retention ratio must be in (0, 1], got {ratio}")
@@ -101,6 +110,7 @@ class KnowledgeExtractor:
         self.finetune_iterations = finetune_iterations
         self.finetune_lr = finetune_lr
         self.finetune_batch = finetune_batch
+        self.selector = create_selector(selector)
 
     def extract(
         self,
@@ -123,15 +133,19 @@ class KnowledgeExtractor:
                     f"parameter {name!r} has {value.size} elements; flat "
                     "positions would overflow the wire format's int32 indices"
                 )
-        # global top-rho magnitude selection across all parameters (Eq. 1);
-        # tie-aware: exactly round(rho * d) weights are retained even when
-        # magnitudes tie at the selection boundary
-        all_magnitudes = np.concatenate(
-            [np.abs(v).ravel() for v in params.values()]
-        )
-        d = all_magnitudes.size
+        # global top-rho selection across all parameters (Eq. 1 with the
+        # selector's scores standing in for |w|); tie-aware: exactly
+        # round(rho * d) weights are retained even when scores tie at the
+        # selection boundary
+        scores = np.asarray(self.selector.scores(model, task, rng=rng)).ravel()
+        d = int(sum(v.size for v in params.values()))
+        if scores.size != d:
+            raise ValueError(
+                f"selector {self.selector.describe()!r} returned "
+                f"{scores.size} scores for a model with {d} weights"
+            )
         retained = d if self.ratio >= 1.0 else max(1, int(round(self.ratio * d)))
-        keep_global = topk_magnitude_indices(all_magnitudes, retained)
+        keep_global = topk_magnitude_indices(scores, retained)
 
         sizes = np.array([v.size for v in params.values()])
         offsets = np.concatenate([[0], np.cumsum(sizes)])

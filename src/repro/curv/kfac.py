@@ -1,0 +1,140 @@
+"""Per-layer K-FAC curvature factors from one tapped tape replay.
+
+K-FAC approximates a layer's Fisher block as a Kronecker product
+``F ~= A (x) G`` of two small second-moment matrices: ``A = E[a a^T]`` over
+the layer's input activations and ``G = E[g g^T]`` over the per-sample
+gradients at its pre-activation output.  One
+:meth:`~repro.nn.graph.GraphTape.replay_grad_tapped` pass over the captured
+loss graph surfaces both — the activation value at each layer node's first
+argument slot and the backward gradient at its output slot — so all layers'
+factors cost a single forward/backward.
+
+Conventions (weights only; biases ride separate ``add`` nodes and are not
+factored):
+
+* ``matmul`` (``x @ W``, ``W`` of shape ``(in, out)``): ``A`` is
+  ``(in, in)``, ``G`` is ``(out, out)``, both sample means with the loss's
+  1/N mean-scaling undone so rows are per-sample gradients.
+* ``conv2d`` (groups=1): activations are the im2col patches, ``A`` of shape
+  ``(K, K)`` with ``K = c_in*kh*kw`` summed over spatial positions per
+  sample; ``G`` of shape ``(c_out, c_out)`` averaged over samples and
+  positions (the KFC convention).
+
+For a single sample at a single spatial position the Kronecker diagonal is
+*exact*: ``G_oo * A_ii = (g_o a_i)**2``, the empirical Fisher diagonal —
+the property the tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.functional import im2col
+from .tape import LossTape
+
+
+@dataclass
+class KFACFactor:
+    """One layer's Kronecker pair and the metadata to map it to a weight."""
+
+    name: str  # weight parameter name, e.g. "features.0.weight"
+    op: str  # "matmul" | "conv2d"
+    a: np.ndarray  # (in, in) activation factor, float64
+    g: np.ndarray  # (out, out) pre-activation gradient factor, float64
+    weight_shape: tuple[int, ...]
+
+    def diagonal_importance(self) -> np.ndarray:
+        """``kron(A, G)``'s diagonal reshaped to the weight's shape."""
+        da = np.diag(self.a)
+        dg = np.diag(self.g)
+        if self.op == "matmul":
+            # W is (in, out): F[(i, o)] ~= A_ii * G_oo
+            return np.outer(da, dg).reshape(self.weight_shape)
+        # conv W is (c_out, c_in*kh*kw) row-major per output channel
+        return np.outer(dg, da).reshape(self.weight_shape)
+
+
+def kfac_factors(
+    model,
+    x: np.ndarray,
+    y: np.ndarray,
+    class_mask: np.ndarray,
+    tape: LossTape | None = None,
+) -> list[KFACFactor]:
+    """Kronecker factors for every matmul/conv2d layer, one tapped replay.
+
+    Grouped convolutions (``groups > 1``) are skipped — their Fisher blocks
+    are block-diagonal per group and not representable as a single
+    Kronecker pair.
+    """
+    x = np.asarray(x)
+    y = np.asarray(y)
+    n = len(y)
+    if n == 0:
+        raise ValueError("cannot estimate K-FAC factors from 0 samples")
+    mask = np.asarray(class_mask, dtype=bool)
+    if tape is None:
+        tape = LossTape(model, x, y, mask)
+    elif tape.batch != n:
+        raise ValueError(
+            f"tape was captured at batch {tape.batch}, got {n} samples"
+        )
+    slot_to_param = {ps.slot: k for k, ps in enumerate(tape.tape.param_slots)}
+    layers = []
+    for node in tape.tape.nodes:
+        if node.op.name not in ("matmul", "conv2d"):
+            continue
+        if len(node.arg_slots) < 2:
+            continue
+        k = slot_to_param.get(node.arg_slots[1])
+        if k is None:
+            continue  # weight is a constant, not a trained parameter
+        if node.op.name == "conv2d" and node.params.get("groups", 1) != 1:
+            continue
+        layers.append((node, k))
+    taps = set()
+    for node, _ in layers:
+        taps.add(node.arg_slots[0])
+        taps.add(node.out_slot)
+    _, _, tap_values, tap_grads = tape.tape.replay_grad_tapped(
+        {"x": x, "y": y, "mask": mask}, tape.slot_arrays(model), taps=taps
+    )
+    factors: list[KFACFactor] = []
+    for node, k in layers:
+        grad = tap_grads.get(node.out_slot)
+        if grad is None:
+            continue
+        name = tape.param_names[tape.order[k]]
+        weight_shape = tuple(node.arg_shapes[1])
+        # undo the loss's 1/N mean-scaling so rows are per-sample gradients
+        grad = grad.astype(np.float64) * n
+        act = tap_values[node.arg_slots[0]]
+        if node.op.name == "matmul":
+            a2 = act.astype(np.float64)
+            g2 = grad
+            a_factor = a2.T @ a2 / n
+            g_factor = g2.T @ g2 / n
+        else:
+            c_out, c_in_g, kh, kw = weight_shape
+            sh, sw = node.params["sh"], node.params["sw"]
+            ph, pw = node.params["ph"], node.params["pw"]
+            cols, oh, ow = im2col(act, kh, kw, sh, sw, ph, pw)
+            spatial = oh * ow
+            patch = cols.transpose(0, 2, 1).reshape(-1, c_in_g * kh * kw)
+            patch = patch.astype(np.float64)
+            a_factor = patch.T @ patch / n
+            g2 = grad.reshape(n, c_out, spatial)
+            g2 = g2.transpose(0, 2, 1).reshape(-1, c_out)
+            g_factor = g2.T @ g2 / (n * spatial)
+        factors.append(
+            KFACFactor(
+                name=name,
+                op=node.op.name,
+                a=a_factor,
+                g=g_factor,
+                weight_shape=weight_shape,
+            )
+        )
+    return factors

@@ -32,6 +32,11 @@ from .fig_scaling import (
     run_fig_eventsim,
     run_fig_scaling,
 )
+from .fig_curvature import (
+    SELECTOR_SWEEP,
+    FigCurvatureReport,
+    run_fig_curvature,
+)
 from .fig_scenarios import (
     SCENARIO_FAMILIES,
     FigScenariosReport,
@@ -55,6 +60,7 @@ __all__ = [
     "Fig5Report",
     "Fig5WireReport",
     "Fig6Report",
+    "FigCurvatureReport",
     "FigEventSimReport",
     "FigScalingReport",
     "FigScenariosReport",
@@ -65,6 +71,7 @@ __all__ = [
     "PAPER",
     "PRESETS",
     "SCENARIO_FAMILIES",
+    "SELECTOR_SWEEP",
     "ScalePreset",
     "SearchResult",
     "TOP3_METHODS",
@@ -89,6 +96,7 @@ __all__ = [
     "run_fig7",
     "run_fig8",
     "run_fig9",
+    "run_fig_curvature",
     "run_fig_eventsim",
     "run_fig_scaling",
     "run_fig_scenarios",

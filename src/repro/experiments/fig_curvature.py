@@ -1,0 +1,127 @@
+"""fig-curvature — magnitude vs curvature-scored signature knowledge.
+
+FedKNOW's knowledge extractor keeps the top weights by absolute magnitude
+(Section III-B).  The curvature subsystem makes that scoring rule pluggable:
+a diagonal-Fisher saliency (``F_j * w_j**2``, the diagonal-Laplace importance
+of keeping weight ``j``) and a magnitude/Fisher hybrid.  This figure sweeps
+the selector for FedKNOW across every scenario family of fig-scenarios and
+adds the variational-Bayes baseline (``fedvb``) as a curvature-native
+reference column, answering: does second-order information change *which*
+weights are worth retaining, and does its ranking survive a scenario change?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..data.specs import get_spec
+from ..edge.cluster import jetson_cluster
+from ..metrics.tracker import RunResult
+from .config import BENCH, ScalePreset
+from .fig_scenarios import SCENARIO_FAMILIES
+from .reporting import format_table
+from .runner import run_single
+
+#: The signature-knowledge scoring rules the ablation compares.
+SELECTOR_SWEEP: tuple[str, ...] = ("magnitude", "fisher", "hybrid:0.5")
+
+
+@dataclass
+class FigCurvatureReport:
+    """Accuracy / forgetting per (selector, scenario family) for FedKNOW,
+    plus the fedvb reference column."""
+
+    dataset: str
+    selectors: tuple[str, ...] = SELECTOR_SWEEP
+    scenarios: tuple[str, ...] = SCENARIO_FAMILIES
+    # results[column][scenario spec] = RunResult; columns are
+    # "fedknow@<selector>" rows plus optionally "fedvb"
+    results: dict[str, dict[str, RunResult]] = field(default_factory=dict)
+
+    def accuracy(self, column: str, scenario: str) -> float:
+        return self.results[column][scenario].final_accuracy
+
+    def forgetting(self, column: str, scenario: str) -> float:
+        result = self.results[column][scenario]
+        return float(result.forgetting_curve[-1])
+
+    def best_selector(self, scenario: str) -> str:
+        """The column with the highest final accuracy under ``scenario``."""
+        return max(self.results, key=lambda c: self.accuracy(c, scenario))
+
+    def labels(self) -> dict[str, str]:
+        """Column label per scenario: the family name, or the full spec
+        when several compared scenarios share a family."""
+        families = [s.split(":")[0] for s in self.scenarios]
+        return {
+            spec: family if families.count(family) == 1 else spec
+            for spec, family in zip(self.scenarios, families)
+        }
+
+    @property
+    def rows(self) -> list[list]:
+        rows = []
+        for column in self.results:
+            row = [column]
+            for scenario in self.scenarios:
+                row.append(round(self.accuracy(column, scenario), 3))
+                row.append(round(self.forgetting(column, scenario), 3))
+            rows.append(row)
+        return rows
+
+    def __str__(self) -> str:
+        labels = self.labels()
+        headers = ["selection"]
+        for scenario in self.scenarios:
+            headers += [f"{labels[scenario]}_acc", f"{labels[scenario]}_fgt"]
+        table = format_table(
+            headers,
+            self.rows,
+            title=(
+                "Fig-curvature: magnitude vs curvature-scored signature "
+                f"knowledge ({self.dataset})"
+            ),
+        )
+        winners = ", ".join(
+            f"{labels[s]}: {self.best_selector(s)}" for s in self.scenarios
+        )
+        return f"{table}\nbest per scenario — {winners}"
+
+
+def run_fig_curvature(
+    dataset: str = "cifar100",
+    selectors: tuple[str, ...] = SELECTOR_SWEEP,
+    scenarios: tuple[str, ...] = SCENARIO_FAMILIES,
+    preset: ScalePreset = BENCH,
+    seed: int = 0,
+    with_fedvb: bool = True,
+) -> FigCurvatureReport:
+    """Sweep FedKNOW's signature selector across the scenario families.
+
+    Each selector runs the *same* FedKNOW configuration (identical data,
+    initial weights and schedule); only the extractor's scoring rule
+    differs.  ``with_fedvb`` appends the variational-Bayes baseline as a
+    reference column.
+    """
+    report = FigCurvatureReport(
+        dataset=dataset,
+        selectors=tuple(selectors),
+        scenarios=tuple(scenarios),
+    )
+    cluster = jetson_cluster()
+    spec = get_spec(dataset)
+    columns: list[tuple[str, str, str | None]] = [
+        (f"fedknow@{selector}", "fedknow", selector)
+        for selector in report.selectors
+    ]
+    if with_fedvb:
+        columns.append(("fedvb", "fedvb", None))
+    for column, method, selector in columns:
+        entries: dict[str, RunResult] = {}
+        for scenario in report.scenarios:
+            entries[scenario] = run_single(
+                method, spec, preset, cluster=cluster, seed=seed,
+                scenario=scenario, selector=selector,
+            )
+        report.results[column] = entries
+    return report

@@ -63,6 +63,7 @@ def _cache_key(
     scenario: str = "class-inc",
     shards: int = 1,
     population: str | None = None,
+    selector: str = "magnitude",
 ) -> tuple:
     cluster_key = (
         tuple(d.name for d in cluster.devices) if cluster is not None else None
@@ -93,6 +94,7 @@ def _cache_key(
         scenario,
         shards,
         population,
+        selector,
     )
 
 
@@ -112,6 +114,7 @@ def run_single(
     scenario: str | Scenario | None = None,
     shards: int = 1,
     population: str | PopulationModel | None = None,
+    selector: str | None = None,
 ) -> RunResult:
     """Train ``method`` on ``spec`` at ``preset`` scale and return its metrics.
 
@@ -135,6 +138,10 @@ def run_single(
     arrival/churn process; it changes who trains each round, so its
     canonical spec joins the cache key (``None`` keeps the synchronous
     trainer).
+    ``selector`` picks the signature-knowledge scoring rule ("magnitude",
+    "fisher", "hybrid:<mix>"; ``None`` defers to the method's default) for
+    the extracting methods; it changes which weights are retained, so its
+    canonical spec is part of the cache key.
     Passing a :class:`ParticipationPolicy`, :class:`Transport`, or
     :class:`Scenario` *instance* bypasses the cache entirely — instances
     may carry non-canonical state (sampling RNG, pending stragglers,
@@ -167,10 +174,15 @@ def run_single(
         create_population(population).describe()
         if population is not None else None
     )
+    # canonicalise ("hybrid:0.50" == "hybrid:0.5") and reject unknown specs
+    # or selector/method mismatches before any training runs
+    from ..federated.registry import resolve_selector
+
+    selector_key = resolve_selector(method, selector)
     key = _cache_key(
         method, scaled, preset, seed, cluster, network,
         model_kwargs, method_kwargs, participation_key, transport_key,
-        scenario_obj.describe(), shards, population_key,
+        scenario_obj.describe(), shards, population_key, selector_key,
     )
     if use_cache and key in _CACHE:
         return _CACHE[key]
@@ -200,6 +212,7 @@ def run_single(
         shards=shards,
         data_factory=data_factory,
         population=population,
+        selector=selector,
     ) as trainer:
         result = trainer.run()
     if use_cache:

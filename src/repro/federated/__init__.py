@@ -14,6 +14,7 @@ from .engine import (
     create_engine,
 )
 from .fedrep import FedRepClient
+from .fedvb import PRECISION_PREFIX, FedVBClient, FedVBServer
 from .fedweit import FedWeitClient, FedWeitServer, sparse_adaptive_bytes
 from .flcn import FLCNClient
 from .participation import (
@@ -29,10 +30,13 @@ from .registry import (
     ALL_METHODS,
     BATCH_SAFE_METHODS,
     CONTINUAL_STRATEGIES,
+    CURVATURE_METHODS,
+    DEFAULT_SELECTORS,
     FCL_METHODS,
     FEDERATED_METHODS,
     PROCESS_UNSAFE_METHODS,
     create_trainer,
+    resolve_selector,
 )
 from .server import MERGE_SEGMENTS, FedAvgServer, FLCNServer, StreamingAccumulator
 from .sharding import ShardedAggregator, shard_slices
@@ -63,7 +67,9 @@ __all__ = [
     "BATCH_SAFE_METHODS",
     "BatchedRoundEngine",
     "CONTINUAL_STRATEGIES",
+    "CURVATURE_METHODS",
     "Channel",
+    "DEFAULT_SELECTORS",
     "ClientUpdate",
     "ClientUpload",
     "DeadlineParticipation",
@@ -75,6 +81,7 @@ __all__ = [
     "FullParticipation",
     "MERGE_SEGMENTS",
     "POLICIES",
+    "PRECISION_PREFIX",
     "PROCESS_UNSAFE_METHODS",
     "ParticipationPolicy",
     "PopulationSimulator",
@@ -104,6 +111,8 @@ __all__ = [
     "FederatedClient",
     "FederatedTrainer",
     "FedRepClient",
+    "FedVBClient",
+    "FedVBServer",
     "FedWeitClient",
     "FedWeitServer",
     "FLCNClient",
@@ -111,6 +120,7 @@ __all__ = [
     "SGDClient",
     "TrainConfig",
     "create_trainer",
+    "resolve_selector",
     "shard_slices",
     "sparse_adaptive_bytes",
 ]

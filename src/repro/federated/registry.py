@@ -1,4 +1,4 @@
-"""Method registry: builds a ready-to-run trainer for any of the 12 methods.
+"""Method registry: builds a ready-to-run trainer for any of the 14 methods.
 
 The registry reproduces Section V-B's controlled comparison: every method
 gets identical initial weights (a fixed model seed), identical data, and the
@@ -8,11 +8,13 @@ same training configuration; only the algorithm differs.
 method                composition
 ====================  ==========================================
 fedknow               FedKnowClient + FedAvg server
+fedknow-fisher        FedKnowClient (fisher selector) + FedAvg
 fedweit               FedWeitClient + FedWeit server
 fedavg                SGDClient (no CL strategy) + FedAvg
 apfl                  APFLClient + FedAvg
 fedrep                FedRepClient + FedAvg (representation keys)
 flcn                  FLCNClient + FLCN rehearsal server
+fedvb                 FedVBClient + precision-weighted FedVB server
 gem / bcn / co2l /
 ewc / mas / agscl     SGDClient + CL strategy + FedAvg
 ====================  ==========================================
@@ -44,6 +46,7 @@ from .base import SGDClient
 from .config import TrainConfig
 from .engine import RoundEngine
 from .fedrep import FedRepClient
+from .fedvb import FedVBClient, FedVBServer
 from .fedweit import FedWeitClient, FedWeitServer
 from .flcn import FLCNClient
 from .participation import ParticipationPolicy
@@ -63,12 +66,47 @@ CONTINUAL_STRATEGIES: dict[str, Callable] = {
 FEDERATED_METHODS = ("fedavg", "apfl", "fedrep")
 FCL_METHODS = ("fedknow", "fedweit", "flcn")
 
-#: The 12 methods of the Fig. 4 comparison.
+#: Curvature-subsystem method columns: FedKNOW with Fisher-scored signature
+#: weights, and the variational-Bayes baseline with precision-weighted
+#: aggregation.
+CURVATURE_METHODS = ("fedknow-fisher", "fedvb")
+
+#: The 12 methods of the Fig. 4 comparison plus the curvature columns.
 ALL_METHODS: tuple[str, ...] = (
     ("fedknow", "fedweit", "flcn")
     + FEDERATED_METHODS
     + tuple(CONTINUAL_STRATEGIES)
+    + CURVATURE_METHODS
 )
+
+#: Default signature-knowledge selector per extracting method; methods
+#: absent here do not extract signature knowledge and reject ``--selector``.
+DEFAULT_SELECTORS: dict[str, str] = {
+    "fedknow": "magnitude",
+    "fedknow-fisher": "fisher",
+}
+
+
+def resolve_selector(method: str, selector: str | None = None) -> str:
+    """Canonical selector spec for ``method`` (validates both sides).
+
+    ``None`` resolves to the method's default; an explicit spec is only
+    legal for signature-knowledge methods and is normalized through
+    :func:`~repro.curv.selector.create_selector` so cache keys and run
+    metadata agree on one spelling.  Raises ``ValueError`` for an unknown
+    spec or a method that takes no selector.
+    """
+    from ..curv.selector import create_selector
+
+    if selector is None:
+        return create_selector(DEFAULT_SELECTORS.get(method)).describe()
+    if method not in DEFAULT_SELECTORS:
+        raise ValueError(
+            f"--selector only applies to signature-knowledge methods "
+            f"({', '.join(sorted(DEFAULT_SELECTORS))}); {method!r} does not "
+            f"extract signature knowledge"
+        )
+    return create_selector(selector).describe()
 
 #: Methods whose clients exchange state with the live server mid-round and
 #: therefore cannot run on a process engine (derived from the client
@@ -118,6 +156,7 @@ def create_trainer(
     shards: int = 1,
     data_factory=None,
     population: str | PopulationModel | None = None,
+    selector: str | None = None,
 ) -> FederatedTrainer:
     """Build a :class:`FederatedTrainer` running ``method`` on ``benchmark``.
 
@@ -138,6 +177,12 @@ def create_trainer(
 
     if method not in ALL_METHODS:
         raise KeyError(f"unknown method {method!r}; known: {sorted(ALL_METHODS)}")
+    resolved_selector = resolve_selector(method, selector)
+    if method == "fedvb" and shards > 1:
+        raise ValueError(
+            "fedvb's precision-weighted aggregation does not shard yet; "
+            "run it with --shards 1"
+        )
     rng = rng or np.random.default_rng(config.seed)
     model_kwargs = dict(model_kwargs or {})
     method_kwargs = dict(method_kwargs or {})
@@ -160,18 +205,23 @@ def create_trainer(
         server: FedAvgServer = FLCNServer(model_factory(), rng=rng)
     elif method == "fedweit":
         server = FedWeitServer()
+    elif method == "fedvb":
+        server = FedVBServer()
     else:
         server = FedAvgServer()
 
     for data, client_rng in zip(benchmark.clients, client_rngs):
         model = model_factory()
-        if method == "fedknow":
+        if method in ("fedknow", "fedknow-fisher"):
             client = FedKnowClient(
                 data.client_id, data, model, config,
                 model_factory=model_factory,
                 fedknow=method_kwargs.get("fedknow_config", FedKnowConfig()),
                 rng=client_rng,
+                selector=resolved_selector,
             )
+            # the registry's column name, not the client class's default
+            client.method_name = method
         elif method == "fedweit":
             client = FedWeitClient(
                 data.client_id, data, model, config, server=server,
@@ -194,6 +244,12 @@ def create_trainer(
         elif method == "fedrep":
             client = FedRepClient(
                 data.client_id, data, model, config, rng=client_rng
+            )
+        elif method == "fedvb":
+            client = FedVBClient(
+                data.client_id, data, model, config, rng=client_rng,
+                **{k: v for k, v in method_kwargs.items()
+                   if k in ("prior_precision", "kl_weight", "init_jitter")},
             )
         elif method == "fedavg":
             client = SGDClient(data.client_id, data, model, config, rng=client_rng)
@@ -233,5 +289,6 @@ def create_trainer(
         scenario=benchmark.scenario,
         shards=shards,
         data_factory=data_factory,
+        selector=resolved_selector,
         **trainer_kwargs,
     )

@@ -215,6 +215,7 @@ class FederatedTrainer:
         scenario: str = "class-inc",
         shards: int = 1,
         data_factory=None,
+        selector: str = "magnitude",
     ):
         if not clients:
             raise ValueError("trainer needs at least one client")
@@ -228,6 +229,7 @@ class FederatedTrainer:
         self.dataset_name = dataset_name
         self.method_name = method_name or clients[0].method_name
         self.scenario = scenario
+        self.selector = selector
         self.engine = create_engine(engine)
         if shards < 1:
             raise ValueError(f"need at least one shard, got {shards}")
@@ -737,4 +739,5 @@ class FederatedTrainer:
             participation=self.policy.describe(),
             transport=self.transport.describe(),
             scenario=self.scenario,
+            selector=self.selector,
         )

@@ -24,6 +24,7 @@ def result_to_dict(result: RunResult) -> dict:
         "scenario": result.scenario,
         "participation": result.participation,
         "transport": result.transport,
+        "selector": result.selector,
         "num_clients": result.num_clients,
         "num_tasks": result.num_tasks,
         "accuracy_matrix": [
@@ -107,6 +108,8 @@ def result_from_dict(payload: dict) -> RunResult:
         transport=payload.get("transport", "v1:dense"),
         # absent in payloads written before the scenario API
         scenario=payload.get("scenario", "class-inc"),
+        # absent in payloads written before the curvature subsystem
+        selector=payload.get("selector", "magnitude"),
     )
 
 

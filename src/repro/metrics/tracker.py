@@ -88,6 +88,10 @@ class RunResult:
     #: Scenario spec the run's data was built from (``"class-inc"``,
     #: ``"domain-inc:drift=0.3"``, ``"blurry:overlap=0.2"``, ...).
     scenario: str = "class-inc"
+    #: Signature-knowledge selector spec the run executed under
+    #: (``"magnitude"``, ``"fisher"``, ``"hybrid:0.5"``, ...); methods that
+    #: extract no signature knowledge record the ``"magnitude"`` default.
+    selector: str = "magnitude"
 
     # ------------------------------------------------------------------
     # accuracy metrics
@@ -211,6 +215,7 @@ class RunResult:
             "scenario": self.scenario,
             "participation": self.participation,
             "transport": self.transport,
+            "selector": self.selector,
             "final_accuracy": round(self.final_accuracy, 4),
             "final_forgetting": round(float(self.forgetting_curve[-1]), 4)
             if self.accuracy_matrix.size

@@ -18,6 +18,14 @@ class TestList:
         assert "fig5" in out
         assert "class-inc" in out
 
+    def test_list_shows_selectors(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "selectors" in out
+        assert "magnitude" in out
+        assert "fisher" in out
+        assert "hybrid:<mix>" in out
+
 
 class TestRun:
     def test_run_unit_scale(self, capsys):
@@ -134,12 +142,44 @@ class TestRun:
         assert code == 2
         assert "--shards" in capsys.readouterr().err
 
+    def test_invalid_selector_rejected(self, capsys):
+        code = main([
+            "run", "--method", "fedknow", "--dataset", "cifar100",
+            "--preset", "unit", "--selector", "entropy",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "invalid --selector" in err
+        assert "entropy" in err
+        assert "magnitude" in err  # the error lists the known selectors
+
+    def test_selector_on_non_extracting_method_rejected(self, capsys):
+        code = main([
+            "run", "--method", "fedavg", "--dataset", "cifar100",
+            "--preset", "unit", "--selector", "fisher",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "invalid --selector" in err
+        assert "fedavg" in err
+
+    def test_run_with_selector(self, capsys):
+        code = main([
+            "run", "--method", "fedknow", "--dataset", "svhn",
+            "--preset", "unit", "--selector", "fisher",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        assert "fisher" in out  # the summary records the selector
+
 
 class TestFigure:
     def test_figures_catalogue_complete(self):
         for name in ("fig4", "fig5", "fig5-wire", "fig6", "fig7", "fig8",
                      "fig9", "fig10", "table1", "ablations", "fig4-hetero",
-                     "fig-scenarios", "fig-scaling", "fig-eventsim"):
+                     "fig-scenarios", "fig-scaling", "fig-eventsim",
+                     "fig-curvature"):
             assert name in FIGURES
 
     def test_fig5_unit(self, capsys):

@@ -100,6 +100,6 @@ class TestAccounting:
         summary = result.summary()
         assert set(summary) == {
             "method", "dataset", "scenario", "participation", "transport",
-            "final_accuracy", "final_forgetting", "comm_gb", "upload_x",
-            "sim_hours",
+            "selector", "final_accuracy", "final_forgetting", "comm_gb",
+            "upload_x", "sim_hours",
         }

@@ -47,12 +47,20 @@ class TestDictRoundTrip:
         payload = result_to_dict(result)
         del payload["transport"]
         del payload["scenario"]
+        del payload["selector"]
         for record in payload["rounds"]:
             del record["raw_upload_bytes"]
         restored = result_from_dict(payload)
         assert restored.transport == "v1:dense"
         assert restored.scenario == "class-inc"
+        assert restored.selector == "magnitude"
         assert restored.upload_compression == 1.0
+
+    def test_round_trip_preserves_selector(self, result):
+        result.selector = "hybrid:0.5"
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.selector == "hybrid:0.5"
+        assert restored.summary()["selector"] == "hybrid:0.5"
 
     def test_round_trip_preserves_evicted(self, result):
         result.rounds[0].evicted = 3
