@@ -291,6 +291,37 @@ def test_batched_round_64c(benchmark, round_64c):
     )
 
 
+def test_telemetry_overhead_64c(benchmark, round_64c):
+    """Telemetry cost contract on the batched 64-client round: the
+    instrumented-but-disabled path stays within 1.05x of the plain round
+    (a closed session must leave no residual cost), and an enabled session
+    — spans plus per-op replay timing — costs at most 1.3x (best-of-7 on
+    the compared sides to keep scheduler noise under the 1.05 margin)."""
+    from repro.obs import Telemetry
+
+    _, batched, tape, order = round_64c
+    iterations = batched.config.iterations_per_round
+
+    def batched_round():
+        train_chunk(batched.clients, iterations, tape, order)
+
+    batched_round()  # warm-up
+    plain_best = min(_seconds(batched_round) for _ in range(7))
+    with Telemetry():
+        batched_round()  # warm the traced path
+        enabled_best = min(_seconds(batched_round) for _ in range(5))
+    disabled_best = min(_seconds(batched_round) for _ in range(7))
+    benchmark(batched_round)
+    assert disabled_best <= 1.05 * plain_best, (
+        f"disabled telemetry {disabled_best:.4f}s > 1.05x plain round "
+        f"{plain_best:.4f}s"
+    )
+    assert enabled_best <= 1.3 * disabled_best, (
+        f"enabled telemetry {enabled_best:.4f}s > 1.3x disabled round "
+        f"{disabled_best:.4f}s"
+    )
+
+
 def test_eventsim_100k(benchmark):
     """Event-driven serving of a 100k-client fixed population for five
     overlapping rounds — the scheduling hot path of the population

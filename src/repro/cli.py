@@ -3,6 +3,9 @@
 Commands
 --------
 ``run``      train one method on one dataset and print its metrics;
+``trace``    ``run`` with telemetry forced on: same arguments, plus a
+             Perfetto-loadable trace and metrics snapshot written under
+             ``--telemetry`` (default ``telemetry/``);
 ``figure``   regenerate a paper table/figure (fig4 ... fig10, table1,
              ablations);
 ``simulate`` run the event-driven population simulator (no training):
@@ -89,14 +92,9 @@ FIGURES = {
 }
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="FedKNOW (ICDE 2023) reproduction",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    run_p = sub.add_parser("run", help="train one method on one dataset")
+def _add_run_arguments(run_p: argparse.ArgumentParser,
+                       telemetry_default: str | None = None) -> None:
+    """The ``run`` argument set, shared verbatim by ``trace``."""
     run_p.add_argument("--method", required=True, choices=sorted(ALL_METHODS))
     run_p.add_argument("--dataset", required=True, choices=sorted(ALL_SPECS))
     run_p.add_argument("--preset", default="bench",
@@ -168,6 +166,29 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(requires --wire v2; lossy)")
     run_p.add_argument("--with-raspberry-pi", action="store_true",
                        help="use the 30-device heterogeneous cluster")
+    run_p.add_argument("--telemetry", metavar="DIR", default=telemetry_default,
+                       help="enable tracing for the run and write the "
+                            "telemetry exports (spans.jsonl, trace.json, "
+                            "metrics.prom, metrics.json, result.json) "
+                            "under DIR")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FedKNOW (ICDE 2023) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="train one method on one dataset")
+    _add_run_arguments(run_p)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="`run` with telemetry forced on (Perfetto trace + metrics "
+             "snapshot written under --telemetry, default 'telemetry/')",
+    )
+    _add_run_arguments(trace_p, telemetry_default="telemetry")
 
     fig_p = sub.add_parser("figure", help="regenerate a paper table/figure")
     fig_p.add_argument("name", choices=sorted(FIGURES))
@@ -198,6 +219,9 @@ def _build_parser() -> argparse.ArgumentParser:
     sim_p.add_argument("--slack", type=float, default=1.5,
                        help="deadline slack multiplier under --deadline auto")
     sim_p.add_argument("--seed", type=int, default=0)
+    sim_p.add_argument("--telemetry", metavar="DIR", default=None,
+                       help="enable tracing for the simulation and write "
+                            "the telemetry exports under DIR")
 
     search_p = sub.add_parser("search", help="FedKNOW rho x k search on SVHN")
     search_p.add_argument("--preset", default="bench",
@@ -238,6 +262,9 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--scenario", default="class-inc")
     serve_p.add_argument("--timeout", type=float, default=60.0,
                          help="seconds to wait for --workers connections")
+    serve_p.add_argument("--telemetry", metavar="DIR", default=None,
+                         help="enable tracing for the service and write "
+                              "the telemetry exports under DIR")
 
     worker_p = sub.add_parser(
         "worker",
@@ -348,13 +375,28 @@ def _cmd_run(args) -> int:
         message = error.args[0] if error.args else error
         print(f"error: invalid --selector: {message}", file=sys.stderr)
         return 2
-    result = run_single(
-        args.method, get_spec(args.dataset), preset,
-        cluster=cluster, seed=args.seed, use_cache=False, engine=args.engine,
-        participation=participation, transport=transport,
-        scenario=args.scenario, shards=args.shards,
-        population=args.population, selector=args.selector,
-    )
+    def execute():
+        return run_single(
+            args.method, get_spec(args.dataset), preset,
+            cluster=cluster, seed=args.seed, use_cache=False,
+            engine=args.engine,
+            participation=participation, transport=transport,
+            scenario=args.scenario, shards=args.shards,
+            population=args.population, selector=args.selector,
+        )
+
+    exports = None
+    if args.telemetry:
+        from .metrics.io import save_result_with_telemetry
+        from .obs import Telemetry
+
+        with Telemetry(args.telemetry) as session:
+            result = execute()
+            exports = save_result_with_telemetry(
+                result, session, args.telemetry
+            )
+    else:
+        result = execute()
     stages = np.arange(1, len(result.accuracy_curve) + 1)
     print(format_series(
         f"{args.method} on {args.dataset} ({args.preset})",
@@ -378,18 +420,24 @@ def _cmd_run(args) -> int:
             ]],
             title="transport (measured upload volume)",
         ))
-    if result.participation != "full":
+    if (result.participation != "full"
+            or result.total_evicted_clients
+            or result.total_lost_clients):
         print(format_table(
-            ["rounds", "planned", "reported", "stale", "evicted"],
+            ["rounds", "planned", "reported", "stale", "evicted", "lost"],
             [[
                 len(result.rounds),
                 result.total_planned_clients,
                 result.total_reported_clients,
                 result.total_stale_clients,
                 result.total_evicted_clients,
+                result.total_lost_clients,
             ]],
             title="participation (client-rounds)",
         ))
+    if exports is not None:
+        print(f"telemetry written under {args.telemetry}: "
+              + ", ".join(sorted(str(p) for p in exports.values())))
     return 0
 
 
@@ -431,7 +479,17 @@ def _cmd_simulate(args) -> int:
         message = error.args[0] if error.args else error
         print(f"error: {message}", file=sys.stderr)
         return 2
-    report = simulator.run()
+    if args.telemetry:
+        from .obs import Telemetry
+
+        with Telemetry(args.telemetry) as session:
+            report = simulator.run()
+            paths = session.flush()
+        print("telemetry written under "
+              f"{args.telemetry}: "
+              + ", ".join(sorted(str(p) for p in paths.values())))
+    else:
+        report = simulator.run()
     print(report)
     rows = [
         [r.round_index, round(r.open_seconds, 2), round(r.close_seconds, 2),
@@ -476,7 +534,19 @@ def _cmd_serve(args) -> int:
         except RpcError as error:
             print(f"error: {error}", file=sys.stderr)
             return 1
-        result = server.run()
+        if args.telemetry:
+            from .metrics.io import save_result_with_telemetry
+            from .obs import Telemetry
+
+            with Telemetry(args.telemetry) as session:
+                result = server.run()
+                exports = save_result_with_telemetry(
+                    result, session, args.telemetry
+                )
+            print(f"telemetry written under {args.telemetry}: "
+                  + ", ".join(sorted(str(p) for p in exports.values())))
+        else:
+            result = server.run()
         stages = np.arange(1, len(result.accuracy_curve) + 1)
         print(format_series(
             f"{args.method} on {args.dataset} ({args.preset})",
@@ -552,7 +622,7 @@ def _cmd_list() -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.command == "run":
+    if args.command in ("run", "trace"):
         return _cmd_run(args)
     if args.command == "figure":
         return _cmd_figure(args)

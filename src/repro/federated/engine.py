@@ -60,10 +60,16 @@ from typing import Callable, Iterable, Mapping, TypeVar
 
 import numpy as np
 
+from ..obs import metrics as _obs_metrics
+from ..obs import trace as _obs_trace
 from ..utils.serialization import decode_state, encode_state
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+# Cached instrument handles (valid forever: ``drain`` zeroes in place).
+_BROADCAST_HITS = _obs_metrics.METRICS.counter("broadcast.cache_hits")
+_BROADCAST_DECODES = _obs_metrics.METRICS.counter("broadcast.decodes")
 
 # ----------------------------------------------------------------------
 # worker-process registries
@@ -168,10 +174,44 @@ def _loads_oob(meta: bytes, path: str | None, sizes: tuple[int, ...]):
     return pickle.loads(meta, buffers=buffers)
 
 
-def _run_oob_chunk(meta: bytes, path: str | None, sizes: tuple[int, ...]):
-    """Worker-side chunk runner: decode, apply, re-encode out-of-band."""
+#: Per-worker tracer, kept across chunks so span ids stay unique within
+#: the process (the counter survives) and reset when a new trace begins.
+_WORKER_TRACER: "_obs_trace.Tracer | None" = None
+
+
+def _worker_tracer(trace_id: str) -> "_obs_trace.Tracer":
+    global _WORKER_TRACER
+    if _WORKER_TRACER is None or _WORKER_TRACER.trace_id != trace_id:
+        _WORKER_TRACER = _obs_trace.Tracer(
+            trace_id=trace_id,
+            origin=f"w{os.getpid()}",
+            process=f"worker-{os.getpid()}",
+        )
+    return _WORKER_TRACER
+
+
+def _run_oob_chunk(meta: bytes, path: str | None, sizes: tuple[int, ...],
+                   ctx: tuple[str, str] | None = None):
+    """Worker-side chunk runner: decode, apply, re-encode out-of-band.
+
+    ``ctx`` is the coordinator's :class:`~repro.obs.trace.SpanContext`
+    when a telemetry session is live: the worker runs the chunk under a
+    local tracer adopted into that context and ships its spans plus a
+    metrics-registry delta back alongside the results, so remote child
+    spans stitch into the coordinator's trace.
+    """
     fn, chunk = _loads_oob(meta, path, sizes)
-    return _dumps_oob([fn(item) for item in chunk])
+    if ctx is None:
+        return _dumps_oob(([fn(item) for item in chunk], None))
+    tracer = _worker_tracer(ctx[0])
+    tracer.adopt(ctx)
+    previous = _obs_trace.set_tracer(tracer)
+    try:
+        results = [fn(item) for item in chunk]
+    finally:
+        _obs_trace.set_tracer(previous)
+    telemetry = (tracer.drain(), _obs_metrics.METRICS.drain())
+    return _dumps_oob((results, telemetry))
 
 
 # ----------------------------------------------------------------------
@@ -233,6 +273,9 @@ class SharedStateHandle(StateHandle):
                 payload = handle.read()
             _STATE_CACHE.clear()  # at most one broadcast is live at a time
             cached = _STATE_CACHE[self.token] = decode_state(payload)
+            _BROADCAST_DECODES.inc()
+        else:
+            _BROADCAST_HITS.inc()
         return cached
 
     def release(self) -> None:
@@ -309,7 +352,18 @@ class ThreadedRoundEngine(RoundEngine):
         items = list(items)
         if len(items) <= 1:
             return [fn(item) for item in items]
-        return list(self._pool().map(fn, items))
+        tracer = _obs_trace.TRACER
+        if not tracer.enabled:
+            return list(self._pool().map(fn, items))
+        # pool threads have empty span stacks: parent their spans under
+        # the caller's innermost open span so traces stay nested
+        ctx = tracer.current_context()
+
+        def run(item: T) -> R:
+            with tracer.bind(ctx):
+                return fn(item)
+
+        return list(self._pool().map(run, items))
 
     def close(self) -> None:
         if self._executor is not None:
@@ -371,16 +425,22 @@ class ProcessRoundEngine(RoundEngine):
         # (see :func:`_dumps_oob`)
         chunksize = max(1, len(items) // (self.max_workers * 4))
         pool = self._pool()
+        ctx = _obs_trace.current_context()
         futures = []
         try:
             for i in range(0, len(items), chunksize):
                 meta, path, sizes = _dumps_oob((fn, items[i:i + chunksize]))
                 futures.append(
-                    (pool.submit(_run_oob_chunk, meta, path, sizes), path)
+                    (pool.submit(_run_oob_chunk, meta, path, sizes, ctx),
+                     path)
                 )
             results: list[R] = []
             for future, _ in futures:
-                results.extend(_loads_oob(*future.result()))
+                chunk_results, telemetry = _loads_oob(*future.result())
+                if telemetry is not None:
+                    _obs_trace.TRACER.absorb(telemetry[0])
+                    _obs_metrics.METRICS.merge(telemetry[1])
+                results.extend(chunk_results)
             return results
         except BaseException:
             self._reap_chunks(futures)

@@ -58,6 +58,8 @@ from ..edge.arrivals import PopulationModel, PopulationSchedule, create_populati
 from ..edge.cluster import EdgeCluster, jetson_raspberry_cluster
 from ..edge.network import NetworkModel
 from ..metrics.tracker import RoundRecord
+from ..obs import metrics as _obs_metrics
+from ..obs import trace as _obs_trace
 from .protocol import ClientUpdate, RoundOutcome, RoundPlan
 from .server import shard_slices
 from .trainer import FederatedTrainer
@@ -493,8 +495,21 @@ class PopulationSimulator:
             max_staleness=self.loop.max_staleness,
         )
         started = time.perf_counter()
-        self.loop.run(report)
+        with _obs_trace.TRACER.span(
+            "simulate", clients=self.num_clients,
+            population=report.population, rounds=self.loop.num_rounds,
+        ) as span:
+            self.loop.run(report)
+            span.attrs.update(events=report.events,
+                              evicted=report.evicted, lost=report.lost)
         report.wall_seconds = time.perf_counter() - started
+        registry = _obs_metrics.METRICS
+        registry.counter("sim.events").inc(report.events)
+        registry.counter("sim.rounds").inc(len(report.rounds))
+        if report.evicted:
+            registry.counter("sim.clients_evicted").inc(report.evicted)
+        if report.lost:
+            registry.counter("sim.clients_lost").inc(report.lost)
         return report
 
 
@@ -658,7 +673,7 @@ class EventDrivenTrainer(FederatedTrainer):
             self._dispatch(event)
             self._drain_until(self.clock)
         self.round_closes.append(self.clock)
-        return RoundRecord(
+        record = RoundRecord(
             position=position,
             round_index=round_index,
             upload_bytes=0,
@@ -671,6 +686,8 @@ class EventDrivenTrainer(FederatedTrainer):
             reported_clients=0,
             skipped=True,
         )
+        self._publish_round_metrics(record)
+        return record
 
     def _after_broadcast(self, downloads, receiver_ids) -> None:
         """Advance virtual time by the broadcast's slowest downlink.

@@ -60,6 +60,8 @@ from ..edge.cost import ModelCostModel
 from ..edge.device import JETSON_XAVIER_NX, DeviceProfile
 from ..edge.network import NetworkModel
 from ..metrics.tracker import RoundRecord, RunResult, accuracy_matrix_from_client_evals
+from ..obs import metrics as _obs_metrics
+from ..obs import trace as _obs_trace
 from ..utils.serialization import encoded_num_bytes
 from .base import FederatedClient
 from .config import TrainConfig
@@ -75,6 +77,16 @@ from .protocol import ClientUpdate, RoundOutcome, RoundPlan
 from .server import FedAvgServer
 from .sharding import ShardedAggregator
 from .transport import Channel, Transport, create_transport
+
+# Cached instrument handles (always-on; ``drain`` zeroes them in place).
+_ROUNDS = _obs_metrics.METRICS.counter("round.rounds")
+_ROUNDS_SKIPPED = _obs_metrics.METRICS.counter("round.skipped")
+_CLIENTS_REPORTED = _obs_metrics.METRICS.counter("round.clients_reported")
+_CLIENTS_STALE = _obs_metrics.METRICS.counter("round.clients_stale")
+_CLIENTS_EVICTED = _obs_metrics.METRICS.counter("round.clients_evicted")
+_CLIENTS_LOST = _obs_metrics.METRICS.counter("round.clients_lost")
+_UPLOAD_BYTES = _obs_metrics.METRICS.counter("wire.upload_bytes")
+_DOWNLOAD_BYTES = _obs_metrics.METRICS.counter("wire.download_bytes")
 
 
 @dataclass
@@ -131,6 +143,17 @@ class _TrainPhase:
         self.strip_data = strip_data
 
     def __call__(self, client: FederatedClient):
+        tracer = _obs_trace.TRACER
+        if not tracer.enabled:
+            return self._train(client)
+        # worker-side on process/socket engines: the span parents under
+        # the adopted round context and ships back with the phase result
+        with tracer.span("train_client", client=client.client_id) as span:
+            update, client = self._train(client)
+            span.attrs["upload_bytes"] = update.upload_bytes
+        return update, client
+
+    def _train(self, client: FederatedClient):
         if client.data is None:
             client.attach_data(worker_client_data(client.client_id))
         ctx = self.ctx
@@ -465,6 +488,40 @@ class FederatedTrainer:
 
     def _run_round(self, position: int, round_index: int) -> RoundRecord:
         """Execute one aggregation round under the participation policy."""
+        tracer = _obs_trace.TRACER
+        if not tracer.enabled:
+            record = self._execute_round(position, round_index)
+        else:
+            with tracer.span("round", position=position,
+                             round=round_index) as span:
+                record = self._execute_round(position, round_index)
+                span.attrs.update(
+                    reported=record.reported_clients,
+                    stale=record.stale_clients,
+                    evicted=record.evicted,
+                    lost=record.lost,
+                    upload_bytes=record.upload_bytes,
+                    download_bytes=record.download_bytes,
+                )
+        self._publish_round_metrics(record)
+        return record
+
+    def _publish_round_metrics(self, record: RoundRecord) -> None:
+        """Fold one round's accounting into the always-on registry."""
+        _ROUNDS.inc()
+        if record.skipped:
+            _ROUNDS_SKIPPED.inc()
+        _CLIENTS_REPORTED.inc(record.reported_clients)
+        if record.stale_clients:
+            _CLIENTS_STALE.inc(record.stale_clients)
+        if record.evicted:
+            _CLIENTS_EVICTED.inc(record.evicted)
+        if record.lost:
+            _CLIENTS_LOST.inc(record.lost)
+        _UPLOAD_BYTES.inc(record.upload_bytes)
+        _DOWNLOAD_BYTES.inc(record.download_bytes)
+
+    def _execute_round(self, position: int, round_index: int) -> RoundRecord:
         active = self.active_clients()
         by_id = {client.client_id: client for client in active}
         active_ids = [client.client_id for client in active]
@@ -513,18 +570,21 @@ class FederatedTrainer:
         shard_reported: tuple[int, ...] = ()
         skipped = False
         if outcome.updates:
-            if self.aggregator is not None:
-                global_state = self.aggregator.aggregate_updates(
-                    outcome.updates,
-                    staleness_discount=self.policy.staleness_discount,
-                )
-                shard_reported = self.aggregator.last_shard_counts
-                merge_seconds = self.aggregator.last_merge_seconds
-            else:
-                global_state = self.server.aggregate_updates(
-                    outcome.updates,
-                    staleness_discount=self.policy.staleness_discount,
-                )
+            with _obs_trace.TRACER.span(
+                "aggregate", updates=len(outcome.updates), shards=self.shards
+            ):
+                if self.aggregator is not None:
+                    global_state = self.aggregator.aggregate_updates(
+                        outcome.updates,
+                        staleness_discount=self.policy.staleness_discount,
+                    )
+                    shard_reported = self.aggregator.last_shard_counts
+                    merge_seconds = self.aggregator.last_merge_seconds
+                else:
+                    global_state = self.server.aggregate_updates(
+                        outcome.updates,
+                        staleness_discount=self.policy.staleness_discount,
+                    )
         else:
             # nobody reported in time and nothing was pending: the global
             # model is unchanged this round — the round is recorded as
@@ -542,16 +602,19 @@ class FederatedTrainer:
         downloads: dict[int, int] = {}
         receivers = [by_id[cid] for cid in outcome.receivers if cid in by_id]
         if global_state is not None and receivers:
-            handle = self.engine.share_state(global_state)
-            detached = self._strip_for_map(receivers)
-            try:
-                received = self.engine.map(
-                    _ReceivePhase(self._ctx, handle, round_index, strip),
-                    receivers,
-                )
-            finally:
-                self._restore_data(receivers, detached)
-                handle.release()
+            with _obs_trace.TRACER.span(
+                "broadcast", receivers=len(receivers)
+            ):
+                handle = self.engine.share_state(global_state)
+                detached = self._strip_for_map(receivers)
+                try:
+                    received = self.engine.map(
+                        _ReceivePhase(self._ctx, handle, round_index, strip),
+                        receivers,
+                    )
+                finally:
+                    self._restore_data(receivers, detached)
+                    handle.release()
             # one shared base snapshot per broadcast, instead of one copy
             # per receiving client; channel bookkeeping stays parent-side so
             # negotiated warmup/base state survives process rounds.  On a

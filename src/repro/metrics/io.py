@@ -125,6 +125,24 @@ def load_result(path: str | os.PathLike) -> RunResult:
         return result_from_dict(json.load(handle))
 
 
+def save_result_with_telemetry(
+    result: RunResult, session, out_dir: str | os.PathLike
+) -> dict:
+    """Persist a run result next to its telemetry session's exports.
+
+    Flushes the :class:`~repro.obs.export.Telemetry` session into
+    ``out_dir`` (``spans.jsonl``, ``trace.json``, ``metrics.prom``,
+    ``metrics.json``) and writes the run's ``result.json`` beside them,
+    so one directory captures both what the run produced and how it ran.
+    Returns the format -> path mapping, including ``"result"``.
+    """
+    paths = dict(session.flush(out_dir))
+    result_path = os.path.join(os.fspath(out_dir), "result.json")
+    save_result(result, result_path)
+    paths["result"] = result_path
+    return paths
+
+
 def save_results(results: Iterable[RunResult], path: str | os.PathLike) -> None:
     """Write a collection of results as one JSON array."""
     with open(path, "w") as handle:

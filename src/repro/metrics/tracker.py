@@ -61,8 +61,13 @@ class RoundRecord:
 
     @property
     def upload_compression(self) -> float:
-        """Compressed-vs-raw upload ratio (1.0 = dense, >1 = savings)."""
-        if self.upload_bytes <= 0:
+        """Compressed-vs-raw upload ratio (1.0 = dense, >1 = savings).
+
+        A round with no uploads at all (skipped, or every client lost) has
+        no meaningful ratio on either axis, so both zero-byte cases pin to
+        the neutral 1.0 instead of returning 0 or dividing by zero.
+        """
+        if self.upload_bytes <= 0 or self.raw_upload_bytes <= 0:
             return 1.0
         return self.raw_upload_bytes / self.upload_bytes
 
@@ -142,7 +147,7 @@ class RunResult:
     def upload_compression(self) -> float:
         """Run-level compressed-vs-raw upload ratio (1.0 = no compression)."""
         total = self.total_upload_bytes
-        if total <= 0:
+        if total <= 0 or self.total_raw_upload_bytes <= 0:
             return 1.0
         return self.total_raw_upload_bytes / total
 
@@ -196,6 +201,11 @@ class RunResult:
     def total_evicted_clients(self) -> int:
         """Straggler updates dropped for exceeding ``max_staleness``."""
         return int(sum(r.evicted for r in self.rounds))
+
+    @property
+    def total_lost_clients(self) -> int:
+        """Planned clients dropped because their worker died mid-round."""
+        return int(sum(r.lost for r in self.rounds))
 
     @property
     def skipped_rounds(self) -> int:

@@ -34,9 +34,17 @@ from __future__ import annotations
 
 import contextlib
 import threading
+import time
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
+
+from ..obs import metrics as _obs_metrics
+from ..obs import trace as _obs_trace
+from . import profiler as _profiler
+
+#: Every tape replay (forward-only or grad, batched or not) bumps this.
+_TAPE_REPLAYS = _obs_metrics.METRICS.counter("tape.replays")
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -395,6 +403,8 @@ class GraphTape:
 
     def _forward(self, values):
         ctxs = []
+        if _profiler._timers:
+            return self._forward_timed(values)
         for node in self.nodes:
             ctx = {"needs": node.grad_mask}
             args = [values[s] for s in node.arg_slots]
@@ -402,8 +412,43 @@ class GraphTape:
             ctxs.append(ctx)
         return ctxs
 
+    def _forward_timed(self, values):
+        """The forward loop with per-op wall time fed to active OpTimers."""
+        ctxs = []
+        perf = time.perf_counter
+        for node in self.nodes:
+            ctx = {"needs": node.grad_mask}
+            args = [values[s] for s in node.arg_slots]
+            started = perf()
+            values[node.out_slot] = node.op.forward(ctx, *args, **node.params)
+            _profiler.record_op_seconds("fwd." + node.op.name,
+                                        perf() - started)
+            ctxs.append(ctx)
+        return ctxs
+
+    def _traced(self, kind: str, body, **attrs):
+        """Run one replay ``body`` under telemetry accounting.
+
+        The replay counter is always bumped; when tracing is on the body
+        runs inside a ``tape_replay`` span with an active
+        :class:`~repro.nn.profiler.OpTimer`, whose per-op wall-clock
+        summary is folded into the span's attributes.
+        """
+        _TAPE_REPLAYS.inc()
+        tracer = _obs_trace.TRACER
+        if not tracer.enabled:
+            return body()
+        with tracer.span("tape_replay", kind=kind, nodes=len(self.nodes),
+                         **attrs) as span, _profiler.OpTimer() as timer:
+            result = body()
+            span.attrs["ops"] = timer.summary()
+        return result
+
     def replay(self, inputs: Mapping[str, np.ndarray], params=None) -> np.ndarray:
         """Run the captured program forward; returns the output array."""
+        return self._traced("forward", lambda: self._replay(inputs, params))
+
+    def _replay(self, inputs, params):
         self._check_finalized()
         values = self._fill_values(inputs, self._param_arrays(params), None)
         self._forward(values)
@@ -418,6 +463,8 @@ class GraphTape:
             self.output_slot: np.asarray(seed, dtype=out_value.dtype)
         }
         needs = self._slot_needs
+        timers = _profiler._timers
+        perf = time.perf_counter
         for i in range(len(self.nodes) - 1, -1, -1):
             node = self.nodes[i]
             g = grads.pop(node.out_slot, None)
@@ -428,9 +475,16 @@ class GraphTape:
             if g is None or not any(node.grad_mask):
                 continue
             if batched_mask is None or not batched_mask[node.out_slot]:
-                pgrads = node.op.vjp(ctxs[i], g)
+                vjp = node.op.vjp
             else:
-                pgrads = (node.op.batched_vjp or node.op.vjp)(ctxs[i], g)
+                vjp = node.op.batched_vjp or node.op.vjp
+            if timers:
+                started = perf()
+                pgrads = vjp(ctxs[i], g)
+                _profiler.record_op_seconds("bwd." + node.op.name,
+                                            perf() - started)
+            else:
+                pgrads = vjp(ctxs[i], g)
             for s, pg in zip(node.arg_slots, pgrads):
                 if pg is None or not needs[s]:
                     continue
@@ -456,6 +510,11 @@ class GraphTape:
         and accumulation order match the dynamic tape exactly, so replayed
         training is bit-identical to closure-based training.
         """
+        return self._traced(
+            "grad", lambda: self._replay_grad(inputs, params, seed)
+        )
+
+    def _replay_grad(self, inputs, params, seed):
         self._check_finalized()
         param_arrays = self._param_arrays(params)
         values = self._fill_values(inputs, param_arrays, None)
@@ -482,6 +541,12 @@ class GraphTape:
         a tapped slot is absent from ``tap_grads`` when no gradient reached
         it.  Tapping does not perturb the replayed arithmetic.
         """
+        return self._traced(
+            "tapped",
+            lambda: self._replay_grad_tapped(inputs, params, seed, taps),
+        )
+
+    def _replay_grad_tapped(self, inputs, params, seed, taps):
         self._check_finalized()
         tap_set = set(taps)
         param_arrays = self._param_arrays(params)
@@ -532,6 +597,13 @@ class GraphTape:
         ``RuntimeError`` naming the op if any recorded op lacks a batched
         implementation.
         """
+        return self._traced(
+            "batched",
+            lambda: self._replay_grad_batched(inputs, params, batch, seed),
+            batch=batch,
+        )
+
+    def _replay_grad_batched(self, inputs, params, batch, seed):
         self._check_finalized()
         unsupported = self.batch_unsupported_ops()
         if unsupported:
@@ -542,6 +614,8 @@ class GraphTape:
         batched = self._batched_masks()
         values = self._fill_values(inputs, list(params), batch)
         ctxs = []
+        timers = _profiler._timers
+        perf = time.perf_counter
         for node in self.nodes:
             ctx = {"needs": node.grad_mask}
             args = [values[s] for s in node.arg_slots]
@@ -554,7 +628,13 @@ class GraphTape:
                 fn = node.op.batched_forward
             else:
                 fn = node.op.forward
-            values[node.out_slot] = fn(ctx, *args, **node.params)
+            if timers:
+                started = perf()
+                values[node.out_slot] = fn(ctx, *args, **node.params)
+                _profiler.record_op_seconds("fwd." + node.op.name,
+                                            perf() - started)
+            else:
+                values[node.out_slot] = fn(ctx, *args, **node.params)
             ctxs.append(ctx)
         if seed is None:
             out_value = values[self.output_slot]

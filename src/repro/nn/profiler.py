@@ -1,9 +1,15 @@
-"""Operation-level FLOP / activation profiling.
+"""Operation-level FLOP / activation / wall-time profiling.
 
 The edge-device time and memory simulation needs per-model compute costs.
 An active :class:`OpProfiler` accumulates multiply-accumulate counts (as
 2-FLOP MACs) and activation element counts from the conv / matmul ops while
 it is entered; :func:`profile_forward` measures one forward pass of a model.
+
+An active :class:`OpTimer` additionally accumulates **wall-clock seconds
+per op name** from the graph-tape replay loops (:mod:`repro.nn.graph`),
+which is how per-op timings fold into telemetry ``tape_replay`` spans.
+Both follow the same active-list pattern: the replay loop's guard is one
+``bool()`` of a module list, so untimed replays pay nothing per node.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from __future__ import annotations
 import contextlib
 
 _active: list["OpProfiler"] = []
+_timers: list["OpTimer"] = []
 
 
 class OpProfiler:
@@ -52,6 +59,43 @@ def record_dispatch() -> None:
 
 def is_profiling() -> bool:
     return bool(_active)
+
+
+class OpTimer:
+    """Accumulates wall-clock seconds and call counts per op name."""
+
+    def __init__(self):
+        self.seconds: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+
+    def add(self, name: str, seconds: float) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    def summary(self) -> dict[str, dict]:
+        """Per-op ``{"seconds": ..., "calls": ...}``, heaviest first."""
+        return {
+            name: {"seconds": self.seconds[name], "calls": self.calls[name]}
+            for name in sorted(self.seconds, key=self.seconds.get,
+                               reverse=True)
+        }
+
+    def __enter__(self) -> "OpTimer":
+        _timers.append(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _timers.remove(self)
+
+
+def is_timing() -> bool:
+    return bool(_timers)
+
+
+def record_op_seconds(name: str, seconds: float) -> None:
+    """Called by the tape replay loops; no-op when no timer is active."""
+    for timer in _timers:
+        timer.add(name, seconds)
 
 
 def profile_forward(model, input_shape: tuple[int, ...], batch: int = 2):

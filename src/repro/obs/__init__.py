@@ -1,0 +1,30 @@
+"""Zero-dependency telemetry: tracing spans, metrics, exporters.
+
+Spans are opt-in (``trace.TRACER`` is a null tracer until a
+:class:`Telemetry` session installs a real one); the metrics registry
+(``metrics.METRICS``) is always on.  Guard span sites with
+``if TRACER.enabled:`` read off the *module* attribute so sessions can
+swap the tracer underneath cached imports.
+"""
+
+from .export import Telemetry, chrome_trace, write_chrome_trace, write_spans_jsonl
+from .metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from .trace import NullTracer, Span, SpanContext, Tracer, current_context, set_tracer
+
+__all__ = [
+    "METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "SpanContext",
+    "Telemetry",
+    "Tracer",
+    "chrome_trace",
+    "current_context",
+    "set_tracer",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+]

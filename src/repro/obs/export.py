@@ -1,0 +1,154 @@
+"""Telemetry exporters and the enable/flush session wrapper.
+
+Three export formats, all dependency-free:
+
+- ``write_spans_jsonl`` — one span dict per line, the raw record.
+- ``chrome_trace`` / ``write_chrome_trace`` — Chrome ``trace_event``
+  JSON, loadable in Perfetto / ``chrome://tracing``: complete events
+  (``"ph": "X"``) with microsecond timestamps, one pid lane per origin
+  process, plus flow arrows are unnecessary because child spans carry
+  explicit ``parent_id`` args.
+- ``MetricsRegistry.prometheus_text`` (re-exported via ``flush``) — a
+  Prometheus text snapshot, plus a JSON twin for programmatic reads.
+
+:class:`Telemetry` is the session object the CLI's ``--telemetry PATH``
+flag creates: it installs a real :class:`~repro.obs.trace.Tracer`,
+snapshots the metrics registry on entry (so the flushed snapshot covers
+just the session), and ``flush()`` writes ``spans.jsonl``,
+``trace.json``, ``metrics.prom``, and ``metrics.json`` under the path.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .metrics import METRICS, MetricsRegistry
+from .trace import Tracer, set_tracer
+
+
+def write_spans_jsonl(spans: list[dict[str, Any]], path: Path) -> None:
+    with path.open("w", encoding="utf-8") as fh:
+        for span in spans:
+            fh.write(json.dumps(span) + "\n")
+
+
+def chrome_trace(spans: list[dict[str, Any]]) -> dict[str, Any]:
+    """Convert span dicts to Chrome ``trace_event`` JSON (dict form)."""
+    events: list[dict[str, Any]] = []
+    pids: dict[str, int] = {}
+    for span in spans:
+        process = span.get("process") or "main"
+        pid = pids.get(process)
+        if pid is None:
+            pid = pids[process] = len(pids) + 1
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": process},
+            })
+        args = dict(span.get("attrs") or {})
+        args["span_id"] = span["span_id"]
+        if span.get("parent_id"):
+            args["parent_id"] = span["parent_id"]
+        events.append({
+            "name": span["name"],
+            "cat": "repro",
+            "ph": "X",
+            "ts": span["start"] * 1e6,
+            "dur": max(span["end"] - span["start"], 0.0) * 1e6,
+            "pid": pid,
+            "tid": 0,
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: list[dict[str, Any]], path: Path) -> None:
+    path.write_text(json.dumps(chrome_trace(spans)))
+
+
+def _subtract(snap: dict[str, Any], base: dict[str, Any]) -> dict[str, Any]:
+    """Session-relative metric snapshot: counters/histograms minus the
+    values they held when the session opened (gauges/warnings pass)."""
+    base_counters = base.get("counters", {})
+    counters = {
+        k: v - base_counters.get(k, 0)
+        for k, v in snap.get("counters", {}).items()
+    }
+    base_hists = base.get("histograms", {})
+    histograms = {}
+    for name, data in snap.get("histograms", {}).items():
+        prior = base_hists.get(name)
+        if prior is None:
+            histograms[name] = data
+        else:
+            histograms[name] = {
+                "counts": [a - b for a, b in
+                           zip(data["counts"], prior["counts"])],
+                "sum": data["sum"] - prior["sum"],
+                "count": data["count"] - prior["count"],
+            }
+    return {
+        "counters": counters,
+        "gauges": dict(snap.get("gauges", {})),
+        "histograms": histograms,
+        "warnings": list(snap.get("warnings", [])),
+    }
+
+
+class Telemetry:
+    """An enabled-telemetry session: install tracer, run, ``flush()``.
+
+    Usable as a context manager; ``close()`` restores the previous
+    (usually null) tracer so the process returns to the no-op path.
+    """
+
+    def __init__(self, out_dir: str | Path | None = None,
+                 process: str = "main",
+                 registry: MetricsRegistry | None = None):
+        self.out_dir = Path(out_dir) if out_dir is not None else None
+        self.registry = registry if registry is not None else METRICS
+        self.tracer = Tracer(origin="main", process=process)
+        self._previous = set_tracer(self.tracer)
+        self._baseline = self.registry.snapshot()
+        self._closed = False
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if not self._closed:
+            set_tracer(self._previous)
+            self._closed = True
+
+    def spans(self) -> list[dict[str, Any]]:
+        return self.tracer.export()
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        return _subtract(self.registry.snapshot(), self._baseline)
+
+    def flush(self, out_dir: str | Path | None = None) -> dict[str, Path]:
+        """Write all exports; returns format -> written path."""
+        target = Path(out_dir) if out_dir is not None else self.out_dir
+        if target is None:
+            raise ValueError("telemetry flush needs an output directory")
+        target.mkdir(parents=True, exist_ok=True)
+        spans = self.spans()
+        snapshot = self.metrics_snapshot()
+        paths = {
+            "spans": target / "spans.jsonl",
+            "trace": target / "trace.json",
+            "metrics_prom": target / "metrics.prom",
+            "metrics_json": target / "metrics.json",
+        }
+        write_spans_jsonl(spans, paths["spans"])
+        write_chrome_trace(spans, paths["trace"])
+        registry = MetricsRegistry()
+        registry.merge(snapshot)
+        paths["metrics_prom"].write_text(registry.prometheus_text())
+        paths["metrics_json"].write_text(json.dumps(snapshot, indent=1))
+        return paths

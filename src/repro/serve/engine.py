@@ -53,6 +53,8 @@ import numpy as np
 from ..federated.base import FederatedClient
 from ..federated.engine import RoundEngine, SharedStateHandle, StateHandle
 from ..federated.server import StreamingAccumulator
+from ..obs import metrics as _obs_metrics
+from ..obs import trace as _obs_trace
 from ..utils.serialization import encode_state
 from .rpc import (
     MAGIC,
@@ -91,6 +93,7 @@ class ServeStateHandle(SharedStateHandle):
 
         cached = get_broadcast(self.token)
         if cached is not None:
+            _obs_metrics.METRICS.counter("broadcast.cache_hits").inc()
             return cached
         return super().resolve()
 
@@ -286,6 +289,13 @@ class SocketRoundEngine(RoundEngine):
             return
         link.alive = False
         link.conn.close()
+        _obs_metrics.METRICS.warn(
+            "serve.workers_lost",
+            f"worker {link.worker_id} lost mid-round; its clients are "
+            f"reassigned at the next dispatch",
+            worker_id=link.worker_id,
+            cached_clients=len(link.cached),
+        )
         # unpin the dead worker's clients: the next dispatch reassigns them
         # to surviving workers from the parent's last-synced replicas
         for client_id in [
@@ -320,6 +330,9 @@ class SocketRoundEngine(RoundEngine):
         self._ensure_workers()
         live = self._live()
         self._origin = {}
+        # injected into every PHASE payload so worker-side spans stitch
+        # under the caller's open (round) span; None when tracing is off
+        span_ctx = _obs_trace.current_context()
         assignments: dict[int, list[tuple[int, T]]] = {}
         by_link = {link.worker_id: link for link in live}
         for index, item in enumerate(items):
@@ -342,7 +355,8 @@ class SocketRoundEngine(RoundEngine):
                     wire.append((index, item))
             try:
                 link.conn.send(
-                    MessageType.PHASE, pickle.dumps((fn, wire), protocol=5)
+                    MessageType.PHASE,
+                    pickle.dumps((fn, wire, span_ctx), protocol=5),
                 )
             except RpcError:
                 self._mark_dead(link)
@@ -360,7 +374,7 @@ class SocketRoundEngine(RoundEngine):
         phase_error: RemoteError | None = None
         for link in pending:
             try:
-                _, (entries, retained_ids) = link.conn.expect(
+                _, (entries, retained_ids, telemetry) = link.conn.expect(
                     MessageType.RESULT
                 )
             except RemoteError as exc:
@@ -371,6 +385,9 @@ class SocketRoundEngine(RoundEngine):
             except RpcError:
                 self._mark_dead(link)
                 continue
+            if telemetry is not None:
+                _obs_trace.TRACER.absorb(telemetry[0])
+                _obs_metrics.METRICS.merge(telemetry[1])
             link.retained = set(retained_ids)
             for client_id in retained_ids:
                 self._origin[client_id] = link

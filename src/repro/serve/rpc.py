@@ -25,12 +25,24 @@ import socket
 import struct
 import time
 
+from ..obs import metrics as _obs_metrics
+from ..obs import trace as _obs_trace
+
 #: First bytes of every HELLO — guards against a stray client speaking a
 #: different protocol on the same port.
 MAGIC = b"RSRV"
 
 #: Bumped whenever the frame layout or a message payload changes shape.
-PROTOCOL_VERSION = 1
+#: v2: PHASE payloads carry a span context, RESULT payloads a telemetry
+#: tail (worker spans + metrics delta) — see :mod:`repro.obs`.
+PROTOCOL_VERSION = 2
+
+# Cached instrument handles (always-on; ``drain`` zeroes them in place).
+_FRAMES_SENT = _obs_metrics.METRICS.counter("rpc.frames_sent")
+_FRAMES_RECEIVED = _obs_metrics.METRICS.counter("rpc.frames_received")
+_BYTES_SENT = _obs_metrics.METRICS.counter("rpc.bytes_sent")
+_BYTES_RECEIVED = _obs_metrics.METRICS.counter("rpc.bytes_received")
+_CONNECT_RETRIES = _obs_metrics.METRICS.counter("rpc.connect_retries")
 
 #: Frame header: one message-type byte + big-endian u32 payload length.
 _HEADER = struct.Struct(">BI")
@@ -118,10 +130,22 @@ class Connection:
                 f"frame payload of {len(payload)} bytes exceeds the "
                 f"{MAX_FRAME_BYTES}-byte protocol limit"
             )
+        tracer = _obs_trace.TRACER
         try:
-            self.sock.sendall(_HEADER.pack(int(kind), len(payload)) + payload)
+            if tracer.enabled:
+                with tracer.span("rpc_frame", dir="send", kind=kind.name,
+                                 bytes=len(payload)):
+                    self.sock.sendall(
+                        _HEADER.pack(int(kind), len(payload)) + payload
+                    )
+            else:
+                self.sock.sendall(
+                    _HEADER.pack(int(kind), len(payload)) + payload
+                )
         except OSError as exc:
             raise ConnectionClosed(f"send failed: {exc}") from exc
+        _FRAMES_SENT.inc()
+        _BYTES_SENT.inc(_HEADER.size + len(payload))
 
     def send_obj(self, kind: MessageType, obj) -> None:
         self.send(kind, pickle.dumps(obj, protocol=5))
@@ -135,7 +159,15 @@ class Connection:
                     f"frame announces {length} payload bytes, beyond the "
                     f"{MAX_FRAME_BYTES}-byte protocol limit"
                 )
-            payload = _recv_exact(self.sock, length)
+            tracer = _obs_trace.TRACER
+            if tracer.enabled:
+                # timed from after the header so the span measures the
+                # payload transfer, not the idle wait for a frame to start
+                with tracer.span("rpc_frame", dir="recv", kind=kind_byte,
+                                 bytes=length):
+                    payload = _recv_exact(self.sock, length)
+            else:
+                payload = _recv_exact(self.sock, length)
         except socket.timeout as exc:
             raise RpcError("read timed out waiting for a frame") from exc
         except OSError as exc:
@@ -146,6 +178,8 @@ class Connection:
             kind = MessageType(kind_byte)
         except ValueError:
             raise ProtocolError(f"unknown message type byte {kind_byte}")
+        _FRAMES_RECEIVED.inc()
+        _BYTES_RECEIVED.inc(_HEADER.size + length)
         return kind, payload
 
     def recv_obj(self) -> tuple[MessageType, object]:
@@ -196,6 +230,7 @@ def connect_with_retry(
         except OSError as exc:
             last = exc
             if attempt + 1 < attempts:
+                _CONNECT_RETRIES.inc()
                 time.sleep(delay)
                 delay = min(delay * 2, 1.0)
     raise RpcError(

@@ -36,6 +36,7 @@ from ..federated.registry import create_trainer
 from ..federated.server import MERGE_SEGMENTS, StreamingAccumulator, shard_slices
 from ..federated.sharding import ShardedAggregator
 from ..metrics.tracker import RoundRecord, RunResult
+from ..obs import metrics as _obs_metrics
 from .engine import SocketRoundEngine
 
 __all__ = ["FederationServer", "RemoteShardedAggregator"]
@@ -49,6 +50,9 @@ class RemoteShardedAggregator(ShardedAggregator):
         self.socket_engine = socket_engine
         #: Segments served remotely in the most recent round.
         self.last_remote_segments = 0
+        #: Reason -> segment count for the most recent round's demotions
+        #: (segments folded locally instead of on a worker).
+        self.last_demotions: dict[str, int] = {}
 
     def aggregate_updates(
         self,
@@ -72,22 +76,30 @@ class RemoteShardedAggregator(ShardedAggregator):
 
         # a segment is remote-eligible when every update in it is fresh and
         # was produced this round by the same live worker (which therefore
-        # retained the dense states the partial sum needs)
+        # retained the dense states the partial sum needs); anything else
+        # is demoted to local folding, classified by why
         per_link: dict = {}
+        requested: set[int] = set()
+        demoted: dict[str, int] = {}
         for seg_index, segment in enumerate(segments):
             links = set()
+            reason = None
             for index in range(segment.start, segment.stop):
                 update = updates[index]
-                link = (
-                    engine.origin_link(update.client_id)
-                    if update.staleness == 0 else None
-                )
+                if update.staleness != 0:
+                    reason = "stale"
+                    break
+                link = engine.origin_link(update.client_id)
                 if link is None:
-                    links = set()
+                    reason = "orphaned"
                     break
                 links.add(link)
-            if len(links) != 1:
+            if reason is None and len(links) > 1:
+                reason = "split"
+            if reason is not None:
+                demoted[reason] = demoted.get(reason, 0) + 1
                 continue
+            requested.add(seg_index)
             per_link.setdefault(links.pop(), []).append((
                 seg_index,
                 [
@@ -96,6 +108,9 @@ class RemoteShardedAggregator(ShardedAggregator):
                 ],
             ))
         remote = engine.fetch_partials(per_link) if per_link else {}
+        failed = len(requested) - len(remote)
+        if failed:
+            demoted["failed"] = demoted.get("failed", 0) + failed
         partials: list[StreamingAccumulator] = []
         for seg_index, segment in enumerate(segments):
             accumulator = remote.get(seg_index)
@@ -105,6 +120,20 @@ class RemoteShardedAggregator(ShardedAggregator):
                     accumulator.add(updates[index].state, weights[index] / total)
             partials.append(accumulator)
         self.last_remote_segments = len(remote)
+        self.last_demotions = demoted
+        _obs_metrics.METRICS.counter("serve.segments_remote").inc(len(remote))
+        if demoted:
+            for reason, count in demoted.items():
+                _obs_metrics.METRICS.counter(
+                    f"serve.segments_demoted_{reason}"
+                ).inc(count)
+            _obs_metrics.METRICS.warn(
+                "serve.segments_demoted",
+                f"{sum(demoted.values())} of {len(segments)} merge segments "
+                f"demoted to local folding ({demoted})",
+                amount=sum(demoted.values()),
+                **demoted,
+            )
         self.last_shard_counts = tuple(
             sum(seg.stop - seg.start for seg in segments[group])
             for group in groups

@@ -28,12 +28,15 @@ parent-side); only protocol violations and a dead socket end the loop.
 
 from __future__ import annotations
 
+import os
 import traceback
 
 from ..federated import engine as engine_mod
 from ..federated.base import FederatedClient
 from ..federated.protocol import ClientUpdate
 from ..federated.server import StreamingAccumulator
+from ..obs import metrics as _obs_metrics
+from ..obs import trace as _obs_trace
 from ..utils.serialization import decode_state
 from .rpc import (
     MAGIC,
@@ -80,6 +83,9 @@ def _store_broadcast(token: str, state: dict) -> None:
         del _BROADCASTS[next(iter(_BROADCASTS))]
 
 
+_FRAMED_DECODES = _obs_metrics.METRICS.counter("broadcast.framed_decodes")
+
+
 def _dense_state(state) -> bool:
     return all(isinstance(value, np.ndarray) for value in state.values())
 
@@ -94,12 +100,31 @@ class WorkerSession:
         self.clients: dict[int, FederatedClient] = {}
         #: Dense update states retained from the latest PHASE, by client id.
         self.retained: dict[int, dict] = {}
+        #: Session tracer, created on the first traced PHASE and kept so
+        #: span ids stay unique across this worker's phases.
+        self._tracer: _obs_trace.Tracer | None = None
+        #: True while the session tracer is installed as the process
+        #: tracer (it stays installed *between* traced phases so the
+        #: RESULT send and the next PHASE recv record rpc_frame spans;
+        #: those ship with the following phase's telemetry).
+        self._tracing = False
+
+    def _tracer_for(self, ctx) -> _obs_trace.Tracer:
+        tracer = self._tracer
+        if tracer is None or tracer.trace_id != ctx[0]:
+            tracer = self._tracer = _obs_trace.Tracer(
+                trace_id=ctx[0],
+                origin=f"sw{self.worker_id}p{os.getpid()}",
+                process=f"worker-{self.worker_id}",
+            )
+        tracer.adopt(ctx)
+        return tracer
 
     # -- frame handlers ------------------------------------------------
     def _handle_phase(self, payload: bytes) -> None:
         import pickle
 
-        fn, entries = pickle.loads(payload)
+        fn, entries, span_ctx = pickle.loads(payload)
         self.retained = {}
         resolved = []
         for index, item in entries:
@@ -118,11 +143,36 @@ class WorkerSession:
             resolved.append((index, item))
         results = []
         retained_ids = []
+        if span_ctx is None:
+            if self._tracing:
+                # the server turned telemetry off: return to the no-op
+                # path and discard spans that will never be collected
+                _obs_trace.set_tracer(_obs_trace.NullTracer())
+                self._tracer.drain()
+                self._tracing = False
+            for index, item in resolved:
+                result = fn(item)
+                results.append(
+                    (index, self._stub_result(result, retained_ids))
+                )
+            self.conn.send_obj(
+                MessageType.RESULT, (results, tuple(retained_ids), None)
+            )
+            return
+        # traced phase: run under a session tracer adopted into the
+        # server's round span, then ship spans + a metrics delta back
+        tracer = self._tracer_for(span_ctx)
+        if _obs_trace.TRACER is not tracer:
+            _obs_trace.set_tracer(tracer)
+            self._tracing = True
         for index, item in resolved:
             result = fn(item)
-            results.append((index, self._stub_result(result, retained_ids)))
+            results.append(
+                (index, self._stub_result(result, retained_ids))
+            )
+        telemetry = (tracer.drain(), _obs_metrics.METRICS.drain())
         self.conn.send_obj(
-            MessageType.RESULT, (results, tuple(retained_ids))
+            MessageType.RESULT, (results, tuple(retained_ids), telemetry)
         )
 
     def _stub_result(self, result, retained_ids: list[int]):
@@ -147,6 +197,7 @@ class WorkerSession:
 
         token, wire_bytes = pickle.loads(payload)
         _store_broadcast(token, decode_state(wire_bytes))
+        _FRAMED_DECODES.inc()
 
     def _handle_partial(self, payload: bytes) -> None:
         import pickle

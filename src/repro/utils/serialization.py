@@ -51,12 +51,18 @@ from typing import AbstractSet, Mapping, Union
 
 import numpy as np
 
+from ..obs import metrics as _obs_metrics
+from ..obs import trace as _obs_trace
+
 WIRE_MAGIC = b"FKSC"
 WIRE_VERSION = 1
 WIRE_V1 = 1
 WIRE_V2 = 2
 #: Every wire version this codec can decode (v1 is the mandatory baseline).
 SUPPORTED_WIRE_VERSIONS: tuple[int, ...] = (WIRE_V1, WIRE_V2)
+
+_ENCODED_BYTES = _obs_metrics.METRICS.counter("codec.encoded_bytes")
+_DECODED_BYTES = _obs_metrics.METRICS.counter("codec.decoded_bytes")
 
 #: v2 per-entry encoding flags.
 FLAG_SPARSE = 0x01
@@ -222,6 +228,19 @@ def _record_meta(name: str, value: WireValue) -> tuple[bytes, bytes, tuple[int, 
 
 def encode_state(state: Mapping[str, WireValue]) -> bytes:
     """Pack a state mapping (dense arrays and/or sparse records) to bytes."""
+    tracer = _obs_trace.TRACER
+    if not tracer.enabled:
+        payload = _encode_state(state)
+        _ENCODED_BYTES.inc(len(payload))
+        return payload
+    with tracer.span("encode", wire=WIRE_V1, entries=len(state)) as span:
+        payload = _encode_state(state)
+        span.attrs["bytes"] = len(payload)
+    _ENCODED_BYTES.inc(len(payload))
+    return payload
+
+
+def _encode_state(state: Mapping[str, WireValue]) -> bytes:
     chunks = [_HEADER.pack(WIRE_MAGIC, WIRE_VERSION, len(state))]
     for name, value in state.items():
         if not isinstance(value, SparseTensor):
@@ -315,6 +334,15 @@ def _parse_records(
 
 def decode_state(payload: bytes | bytearray | memoryview) -> dict[str, WireValue]:
     """Unpack a payload produced by :func:`encode_state` (lossless, v1)."""
+    _DECODED_BYTES.inc(len(payload))
+    tracer = _obs_trace.TRACER
+    if not tracer.enabled:
+        return _decode_state(payload)
+    with tracer.span("decode", wire=WIRE_V1, bytes=len(payload)):
+        return _decode_state(payload)
+
+
+def _decode_state(payload: bytes | bytearray | memoryview) -> dict[str, WireValue]:
     version = peek_wire_version(payload)
     if version != WIRE_V1:
         raise ValueError(f"unsupported wire version {version}")
@@ -371,6 +399,24 @@ def encode_state_v2(
     off, the payload is byte-for-byte the v1 encoding except for the
     version byte.
     """
+    tracer = _obs_trace.TRACER
+    if not tracer.enabled:
+        payload = _encode_state_v2(state, delta_keys, fp16)
+        _ENCODED_BYTES.inc(len(payload))
+        return payload
+    with tracer.span("encode", wire=WIRE_V2, entries=len(state),
+                     fp16=fp16) as span:
+        payload = _encode_state_v2(state, delta_keys, fp16)
+        span.attrs["bytes"] = len(payload)
+    _ENCODED_BYTES.inc(len(payload))
+    return payload
+
+
+def _encode_state_v2(
+    state: Mapping[str, WireValue],
+    delta_keys: AbstractSet[str],
+    fp16: bool,
+) -> bytes:
     chunks = [_HEADER.pack(WIRE_MAGIC, WIRE_V2, len(state))]
     for name, value in state.items():
         sparse = isinstance(value, SparseTensor)
@@ -473,6 +519,18 @@ def decode_state_v2(
     records overwrite it at the kept positions); without a base they stay
     :class:`SparseTensor` records.
     """
+    _DECODED_BYTES.inc(len(payload))
+    tracer = _obs_trace.TRACER
+    if not tracer.enabled:
+        return _decode_state_v2(payload, base)
+    with tracer.span("decode", wire=WIRE_V2, bytes=len(payload)):
+        return _decode_state_v2(payload, base)
+
+
+def _decode_state_v2(
+    payload: bytes | bytearray | memoryview,
+    base: Mapping[str, np.ndarray] | None,
+) -> dict[str, WireValue]:
     version = peek_wire_version(payload)
     if version != WIRE_V2:
         raise ValueError(f"unsupported wire version {version} (expected 2)")

@@ -76,6 +76,27 @@ class TestAccounting:
         assert result.total_download_bytes == 225
         assert result.total_comm_bytes == 375
 
+    def test_upload_compression_zero_bytes_is_neutral(self):
+        # a round with no uploads (skipped, or every client lost) has no
+        # meaningful ratio: both zero-byte axes pin to 1.0, never 0 or a
+        # division by zero
+        empty = record(up=0, down=0)
+        assert empty.upload_compression == 1.0
+        zero_raw = RoundRecord(
+            position=0, round_index=0, upload_bytes=10, download_bytes=0,
+            sim_train_seconds=0.0, sim_comm_seconds=0.0, active_clients=0,
+            mean_loss=float("nan"), raw_upload_bytes=0,
+        )
+        assert zero_raw.upload_compression == 1.0
+        result = make_result(np.array([[0.5]]), rounds=[empty])
+        assert result.upload_compression == 1.0
+
+    def test_total_lost_clients(self):
+        lost = record()
+        lost.lost = 3
+        result = make_result(np.array([[0.5]]), rounds=[record(), lost])
+        assert result.total_lost_clients == 3
+
     def test_sim_time_totals(self):
         result = make_result(
             np.array([[0.5]]),

@@ -307,6 +307,55 @@ class TestSocketBitIdentity:
         assert remote_segments is not None and remote_segments > 0
 
 
+class _NoWorkerEngine:
+    """A socket engine stand-in that knows no client and serves nothing."""
+
+    def origin_link(self, client_id):
+        return None
+
+    def fetch_partials(self, per_link):
+        return {}
+
+
+class TestRemoteAggregatorDemotions:
+    def test_demoted_segments_warn_through_registry(self):
+        """Every demoted merge segment is classified, counted on the
+        metrics registry, and surfaced as one structured warning — while
+        the aggregate stays bit-identical to the unsharded server."""
+        from repro.federated import ClientUpdate, FedAvgServer
+        from repro.obs import METRICS
+        from repro.serve.server import RemoteShardedAggregator
+
+        rng = np.random.default_rng(0)
+        updates = [
+            ClientUpdate(
+                client_id=i,
+                state={"w": rng.normal(size=(64,)).astype(np.float32)},
+                num_samples=10,
+            )
+            for i in range(4)
+        ]
+        updates[0].staleness = 1  # segment 0 demotes as stale
+        reference = FedAvgServer().aggregate_updates(updates)
+        aggregator = RemoteShardedAggregator(
+            FedAvgServer(), 2, _NoWorkerEngine()
+        )
+        before = METRICS.value("serve.segments_demoted")
+        result = aggregator.aggregate_updates(updates)
+        # one single-update segment per update: 1 stale + 3 orphaned
+        assert aggregator.last_remote_segments == 0
+        assert aggregator.last_demotions == {"stale": 1, "orphaned": 3}
+        assert METRICS.value("serve.segments_demoted") == before + 4
+        warning = next(
+            w for w in reversed(METRICS.warnings)
+            if w["counter"] == "serve.segments_demoted"
+        )
+        assert warning["stale"] == 1 and warning["orphaned"] == 3
+        assert "demoted to local folding" in warning["message"]
+        for key in reference:
+            assert np.array_equal(reference[key], result[key]), key
+
+
 class TestRemoteWorkers:
     def test_assume_remote_framed_broadcasts_bit_identical(self, spec, config):
         """Workers that skip the tmpfs probe take STATE frames over the
